@@ -1,0 +1,86 @@
+(* Regenerate the paper's tables and figures.
+
+   Usage:
+     experiments                  # everything
+     experiments fig8 table2     # selected experiments
+     experiments --bench parser --bench gap fig10   # selected benchmarks *)
+
+let all_experiment_names =
+  [
+    "table1"; "fig2"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
+    "fig12"; "table2"; "prose"; "ablations"; "extensions";
+  ]
+
+let run_experiments benches experiments =
+  let workloads =
+    match benches with
+    | [] -> Workloads.Registry.all
+    | names ->
+      List.filter_map
+        (fun n ->
+          match Workloads.Registry.find n with
+          | Some w -> Some w
+          | None ->
+            Printf.eprintf "unknown benchmark %s (have: %s)\n" n
+              (String.concat ", " Workloads.Registry.names);
+            exit 2)
+        names
+  in
+  let experiments = if experiments = [] then all_experiment_names else experiments in
+  let needs_ctx =
+    List.exists (fun e -> not (String.equal e "table1")) experiments
+  in
+  let ctxs =
+    if needs_ctx then begin
+      List.map
+        (fun (w : Workloads.Workload.t) ->
+          Printf.eprintf "[setup] %s\n%!" w.Workloads.Workload.name;
+          Harness.Context.make w)
+        workloads
+    end
+    else []
+  in
+  List.iter
+    (fun name ->
+      Printf.eprintf "[run] %s\n%!" name;
+      let output =
+        match name with
+        | "table1" -> Harness.Figures.table1 ()
+        | "fig2" -> Harness.Figures.fig2 ctxs
+        | "fig6" -> Harness.Figures.fig6 ctxs
+        | "fig7" -> Harness.Figures.fig7 ctxs
+        | "fig8" -> Harness.Figures.fig8 ctxs
+        | "fig9" -> Harness.Figures.fig9 ctxs
+        | "fig10" -> Harness.Figures.fig10 ctxs
+        | "fig11" -> Harness.Figures.fig11 ctxs
+        | "fig12" -> Harness.Figures.fig12 ctxs
+        | "table2" -> Harness.Figures.table2 ctxs
+        | "prose" -> Harness.Figures.prose_checks ctxs
+        | "ablations" -> Harness.Figures.ablations ctxs
+        | "extensions" -> Harness.Figures.extensions ctxs
+        | other ->
+          Printf.eprintf "unknown experiment %s (have: %s)\n" other
+            (String.concat ", " all_experiment_names);
+          exit 2
+      in
+      print_endline output;
+      print_newline ())
+    experiments
+
+open Cmdliner
+
+let benches =
+  let doc = "Restrict to one benchmark (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+
+let experiments =
+  let doc = "Experiments to run (default: all)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let cmd =
+  let doc = "regenerate the paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const run_experiments $ benches $ experiments)
+
+let () = exit (Cmd.eval cmd)

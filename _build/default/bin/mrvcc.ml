@@ -1,0 +1,277 @@
+(* The compiler driver: parse, check, lower, profile, transform, run, and
+   simulate mini-C programs.
+
+   Examples:
+     mrvcc dump-ir prog.c                  # lowered IR
+     mrvcc run prog.c --in 1,2,3           # sequential execution
+     mrvcc profile prog.c --in 1,2,3       # loop + dependence profile
+     mrvcc compile prog.c --in 1,2,3       # show regions and sync insertion
+     mrvcc simulate prog.c --in 1,2,3 --mode C   # TLS simulation
+     mrvcc simulate --bench parser --mode H      # a bundled benchmark *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_input_list s =
+  if String.equal s "" then [||]
+  else
+    String.split_on_char ',' s
+    |> List.map (fun x -> int_of_string (String.trim x))
+    |> Array.of_list
+
+(* Resolve source and input from either a file or a bundled benchmark. *)
+let resolve_program file bench input =
+  match bench, file with
+  | Some name, _ -> begin
+    match Workloads.Registry.find name with
+    | Some w ->
+      let input =
+        match input with
+        | Some s -> parse_input_list s
+        | None -> w.Workloads.Workload.ref_input
+      in
+      (w.Workloads.Workload.source, input)
+    | None ->
+      Printf.eprintf "unknown benchmark %s (have: %s)\n" name
+        (String.concat ", " Workloads.Registry.names);
+      exit 2
+  end
+  | None, Some path ->
+    let input =
+      match input with Some s -> parse_input_list s | None -> [||]
+    in
+    (read_file path, input)
+  | None, None ->
+    prerr_endline "need a source file or --bench";
+    exit 2
+
+let with_errors f =
+  try f () with
+  | Lang.Lexer.Error (msg, pos) ->
+    Printf.eprintf "lex error at %d:%d: %s\n" pos.Lang.Token.line
+      pos.Lang.Token.col msg;
+    exit 1
+  | Lang.Parser.Error (msg, pos) ->
+    Printf.eprintf "parse error at %d:%d: %s\n" pos.Lang.Token.line
+      pos.Lang.Token.col msg;
+    exit 1
+  | Lang.Sema.Error (msg, pos) ->
+    Printf.eprintf "type error at %d:%d: %s\n" pos.Lang.Token.line
+      pos.Lang.Token.col msg;
+    exit 1
+
+let cmd_dump_ir file bench input =
+  let source, _ = resolve_program file bench input in
+  with_errors (fun () ->
+      print_string (Ir.Pp.program (Ir.Lower.compile_source source)))
+
+let cmd_run file bench input =
+  let source, input = resolve_program file bench input in
+  with_errors (fun () ->
+      let prog = Ir.Lower.compile_source source in
+      let code = Runtime.Code.of_prog prog in
+      let mem = Runtime.Memory.create () in
+      let out = Runtime.Thread.run_sequential code ~input mem in
+      List.iter (fun v -> Printf.printf "%d\n" v) out)
+
+let cmd_depgraph file bench input threshold =
+  (* Emit the dependence graph of each selected region as Graphviz DOT
+     (the paper's Figure 5). *)
+  let source, input = resolve_program file bench input in
+  with_errors (fun () ->
+      let prog = Ir.Lower.compile_source source in
+      let profile = Profiler.Runner.run prog ~input ~watch:[] in
+      let selected = Tlscore.Selection.select prog profile in
+      let dp_run = Profiler.Runner.run prog ~input ~watch:selected in
+      List.iter
+        (fun (k : Profiler.Profile.loop_key) ->
+          match Profiler.Profile.dep_profile dp_run k with
+          | Some dp when Hashtbl.length dp.Profiler.Profile.dep_epochs > 0 ->
+            Printf.printf "// region %s/L%d\n%s\n" k.Profiler.Profile.lk_func
+              k.Profiler.Profile.lk_header
+              (Profiler.Profile.to_dot ~threshold dp)
+          | Some _ | None -> ())
+        selected)
+
+let cmd_profile file bench input threshold =
+  let source, input = resolve_program file bench input in
+  with_errors (fun () ->
+      let prog = Ir.Lower.compile_source source in
+      let profile = Profiler.Runner.run prog ~input ~watch:[] in
+      Printf.printf "total dynamic instructions: %d\n\n"
+        profile.Profiler.Profile.total_instrs;
+      let cands = Tlscore.Selection.candidates prog profile in
+      Printf.printf "region candidates (coverage / epochs-per-instance / instrs-per-epoch):\n";
+      List.iter
+        (fun (c : Tlscore.Selection.candidate) ->
+          Printf.printf "  %s/L%d  %5.1f%%  %7.1f  %7.1f\n"
+            c.Tlscore.Selection.key.Profiler.Profile.lk_func
+            c.Tlscore.Selection.key.Profiler.Profile.lk_header
+            (100.0 *. c.Tlscore.Selection.coverage)
+            c.Tlscore.Selection.epochs_per_instance
+            c.Tlscore.Selection.instrs_per_epoch)
+        cands;
+      let selected = Tlscore.Selection.select prog profile in
+      Printf.printf "\nselected regions: %s\n\n"
+        (String.concat ", "
+           (List.map
+              (fun (k : Profiler.Profile.loop_key) ->
+                Printf.sprintf "%s/L%d" k.Profiler.Profile.lk_func
+                  k.Profiler.Profile.lk_header)
+              selected));
+      let dp_run = Profiler.Runner.run prog ~input ~watch:selected in
+      List.iter
+        (fun (k : Profiler.Profile.loop_key) ->
+          match Profiler.Profile.dep_profile dp_run k with
+          | None -> ()
+          | Some dp ->
+            Printf.printf "loop %s/L%d: %d epochs; frequent dependences (>=%.0f%%):\n"
+              k.Profiler.Profile.lk_func k.Profiler.Profile.lk_header
+              dp.Profiler.Profile.total_epochs (100.0 *. threshold);
+            List.iter
+              (fun (d : Profiler.Profile.dep) ->
+                let count =
+                  match
+                    Hashtbl.find_opt dp.Profiler.Profile.dep_epochs d
+                  with
+                  | Some c -> c
+                  | None -> 0
+                in
+                Printf.printf "  %s -> %s  (%d epochs, %.0f%%)\n"
+                  (Profiler.Profile.pp_access d.Profiler.Profile.producer)
+                  (Profiler.Profile.pp_access d.Profiler.Profile.consumer)
+                  count
+                  (Support.Stats.percent (float_of_int count)
+                     (float_of_int dp.Profiler.Profile.total_epochs)))
+              (Profiler.Profile.frequent_deps dp ~threshold))
+        selected)
+
+let cmd_compile file bench input threshold =
+  let source, input = resolve_program file bench input in
+  with_errors (fun () ->
+      let compiled =
+        Tlscore.Pipeline.compile ~source ~profile_input:input
+          ~memory_sync:
+            (Tlscore.Pipeline.Profiled { dep_input = input; threshold })
+          ()
+      in
+      Printf.printf "selected regions: %d\n"
+        (List.length compiled.Tlscore.Pipeline.selected);
+      List.iter
+        (fun ((key : Profiler.Profile.loop_key), factor) ->
+          if factor > 1 then
+            Printf.printf "unrolled %s/L%d by %d\n" key.Profiler.Profile.lk_func
+              key.Profiler.Profile.lk_header factor)
+        compiled.Tlscore.Pipeline.unroll_factors;
+      List.iter
+        (fun (key, (stats : Tlscore.Memsync.stats)) ->
+          Printf.printf
+            "region %s/L%d: %d groups (%d static), %d sync loads, %d signals \
+             (+%d guarded), %d clones (+%d instrs), %d latch nulls (%d elided)\n"
+            key.Profiler.Profile.lk_func key.Profiler.Profile.lk_header
+            stats.Tlscore.Memsync.ms_groups stats.Tlscore.Memsync.ms_static_groups
+            stats.Tlscore.Memsync.ms_sync_loads stats.Tlscore.Memsync.ms_sync_stores
+            stats.Tlscore.Memsync.ms_guarded_signals stats.Tlscore.Memsync.ms_clones
+            stats.Tlscore.Memsync.ms_instrs_added stats.Tlscore.Memsync.ms_null_signals
+            stats.Tlscore.Memsync.ms_elided_nulls)
+        compiled.Tlscore.Pipeline.mem_stats;
+      print_newline ();
+      print_string (Ir.Pp.program compiled.Tlscore.Pipeline.prog))
+
+let config_of_mode = function
+  | "U" -> Tls.Config.u_mode
+  | "C" -> Tls.Config.c_mode
+  | "H" -> Tls.Config.h_mode
+  | "P" -> Tls.Config.p_mode
+  | "B" -> Tls.Config.b_mode
+  | m ->
+    Printf.eprintf "unknown mode %s (have U, C, H, P, B)\n" m;
+    exit 2
+
+let cmd_simulate file bench input threshold mode =
+  let source, input = resolve_program file bench input in
+  with_errors (fun () ->
+      let memory_sync =
+        match mode with
+        | "U" | "H" | "P" -> Tlscore.Pipeline.No_memory_sync
+        | _ -> Tlscore.Pipeline.Profiled { dep_input = input; threshold }
+      in
+      let compiled =
+        Tlscore.Pipeline.compile ~source ~profile_input:input ~memory_sync ()
+      in
+      let cfg = config_of_mode mode in
+      let r = Tls.Sim.run cfg compiled.Tlscore.Pipeline.code ~input () in
+      let reference = Tlscore.Pipeline.original ~source in
+      let seq =
+        Tls.Sim.run_sequential cfg
+          (Runtime.Code.of_prog reference)
+          ~input ~track:compiled.Tlscore.Pipeline.code.Runtime.Code.regions
+      in
+      Printf.printf "mode %s\n" mode;
+      Printf.printf "sequential cycles:   %d\n" seq.Tls.Simstats.sq_cycles;
+      Printf.printf "TLS cycles:          %d (%.2fx)\n" r.Tls.Simstats.total_cycles
+        (Support.Stats.ratio
+           (float_of_int seq.Tls.Simstats.sq_cycles)
+           (float_of_int r.Tls.Simstats.total_cycles));
+      Printf.printf "region cycles:       %d\n" r.Tls.Simstats.region_cycles;
+      Printf.printf "epochs committed:    %d (squashed %d, violations %d)\n"
+        r.Tls.Simstats.epochs_committed r.Tls.Simstats.epochs_squashed
+        r.Tls.Simstats.violations;
+      let s = r.Tls.Simstats.slots in
+      Printf.printf "slots: busy %d, sync %d, fail %d, other %d (of %d)\n"
+        s.Tls.Simstats.s_busy s.Tls.Simstats.s_sync s.Tls.Simstats.s_fail
+        (Tls.Simstats.other s) s.Tls.Simstats.s_total;
+      Printf.printf "output: %s\n"
+        (String.concat " " (List.map string_of_int r.Tls.Simstats.output));
+      if r.Tls.Simstats.output <> seq.Tls.Simstats.sq_output then begin
+        prerr_endline "ERROR: TLS output differs from sequential!";
+        exit 1
+      end)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE")
+
+let bench_arg =
+  Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAME")
+
+let input_arg =
+  Arg.(value & opt (some string) None & info [ "in" ] ~docv:"N,N,...")
+
+let threshold_arg =
+  Arg.(value & opt float 0.05 & info [ "threshold" ] ~docv:"FRACTION")
+
+let mode_arg = Arg.(value & opt string "C" & info [ "mode" ] ~docv:"U|C|H|P|B")
+
+let action_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum
+        [ ("dump-ir", `Dump_ir); ("run", `Run); ("profile", `Profile);
+          ("depgraph", `Depgraph); ("compile", `Compile);
+          ("simulate", `Simulate) ])) None
+    & info [] ~docv:"ACTION")
+
+let main action file bench input threshold mode =
+  match action with
+  | `Dump_ir -> cmd_dump_ir file bench input
+  | `Run -> cmd_run file bench input
+  | `Profile -> cmd_profile file bench input threshold
+  | `Depgraph -> cmd_depgraph file bench input threshold
+  | `Compile -> cmd_compile file bench input threshold
+  | `Simulate -> cmd_simulate file bench input threshold mode
+
+let cmd =
+  let doc = "mini-C TLS compiler and simulator driver" in
+  Cmd.v
+    (Cmd.info "mrvcc" ~doc)
+    Term.(
+      const main $ action_arg $ file_arg $ bench_arg $ input_arg
+      $ threshold_arg $ mode_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,75 @@
+(* Ablation: the synchronization frequency threshold (paper §2.4).
+
+   The paper picks 5% — dependences occurring in at least 5% of epochs are
+   synchronized — after a limit study (Figure 6).  This example runs the
+   REAL pass (not the oracle) at several thresholds on one benchmark and
+   shows the trade-off: a high threshold leaves violations in place, an
+   aggressively low one can over-synchronize.
+
+   Run with:  dune exec examples/threshold_sweep.exe [benchmark] *)
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "mcf" in
+  let w =
+    match Workloads.Registry.find bench with
+    | Some w -> w
+    | None ->
+      Printf.eprintf "unknown benchmark %s (have: %s)\n" bench
+        (String.concat ", " Workloads.Registry.names);
+      exit 2
+  in
+  Printf.printf "%s\n"
+    (Support.Table.section
+       (Printf.sprintf "Synchronization threshold sweep — %s" w.Workloads.Workload.name));
+  let source = w.Workloads.Workload.source in
+  let train = w.Workloads.Workload.train_input in
+  let refi = w.Workloads.Workload.ref_input in
+  let u =
+    Tlscore.Pipeline.compile ~source ~profile_input:train
+      ~memory_sync:Tlscore.Pipeline.No_memory_sync ()
+  in
+  let original = Tlscore.Pipeline.original ~source in
+  let seq =
+    Tls.Sim.run_sequential Tls.Config.default
+      (Runtime.Code.of_prog original)
+      ~input:refi ~track:u.Tlscore.Pipeline.code.Runtime.Code.regions
+  in
+  let seq_region =
+    List.fold_left (fun a (_, c) -> a + c) 0 seq.Tls.Simstats.sq_region_cycles
+  in
+  let row_for label cfg (compiled : Tlscore.Pipeline.compiled) groups =
+    let r = Tls.Sim.run cfg compiled.Tlscore.Pipeline.code ~input:refi () in
+    [
+      label;
+      string_of_int groups;
+      string_of_int r.Tls.Simstats.violations;
+      Support.Table.float_cell 2
+        (float_of_int seq_region /. float_of_int r.Tls.Simstats.region_cycles);
+    ]
+  in
+  let rows =
+    row_for "U (no sync)" Tls.Config.u_mode u 0
+    :: List.map
+         (fun threshold ->
+           let c =
+             Tlscore.Pipeline.compile
+               ~selection:u.Tlscore.Pipeline.selected ~source
+               ~profile_input:train
+               ~memory_sync:
+                 (Tlscore.Pipeline.Profiled { dep_input = refi; threshold })
+               ()
+           in
+           let groups =
+             List.fold_left
+               (fun acc (_, s) -> acc + s.Tlscore.Memsync.ms_groups)
+               0 c.Tlscore.Pipeline.mem_stats
+           in
+           row_for
+             (Printf.sprintf "C @ %2.0f%%" (100.0 *. threshold))
+             Tls.Config.c_mode c groups)
+         [ 0.25; 0.15; 0.05; 0.01 ]
+  in
+  print_endline
+    (Support.Table.render
+       ~header:[ "config"; "groups"; "violations"; "region speedup" ]
+       rows)

@@ -1,0 +1,1 @@
+lib/dataflow/dominance.ml: Array Fun Int Ir List Set

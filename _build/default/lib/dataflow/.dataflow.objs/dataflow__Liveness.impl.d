@@ -1,0 +1,1 @@
+lib/dataflow/liveness.ml: Array Int Ir List Set Solver

@@ -1,0 +1,1 @@
+lib/dataflow/loops.ml: Array Dominance Hashtbl Int Ir List Set

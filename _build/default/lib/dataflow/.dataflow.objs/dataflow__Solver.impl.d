@@ -1,0 +1,1 @@
+lib/dataflow/solver.ml: Array Ir List Queue

@@ -1,0 +1,77 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  dom : Int_set.t array;      (* dominators of each block *)
+  reach : bool array;
+  idoms : Ir.Instr.label option array;
+}
+
+let compute (f : Ir.Func.t) =
+  let n = Ir.Func.num_blocks f in
+  let preds = Ir.Func.predecessors f in
+  (* Reachability from entry. *)
+  let reach = Array.make n false in
+  let rec visit l =
+    if not reach.(l) then begin
+      reach.(l) <- true;
+      List.iter visit (Ir.Func.successors f l)
+    end
+  in
+  if n > 0 then visit Ir.Func.entry;
+  let all =
+    List.init n Fun.id
+    |> List.filter (fun l -> reach.(l))
+    |> Int_set.of_list
+  in
+  let dom = Array.make n Int_set.empty in
+  for l = 0 to n - 1 do
+    if reach.(l) then
+      dom.(l) <-
+        (if l = Ir.Func.entry then Int_set.singleton l else all)
+    else dom.(l) <- Int_set.singleton l
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for l = 0 to n - 1 do
+      if reach.(l) && l <> Ir.Func.entry then begin
+        let reachable_preds = List.filter (fun p -> reach.(p)) preds.(l) in
+        let meet =
+          match reachable_preds with
+          | [] -> Int_set.empty
+          | p :: rest ->
+            List.fold_left
+              (fun acc q -> Int_set.inter acc dom.(q))
+              dom.(p) rest
+        in
+        let next = Int_set.add l meet in
+        if not (Int_set.equal next dom.(l)) then begin
+          dom.(l) <- next;
+          changed := true
+        end
+      end
+    done
+  done;
+  (* Immediate dominator: the strict dominator dominated by all others. *)
+  let idoms =
+    Array.init n (fun l ->
+        if (not reach.(l)) || l = Ir.Func.entry then None
+        else begin
+          let strict = Int_set.remove l dom.(l) in
+          Int_set.fold
+            (fun cand best ->
+              match best with
+              | None -> Some cand
+              | Some b ->
+                (* cand is "closer" if b dominates cand *)
+                if Int_set.mem b dom.(cand) then Some cand else best)
+            strict None
+        end)
+  in
+  { dom; reach; idoms }
+
+let dominates t a b = Int_set.mem a t.dom.(b)
+
+let idom t l = t.idoms.(l)
+
+let reachable t l = t.reach.(l)

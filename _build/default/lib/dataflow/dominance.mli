@@ -1,0 +1,16 @@
+(** Dominator computation (iterative algorithm over dominator sets).
+
+    Blocks unreachable from the entry dominate nothing and are reported as
+    dominated only by themselves. *)
+
+type t
+
+val compute : Ir.Func.t -> t
+
+(** [dominates t a b] — does block [a] dominate block [b]? *)
+val dominates : t -> Ir.Instr.label -> Ir.Instr.label -> bool
+
+(** Immediate dominator; [None] for the entry and unreachable blocks. *)
+val idom : t -> Ir.Instr.label -> Ir.Instr.label option
+
+val reachable : t -> Ir.Instr.label -> bool

@@ -1,0 +1,54 @@
+module Int_set = Set.Make (Int)
+
+module Domain = struct
+  type fact = Int_set.t
+
+  let equal = Int_set.equal
+  let bottom = Int_set.empty
+  let boundary = Int_set.empty
+  let join = Int_set.union
+end
+
+module S = Solver.Make (Domain)
+
+type t = {
+  ins : Int_set.t array;   (* live at block entry *)
+  outs : Int_set.t array;  (* live at block exit *)
+}
+
+let block_transfer (f : Ir.Func.t) l live_out =
+  let b = Ir.Func.block f l in
+  let live = ref (Int_set.union live_out (Int_set.of_list (Ir.Instr.term_uses b.Ir.Func.term))) in
+  List.iter
+    (fun (i : Ir.Instr.t) ->
+      let after_defs =
+        List.fold_left (fun acc d -> Int_set.remove d acc) !live
+          (Ir.Instr.defs i)
+      in
+      live :=
+        List.fold_left (fun acc u -> Int_set.add u acc) after_defs
+          (Ir.Instr.uses i))
+    (List.rev b.Ir.Func.instrs);
+  !live
+
+let compute (f : Ir.Func.t) =
+  let transfer l fact = block_transfer f l fact in
+  let outs, ins = S.solve ~direction:Solver.Backward ~transfer f in
+  (* Backward solve: inputs are facts at block exit, outputs at entry. *)
+  { ins; outs }
+
+let live_in t l = Int_set.elements t.ins.(l)
+let live_out t l = Int_set.elements t.outs.(l)
+let is_live_in t l r = Int_set.mem r t.ins.(l)
+
+let defs_in_blocks (f : Ir.Func.t) labels =
+  let defs = ref Int_set.empty in
+  List.iter
+    (fun l ->
+      let b = Ir.Func.block f l in
+      List.iter
+        (fun i ->
+          List.iter (fun d -> defs := Int_set.add d !defs) (Ir.Instr.defs i))
+        b.Ir.Func.instrs)
+    labels;
+  Int_set.elements !defs

@@ -1,0 +1,20 @@
+(** Register liveness, block-granular, built on {!Solver}.
+
+    Used by the scalar synchronization pass to find the paper's
+    "communicating scalars": registers live into a loop header that are
+    also defined inside the loop. *)
+
+type t
+
+val compute : Ir.Func.t -> t
+
+(** Registers live at block entry. *)
+val live_in : t -> Ir.Instr.label -> Ir.Instr.reg list
+
+(** Registers live at block exit. *)
+val live_out : t -> Ir.Instr.label -> Ir.Instr.reg list
+
+val is_live_in : t -> Ir.Instr.label -> Ir.Instr.reg -> bool
+
+(** Registers defined anywhere in the given blocks. *)
+val defs_in_blocks : Ir.Func.t -> Ir.Instr.label list -> Ir.Instr.reg list

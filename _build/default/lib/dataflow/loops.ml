@@ -1,0 +1,109 @@
+module Int_set = Set.Make (Int)
+
+type loop = {
+  header : Ir.Instr.label;
+  body : Ir.Instr.label list;
+  back_edges : Ir.Instr.label list;
+  depth : int;
+  parent : Ir.Instr.label option;
+}
+
+(* Collect the natural loop of back edge (src -> header): all blocks that
+   reach src without passing through header. *)
+let natural_loop preds header src =
+  let body = ref (Int_set.add header Int_set.empty) in
+  let stack = ref [] in
+  if not (Int_set.mem src !body) then begin
+    body := Int_set.add src !body;
+    stack := [ src ]
+  end;
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+      stack := rest;
+      List.iter
+        (fun p ->
+          if not (Int_set.mem p !body) then begin
+            body := Int_set.add p !body;
+            stack := p :: !stack
+          end)
+        preds.(b);
+      loop ()
+  in
+  loop ();
+  !body
+
+let find (f : Ir.Func.t) : loop list =
+  let dom = Dominance.compute f in
+  let preds = Ir.Func.predecessors f in
+  let n = Ir.Func.num_blocks f in
+  (* header -> (body set, back edge sources) *)
+  let by_header = Hashtbl.create 8 in
+  for src = 0 to n - 1 do
+    if Dominance.reachable dom src then
+      List.iter
+        (fun dst ->
+          if Dominance.dominates dom dst src then begin
+            (* back edge src -> dst *)
+            let body = natural_loop preds dst src in
+            let prev_body, prev_edges =
+              match Hashtbl.find_opt by_header dst with
+              | Some (b, e) -> (b, e)
+              | None -> (Int_set.empty, [])
+            in
+            Hashtbl.replace by_header dst
+              (Int_set.union prev_body body, src :: prev_edges)
+          end)
+        (Ir.Func.successors f src)
+  done;
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) by_header [] in
+  let headers = List.sort compare headers in
+  (* Nesting: loop A encloses loop B if A's body contains B's header and
+     A <> B.  Parent = smallest enclosing loop. *)
+  let body_of h = fst (Hashtbl.find by_header h) in
+  let parent_of h =
+    let enclosing =
+      List.filter
+        (fun h' -> h' <> h && Int_set.mem h (body_of h'))
+        headers
+    in
+    (* The innermost enclosing loop is the one whose body is smallest. *)
+    match enclosing with
+    | [] -> None
+    | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best cand ->
+             if Int_set.cardinal (body_of cand) < Int_set.cardinal (body_of best)
+             then cand
+             else best)
+           first rest)
+  in
+  let rec depth_of h =
+    match parent_of h with
+    | None -> 1
+    | Some p -> 1 + depth_of p
+  in
+  List.map
+    (fun h ->
+      let body, edges = Hashtbl.find by_header h in
+      {
+        header = h;
+        body = Int_set.elements body;
+        back_edges = List.sort compare edges;
+        depth = depth_of h;
+        parent = parent_of h;
+      })
+    headers
+
+let loop_of loops header = List.find_opt (fun l -> l.header = header) loops
+
+let exit_edges (f : Ir.Func.t) (l : loop) =
+  let body = Int_set.of_list l.body in
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun s -> if Int_set.mem s body then None else Some (b, s))
+        (Ir.Func.successors f b))
+    l.body

@@ -1,0 +1,23 @@
+(** Natural loop discovery and the loop-nest forest.
+
+    A natural loop is identified by its header (the target of a back edge,
+    i.e. an edge whose source the header dominates).  Loops sharing a header
+    are merged.  The nesting forest is used by region selection to pick
+    non-overlapping loops. *)
+
+type loop = {
+  header : Ir.Instr.label;
+  body : Ir.Instr.label list;          (* includes the header; sorted *)
+  back_edges : Ir.Instr.label list;    (* sources of back edges *)
+  depth : int;                         (* 1 = outermost *)
+  parent : Ir.Instr.label option;      (* header of enclosing loop *)
+}
+
+(** All natural loops of a function, outermost first within each nest. *)
+val find : Ir.Func.t -> loop list
+
+(** [loop_of loops header] — the loop with that header, if any. *)
+val loop_of : loop list -> Ir.Instr.label -> loop option
+
+(** Exit edges of a loop: [(from_block_in_loop, to_block_outside)]. *)
+val exit_edges : Ir.Func.t -> loop -> (Ir.Instr.label * Ir.Instr.label) list

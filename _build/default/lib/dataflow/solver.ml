@@ -1,0 +1,61 @@
+type direction = Forward | Backward
+
+module type Domain = sig
+  type fact
+
+  val equal : fact -> fact -> bool
+  val bottom : fact
+  val boundary : fact
+  val join : fact -> fact -> fact
+end
+
+module Make (D : Domain) = struct
+  let solve ~direction ~transfer (f : Ir.Func.t) =
+    let n = Ir.Func.num_blocks f in
+    let preds = Ir.Func.predecessors f in
+    let succs = Array.init n (Ir.Func.successors f) in
+    (* "sources" feed a block's input; "sinks" consume its output. *)
+    let sources, sinks =
+      match direction with
+      | Forward -> (preds, succs)
+      | Backward -> (succs, preds)
+    in
+    let is_boundary l =
+      match direction with
+      | Forward -> l = Ir.Func.entry
+      | Backward -> succs.(l) = []
+    in
+    let inputs = Array.make n D.bottom in
+    let outputs = Array.make n D.bottom in
+    let in_worklist = Array.make n true in
+    let worklist = Queue.create () in
+    for l = 0 to n - 1 do
+      Queue.add l worklist
+    done;
+    while not (Queue.is_empty worklist) do
+      let l = Queue.pop worklist in
+      in_worklist.(l) <- false;
+      let input =
+        let from_sources =
+          List.fold_left
+            (fun acc s -> D.join acc outputs.(s))
+            D.bottom sources.(l)
+        in
+        if is_boundary l then D.join from_sources D.boundary
+        else from_sources
+      in
+      inputs.(l) <- input;
+      let output = transfer l input in
+      if not (D.equal output outputs.(l)) then begin
+        outputs.(l) <- output;
+        List.iter
+          (fun s ->
+            if not in_worklist.(s) then begin
+              in_worklist.(s) <- true;
+              Queue.add s worklist
+            end)
+          sinks.(l)
+      end
+    done;
+    (inputs, outputs)
+end

@@ -1,0 +1,32 @@
+(** Generic iterative dataflow solver over a function's CFG.
+
+    The framework is block-granular: the client provides a transfer function
+    per block and a join; the solver iterates a worklist to the (unique,
+    because the client's lattice must be finite-height and the transfer
+    monotone) fixpoint. *)
+
+type direction = Forward | Backward
+
+module type Domain = sig
+  type fact
+
+  val equal : fact -> fact -> bool
+  val bottom : fact
+
+  (** Fact at the boundary (entry for forward, exits for backward). *)
+  val boundary : fact
+
+  val join : fact -> fact -> fact
+end
+
+module Make (D : Domain) : sig
+  (** [solve ~direction ~transfer func] returns [(inputs, outputs)] indexed
+      by block label: for a forward analysis, [inputs.(l)] is the fact at
+      block entry and [outputs.(l)] at block exit; for a backward analysis,
+      [inputs.(l)] is the fact at block exit and [outputs.(l)] at entry. *)
+  val solve :
+    direction:direction ->
+    transfer:(Ir.Instr.label -> D.fact -> D.fact) ->
+    Ir.Func.t ->
+    D.fact array * D.fact array
+end

@@ -1,0 +1,1 @@
+lib/harness/context.ml: List Printf Runtime Support Tls Tlscore Workloads

@@ -1,0 +1,1 @@
+lib/harness/context.mli: Tls Tlscore Workloads

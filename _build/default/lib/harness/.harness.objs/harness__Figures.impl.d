@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Buffer Context Hashtbl Ir List Printf Profiler String Support Tls Tlscore Workloads

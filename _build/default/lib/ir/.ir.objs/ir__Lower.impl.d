@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Func Hashtbl Instr Lang Layout List Option Printf Prog

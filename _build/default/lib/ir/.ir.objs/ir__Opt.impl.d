@@ -1,0 +1,1 @@
+lib/ir/opt.ml: Array Func Hashtbl Instr Int List Prog Set

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Buffer Func Instr List Printf Prog String

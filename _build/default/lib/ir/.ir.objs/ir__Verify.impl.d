@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Func Hashtbl Instr List Printf Prog String

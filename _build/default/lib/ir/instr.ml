@@ -1,0 +1,165 @@
+(* The register IR.
+
+   Virtual registers model the paper's "register-resident scalar values";
+   all inter-epoch scalar communication happens through explicit
+   [Wait_scalar]/[Signal_scalar] instructions inserted by the compiler.
+   Memory-resident values are accessed only through [Load]/[Store] (and the
+   synchronized [Sync_load] the memory-sync pass introduces).
+
+   Every instruction carries a globally unique static id [iid], which plays
+   the role of a PC: the dependence profiler names dynamic accesses by
+   (iid, call stack) and the hardware tables of Steffan et al. [25] are
+   indexed by it. *)
+
+type reg = int
+type label = int
+type iid = int
+type channel = int
+
+type operand =
+  | Reg of reg
+  | Imm of int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type kind =
+  | Bin of binop * reg * operand * operand
+  | Mov of reg * operand
+  | Load of reg * operand                  (* dst <- mem[addr] *)
+  | Store of operand * operand             (* mem[addr] <- value *)
+  | Call of reg option * string * operand list
+  | Print of operand
+  | Input of reg * operand                 (* dst <- input[idx] *)
+  | Input_len of reg
+  (* TLS synchronization (inserted by the compiler passes): *)
+  | Wait_scalar of channel * reg           (* stall for a forwarded scalar *)
+  | Signal_scalar of channel * operand     (* forward a scalar to successor *)
+  | Wait_mem of channel                    (* stall for forwarded (addr,value) *)
+  | Sync_load of channel * reg * operand   (* checked load: use forwarded
+                                              value if its address matches *)
+  | Signal_mem of channel * operand        (* forward (addr, mem[addr]) *)
+  | Signal_mem_if_unsent of channel * operand
+      (* forward (addr, mem[addr]) unless the channel was already signaled
+         this epoch — placed where a may-store-later analysis shows the
+         value is final but an earlier signal may have covered the path *)
+  | Signal_null of channel                 (* forward a NULL address *)
+  | Signal_null_if_unsent of channel       (* epoch-end NULL for paths that
+                                              never produced the value *)
+
+type t = { iid : iid; kind : kind }
+
+type terminator =
+  | Jmp of label
+  | Br of operand * label * label          (* cond, if-nonzero, if-zero *)
+  | Ret of operand option
+
+(* ------------------------------------------------------------------ *)
+
+let defs (i : t) : reg list =
+  match i.kind with
+  | Bin (_, d, _, _)
+  | Mov (d, _)
+  | Load (d, _)
+  | Input (d, _)
+  | Input_len d
+  | Wait_scalar (_, d)
+  | Sync_load (_, d, _) ->
+    [ d ]
+  | Call (Some d, _, _) -> [ d ]
+  | Call (None, _, _)
+  | Store _ | Print _
+  | Signal_scalar _ | Wait_mem _ | Signal_mem _ | Signal_mem_if_unsent _
+  | Signal_null _ | Signal_null_if_unsent _ ->
+    []
+
+let operand_uses = function
+  | Reg r -> [ r ]
+  | Imm _ -> []
+
+let uses (i : t) : reg list =
+  match i.kind with
+  | Bin (_, _, a, b) -> operand_uses a @ operand_uses b
+  | Mov (_, a) | Load (_, a) | Print a | Input (_, a)
+  | Signal_scalar (_, a) | Signal_mem (_, a) | Signal_mem_if_unsent (_, a) ->
+    operand_uses a
+  | Store (a, v) -> operand_uses a @ operand_uses v
+  | Call (_, _, args) -> List.concat_map operand_uses args
+  | Sync_load (_, _, a) -> operand_uses a
+  (* A wait both defines and (sequentially) preserves its register: under
+     sequential semantics it is the identity, so the prior value is live
+     into it.  Modeling it as a use keeps liveness sound for both
+     speculative and sequential executions. *)
+  | Wait_scalar (_, d) -> [ d ]
+  | Input_len _ | Wait_mem _ | Signal_null _ | Signal_null_if_unsent _ -> []
+
+let term_uses = function
+  | Jmp _ -> []
+  | Br (c, _, _) -> operand_uses c
+  | Ret (Some o) -> operand_uses o
+  | Ret None -> []
+
+let successors = function
+  | Jmp l -> [ l ]
+  | Br (_, a, b) -> if a = b then [ a ] else [ a; b ]
+  | Ret _ -> []
+
+let is_memory_access (i : t) =
+  match i.kind with
+  | Load _ | Store _ | Sync_load _ -> true
+  | Bin _ | Mov _ | Call _ | Print _ | Input _ | Input_len _ | Wait_scalar _
+  | Signal_scalar _ | Wait_mem _ | Signal_mem _ | Signal_mem_if_unsent _
+  | Signal_null _ | Signal_null_if_unsent _ ->
+    false
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | Band -> "and"
+  | Bor -> "or"
+  | Bxor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b   (* workloads never trap *)
+  | Rem -> if b = 0 then 0 else a mod b
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a asr (b land 63)
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0

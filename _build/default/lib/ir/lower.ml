@@ -1,0 +1,385 @@
+module A = Lang.Ast
+module T = Lang.Tast
+
+type env = {
+  prog : Prog.t;
+  layout : Layout.t;
+  func : Func.t;
+  locals : (string, Instr.reg) Hashtbl.t;
+  mutable current : Instr.label;
+  (* Break/continue targets, innermost first. *)
+  mutable break_labels : Instr.label list;
+  mutable continue_labels : Instr.label list;
+  (* Set once the current block is terminated; further statements in the
+     (unreachable) tail go into a fresh dead block. *)
+  mutable terminated : bool;
+}
+
+let lower_binop (op : A.binop) : Instr.binop =
+  match op with
+  | A.Add -> Instr.Add
+  | A.Sub -> Instr.Sub
+  | A.Mul -> Instr.Mul
+  | A.Div -> Instr.Div
+  | A.Rem -> Instr.Rem
+  | A.Band -> Instr.Band
+  | A.Bor -> Instr.Bor
+  | A.Bxor -> Instr.Bxor
+  | A.Shl -> Instr.Shl
+  | A.Shr -> Instr.Shr
+  | A.Eq -> Instr.Eq
+  | A.Ne -> Instr.Ne
+  | A.Lt -> Instr.Lt
+  | A.Le -> Instr.Le
+  | A.Gt -> Instr.Gt
+  | A.Ge -> Instr.Ge
+  | A.Land | A.Lor -> assert false (* lowered to control flow *)
+
+let emit env ~what kind =
+  let iid = Prog.fresh_iid env.prog ~in_func:env.func.Func.name ~what in
+  let b = Func.block env.func env.current in
+  b.Func.instrs <- b.Func.instrs @ [ { Instr.iid; kind } ]
+
+let set_term env term =
+  let b = Func.block env.func env.current in
+  b.Func.term <- term;
+  env.terminated <- true
+
+let start_block env label =
+  env.current <- label;
+  env.terminated <- false
+
+(* Ensure the rest of the statement list lowers into a live block even after
+   a return/break: a fresh unreachable block swallows dead code. *)
+let ensure_open env =
+  if env.terminated then start_block env (Func.add_block env.func)
+
+let local_reg env name =
+  match Hashtbl.find_opt env.locals name with
+  | Some r -> r
+  | None -> failwith ("Lower: unbound local " ^ name)
+
+let pointee_size env (ty : A.ty) =
+  match ty with
+  | A.Tptr t -> Layout.sizeof env.layout t
+  | A.Tint | A.Tvoid | A.Tstruct _ -> 1
+
+(* Fold scaling of a constant index at lowering time. *)
+let scale (idx : Instr.operand) size : Instr.operand * bool =
+  if size = 1 then (idx, false)
+  else
+    match idx with
+    | Instr.Imm n -> (Instr.Imm (n * size), false)
+    | Instr.Reg _ -> (idx, true)
+
+let rec lower_value env (e : T.texpr) : Instr.operand =
+  match e.T.t with
+  | T.Tconst n -> Instr.Imm n
+  | T.Tnull -> Instr.Imm 0
+  | T.Tlocal name -> Instr.Reg (local_reg env name)
+  | T.Tglobal name -> begin
+    match e.T.ty with
+    | A.Tstruct _ ->
+      (* struct globals only appear as lvalues; value = address *)
+      Instr.Imm (Layout.global_addr env.layout name)
+    | A.Tint | A.Tptr _ | A.Tvoid ->
+      let dst = Func.fresh_reg env.func in
+      emit env ~what:(Printf.sprintf "load %s" name)
+        (Instr.Load (dst, Instr.Imm (Layout.global_addr env.layout name)));
+      Instr.Reg dst
+  end
+  | T.Tarray name -> Instr.Imm (Layout.global_addr env.layout name)
+  | T.Tbin ((A.Land | A.Lor) as op, a, b) -> lower_short_circuit env op a b
+  | T.Tbin (op, a, b) -> lower_arith env op a b
+  | T.Tun (A.Neg, a) ->
+    let va = lower_value env a in
+    let dst = Func.fresh_reg env.func in
+    emit env ~what:"neg" (Instr.Bin (Instr.Sub, dst, Instr.Imm 0, va));
+    Instr.Reg dst
+  | T.Tun (A.Not, a) ->
+    let va = lower_value env a in
+    let dst = Func.fresh_reg env.func in
+    emit env ~what:"not" (Instr.Bin (Instr.Eq, dst, va, Instr.Imm 0));
+    Instr.Reg dst
+  | T.Tderef _ | T.Tfield _ | T.Tdirect_field _ | T.Tindex _ -> begin
+    match e.T.ty with
+    | A.Tstruct _ ->
+      (* struct lvalue used as a value only as base of '.'/'&': address *)
+      lower_addr env e
+    | A.Tint | A.Tptr _ | A.Tvoid ->
+      let addr = lower_addr env e in
+      let dst = Func.fresh_reg env.func in
+      emit env ~what:(describe_load env addr) (Instr.Load (dst, addr));
+      Instr.Reg dst
+  end
+  | T.Taddr lv -> lower_addr env lv
+  | T.Tcall (name, args) ->
+    let vargs = List.map (lower_value env) args in
+    let dst = Func.fresh_reg env.func in
+    emit env ~what:("call " ^ name) (Instr.Call (Some dst, name, vargs));
+    Instr.Reg dst
+  | T.Tprint a ->
+    let va = lower_value env a in
+    emit env ~what:"print" (Instr.Print va);
+    Instr.Imm 0
+  | T.Tinput a ->
+    let va = lower_value env a in
+    let dst = Func.fresh_reg env.func in
+    emit env ~what:"input" (Instr.Input (dst, va));
+    Instr.Reg dst
+  | T.Tinput_len ->
+    let dst = Func.fresh_reg env.func in
+    emit env ~what:"input_len" (Instr.Input_len dst);
+    Instr.Reg dst
+
+and describe_load env (addr : Instr.operand) =
+  match addr with
+  | Instr.Imm a -> "load " ^ Layout.describe_addr env.layout a
+  | Instr.Reg _ -> "load *"
+
+and describe_store env (addr : Instr.operand) =
+  match addr with
+  | Instr.Imm a -> "store " ^ Layout.describe_addr env.layout a
+  | Instr.Reg _ -> "store *"
+
+and lower_arith env op a b =
+  let va = lower_value env a in
+  let vb = lower_value env b in
+  (* Scale pointer arithmetic by the pointee size. *)
+  let va, vb =
+    match op, a.T.ty, b.T.ty with
+    | (A.Add | A.Sub), A.Tptr _, A.Tint ->
+      let size = pointee_size env a.T.ty in
+      let vb, needs_mul = scale vb size in
+      if needs_mul then begin
+        let scaled = Func.fresh_reg env.func in
+        emit env ~what:"scale"
+          (Instr.Bin (Instr.Mul, scaled, vb, Instr.Imm size));
+        (va, Instr.Reg scaled)
+      end
+      else (va, vb)
+    | A.Add, A.Tint, A.Tptr _ ->
+      let size = pointee_size env b.T.ty in
+      let va, needs_mul = scale va size in
+      if needs_mul then begin
+        let scaled = Func.fresh_reg env.func in
+        emit env ~what:"scale"
+          (Instr.Bin (Instr.Mul, scaled, va, Instr.Imm size));
+        (Instr.Reg scaled, vb)
+      end
+      else (va, vb)
+    | _, _, _ -> (va, vb)
+  in
+  let dst = Func.fresh_reg env.func in
+  emit env
+    ~what:(Instr.binop_to_string (lower_binop op))
+    (Instr.Bin (lower_binop op, dst, va, vb));
+  Instr.Reg dst
+
+and lower_short_circuit env op a b =
+  (* dst = a && b  ~>  if (a) dst = (b != 0) else dst = 0, via blocks *)
+  let dst = Func.fresh_reg env.func in
+  let va = lower_value env a in
+  let rhs_label = Func.add_block env.func in
+  let short_label = Func.add_block env.func in
+  let join_label = Func.add_block env.func in
+  (match op with
+  | A.Land -> set_term env (Instr.Br (va, rhs_label, short_label))
+  | A.Lor -> set_term env (Instr.Br (va, short_label, rhs_label))
+  | _ -> assert false);
+  start_block env rhs_label;
+  let vb = lower_value env b in
+  emit env ~what:"bool" (Instr.Bin (Instr.Ne, dst, vb, Instr.Imm 0));
+  set_term env (Instr.Jmp join_label);
+  start_block env short_label;
+  let short_value = match op with A.Land -> 0 | _ -> 1 in
+  emit env ~what:"bool" (Instr.Mov (dst, Instr.Imm short_value));
+  set_term env (Instr.Jmp join_label);
+  start_block env join_label;
+  Instr.Reg dst
+
+and lower_addr env (e : T.texpr) : Instr.operand =
+  match e.T.t with
+  | T.Tglobal name -> Instr.Imm (Layout.global_addr env.layout name)
+  | T.Tarray name -> Instr.Imm (Layout.global_addr env.layout name)
+  | T.Tderef p -> lower_value env p
+  | T.Tfield (p, sname, fname) ->
+    let base = lower_value env p in
+    let off = Layout.field_offset env.layout sname fname in
+    add_offset env base off
+  | T.Tdirect_field (lv, sname, fname) ->
+    let base = lower_addr env lv in
+    let off = Layout.field_offset env.layout sname fname in
+    add_offset env base off
+  | T.Tindex (b, i) ->
+    let base = lower_value env b in
+    let vi = lower_value env i in
+    let elem_size = Layout.sizeof env.layout e.T.ty in
+    let scaled, needs_mul = scale vi elem_size in
+    let offset_op =
+      if needs_mul then begin
+        let r = Func.fresh_reg env.func in
+        emit env ~what:"scale"
+          (Instr.Bin (Instr.Mul, r, scaled, Instr.Imm elem_size));
+        Instr.Reg r
+      end
+      else scaled
+    in
+    (match base, offset_op with
+    | Instr.Imm ba, Instr.Imm off -> Instr.Imm (ba + off)
+    | _, Instr.Imm 0 -> base
+    | _, _ ->
+      let r = Func.fresh_reg env.func in
+      emit env ~what:"addr" (Instr.Bin (Instr.Add, r, base, offset_op));
+      Instr.Reg r)
+  | T.Taddr lv -> lower_addr env lv
+  | T.Tconst _ | T.Tnull | T.Tlocal _ | T.Tbin _ | T.Tun _ | T.Tcall _
+  | T.Tprint _ | T.Tinput _ | T.Tinput_len ->
+    failwith "Lower: not an addressable expression"
+
+and add_offset env base off =
+  if off = 0 then base
+  else
+    match base with
+    | Instr.Imm b -> Instr.Imm (b + off)
+    | Instr.Reg _ ->
+      let r = Func.fresh_reg env.func in
+      emit env ~what:"addr" (Instr.Bin (Instr.Add, r, base, Instr.Imm off));
+      Instr.Reg r
+
+let rec lower_stmt env (s : T.tstmt) =
+  ensure_open env;
+  match s with
+  | T.Sassign (lhs, rhs) -> begin
+    match lhs.T.t with
+    | T.Tlocal name ->
+      let v = lower_value env rhs in
+      emit env ~what:("set " ^ name) (Instr.Mov (local_reg env name, v))
+    | _ ->
+      let addr = lower_addr env lhs in
+      let v = lower_value env rhs in
+      emit env ~what:(describe_store env addr) (Instr.Store (addr, v))
+  end
+  | T.Sif (cond, then_b, else_b) ->
+    let vc = lower_value env cond in
+    let then_label = Func.add_block env.func in
+    let else_label = Func.add_block env.func in
+    let join_label = Func.add_block env.func in
+    set_term env (Instr.Br (vc, then_label, else_label));
+    start_block env then_label;
+    List.iter (lower_stmt env) then_b;
+    if not env.terminated then set_term env (Instr.Jmp join_label);
+    start_block env else_label;
+    List.iter (lower_stmt env) else_b;
+    if not env.terminated then set_term env (Instr.Jmp join_label);
+    start_block env join_label
+  | T.Swhile (cond, body) ->
+    let header = Func.add_block env.func in
+    let body_label = Func.add_block env.func in
+    let exit_label = Func.add_block env.func in
+    set_term env (Instr.Jmp header);
+    start_block env header;
+    let vc = lower_value env cond in
+    set_term env (Instr.Br (vc, body_label, exit_label));
+    start_block env body_label;
+    env.break_labels <- exit_label :: env.break_labels;
+    env.continue_labels <- header :: env.continue_labels;
+    List.iter (lower_stmt env) body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels <- List.tl env.continue_labels;
+    if not env.terminated then set_term env (Instr.Jmp header);
+    start_block env exit_label
+  | T.Sdo_while (body, cond) ->
+    let header = Func.add_block env.func in
+    let exit_label = Func.add_block env.func in
+    set_term env (Instr.Jmp header);
+    start_block env header;
+    env.break_labels <- exit_label :: env.break_labels;
+    env.continue_labels <- header :: env.continue_labels;
+    List.iter (lower_stmt env) body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels <- List.tl env.continue_labels;
+    if not env.terminated then begin
+      let vc = lower_value env cond in
+      set_term env (Instr.Br (vc, header, exit_label))
+    end;
+    start_block env exit_label
+  | T.Sfor (init, cond, step, body) ->
+    Option.iter (lower_stmt env) init;
+    ensure_open env;
+    let header = Func.add_block env.func in
+    let body_label = Func.add_block env.func in
+    let step_label = Func.add_block env.func in
+    let exit_label = Func.add_block env.func in
+    set_term env (Instr.Jmp header);
+    start_block env header;
+    (match cond with
+    | Some c ->
+      let vc = lower_value env c in
+      set_term env (Instr.Br (vc, body_label, exit_label))
+    | None -> set_term env (Instr.Jmp body_label));
+    start_block env body_label;
+    env.break_labels <- exit_label :: env.break_labels;
+    env.continue_labels <- step_label :: env.continue_labels;
+    List.iter (lower_stmt env) body;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels <- List.tl env.continue_labels;
+    if not env.terminated then set_term env (Instr.Jmp step_label);
+    start_block env step_label;
+    Option.iter (lower_stmt env) step;
+    if not env.terminated then set_term env (Instr.Jmp header);
+    start_block env exit_label
+  | T.Sreturn None -> set_term env (Instr.Ret None)
+  | T.Sreturn (Some e) ->
+    let v = lower_value env e in
+    set_term env (Instr.Ret (Some v))
+  | T.Sexpr e ->
+    let (_ : Instr.operand) = lower_value env e in
+    ()
+  | T.Sbreak -> begin
+    match env.break_labels with
+    | target :: _ -> set_term env (Instr.Jmp target)
+    | [] -> failwith "Lower: break outside loop"
+  end
+  | T.Scontinue -> begin
+    match env.continue_labels with
+    | target :: _ -> set_term env (Instr.Jmp target)
+    | [] -> failwith "Lower: continue outside loop"
+  end
+
+let lower_func prog layout (tf : T.tfunc) : Func.t =
+  let func = Func.create tf.T.tf_name (List.map fst tf.T.tf_params) in
+  let locals = Hashtbl.create 16 in
+  List.iter (fun (name, reg) -> Hashtbl.replace locals name reg) func.Func.params;
+  List.iter
+    (fun (name, _ty) ->
+      if not (Hashtbl.mem locals name) then
+        Hashtbl.replace locals name (Func.fresh_reg ~name func))
+    tf.T.tf_locals;
+  let entry = Func.add_block func in
+  assert (entry = Func.entry);
+  let env =
+    {
+      prog;
+      layout;
+      func;
+      locals;
+      current = entry;
+      break_labels = [];
+      continue_labels = [];
+      terminated = false;
+    }
+  in
+  List.iter (lower_stmt env) tf.T.tf_body;
+  if not env.terminated then set_term env (Instr.Ret None);
+  func
+
+let program (tp : T.tprogram) : Prog.t =
+  let layout = Layout.build tp in
+  let prog = Prog.create layout in
+  List.iter
+    (fun tf -> Prog.add_func prog (lower_func prog layout tf))
+    tp.T.tp_funcs;
+  prog
+
+let compile_source src = program (Lang.Sema.check_source src)

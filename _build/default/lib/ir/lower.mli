@@ -1,0 +1,16 @@
+(** Lowering from the typed AST to the register IR.
+
+    Conventions established here (and relied on by the passes):
+    - loop headers are the blocks that evaluate loop conditions
+      ([do]-loops: the first body block), so a natural-loop back edge always
+      targets the block a {!Region.t} names;
+    - locals/params live in registers for their whole function (no SSA);
+    - pointer arithmetic is scaled by the pointee size in words;
+    - short-circuit [&&]/[||] lower to control flow producing 0/1. *)
+
+(** Lower a checked program.  The result has no regions or synchronization
+    yet; those are added by the [tlscore] passes. *)
+val program : Lang.Tast.tprogram -> Prog.t
+
+(** Convenience for tests and examples: parse, check, lower. *)
+val compile_source : string -> Prog.t

@@ -1,0 +1,180 @@
+let constant_fold (f : Func.t) =
+  let folded = ref 0 in
+  Array.iter
+    (fun (b : Func.block) ->
+      b.Func.instrs <-
+        List.map
+          (fun (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Bin (op, d, Instr.Imm a, Instr.Imm bv) ->
+              incr folded;
+              { i with Instr.kind = Instr.Mov (d, Instr.Imm (Instr.eval_binop op a bv)) }
+            | _ -> i)
+          b.Func.instrs)
+    f.Func.blocks;
+  !folded
+
+let propagate_copies (f : Func.t) =
+  let rewritten = ref 0 in
+  Array.iter
+    (fun (b : Func.block) ->
+      (* reg -> known operand value within this block *)
+      let env : (Instr.reg, Instr.operand) Hashtbl.t = Hashtbl.create 16 in
+      let subst op =
+        match op with
+        | Instr.Reg r -> begin
+          match Hashtbl.find_opt env r with
+          | Some replacement ->
+            incr rewritten;
+            replacement
+          | None -> op
+        end
+        | Instr.Imm _ -> op
+      in
+      (* Invalidate every binding that reads or defines [r]. *)
+      let kill r =
+        Hashtbl.remove env r;
+        let stale =
+          Hashtbl.fold
+            (fun key value acc ->
+              match value with
+              | Instr.Reg src when src = r -> key :: acc
+              | _ -> acc)
+            env []
+        in
+        List.iter (Hashtbl.remove env) stale
+      in
+      b.Func.instrs <-
+        List.map
+          (fun (i : Instr.t) ->
+            let kind =
+              match i.Instr.kind with
+              | Instr.Bin (op, d, a, bv) -> Instr.Bin (op, d, subst a, subst bv)
+              | Instr.Mov (d, a) -> Instr.Mov (d, subst a)
+              | Instr.Load (d, a) -> Instr.Load (d, subst a)
+              | Instr.Store (a, v) -> Instr.Store (subst a, subst v)
+              | Instr.Call (d, name, args) ->
+                Instr.Call (d, name, List.map subst args)
+              | Instr.Print a -> Instr.Print (subst a)
+              | Instr.Input (d, a) -> Instr.Input (d, subst a)
+              | Instr.Signal_scalar (ch, a) -> Instr.Signal_scalar (ch, subst a)
+              | Instr.Sync_load (ch, d, a) -> Instr.Sync_load (ch, d, subst a)
+              | Instr.Signal_mem (ch, a) -> Instr.Signal_mem (ch, subst a)
+              | Instr.Signal_mem_if_unsent (ch, a) ->
+                Instr.Signal_mem_if_unsent (ch, subst a)
+              | ( Instr.Input_len _ | Instr.Wait_scalar _ | Instr.Wait_mem _
+                | Instr.Signal_null _ | Instr.Signal_null_if_unsent _ ) as k ->
+                k
+            in
+            let i = { i with Instr.kind } in
+            List.iter kill (Instr.defs i);
+            (match i.Instr.kind with
+            | Instr.Mov (d, (Instr.Imm _ as src)) -> Hashtbl.replace env d src
+            | Instr.Mov (d, (Instr.Reg s as src)) when s <> d ->
+              Hashtbl.replace env d src
+            | _ -> ());
+            i)
+          b.Func.instrs;
+      b.Func.term <-
+        (match b.Func.term with
+        | Instr.Br (c, a, bb) -> Instr.Br (subst c, a, bb)
+        | Instr.Ret (Some v) -> Instr.Ret (Some (subst v))
+        | (Instr.Jmp _ | Instr.Ret None) as t -> t))
+    f.Func.blocks;
+  !rewritten
+
+(* Liveness computed locally (the dataflow library sits above ir in the
+   build graph): a standard backward fixpoint at block granularity. *)
+module Int_set = Set.Make (Int)
+
+let block_live_out (f : Func.t) =
+  let n = Func.num_blocks f in
+  let live_in = Array.make n Int_set.empty in
+  let live_out = Array.make n Int_set.empty in
+  let transfer l out =
+    let b = f.Func.blocks.(l) in
+    let live = ref (Int_set.union out (Int_set.of_list (Instr.term_uses b.Func.term))) in
+    List.iter
+      (fun (i : Instr.t) ->
+        let after = List.fold_left (fun s d -> Int_set.remove d s) !live (Instr.defs i) in
+        live := List.fold_left (fun s u -> Int_set.add u s) after (Instr.uses i))
+      (List.rev b.Func.instrs);
+    !live
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for l = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Int_set.union acc live_in.(s))
+          Int_set.empty (Func.successors f l)
+      in
+      let inp = transfer l out in
+      if
+        (not (Int_set.equal out live_out.(l)))
+        || not (Int_set.equal inp live_in.(l))
+      then begin
+        live_out.(l) <- out;
+        live_in.(l) <- inp;
+        changed := true
+      end
+    done
+  done;
+  live_out
+
+let is_pure (i : Instr.t) =
+  match i.Instr.kind with
+  | Instr.Bin _ | Instr.Mov _ -> true
+  | _ -> false
+
+let eliminate_dead_code (f : Func.t) =
+  let removed = ref 0 in
+  let live_out = block_live_out f in
+  Array.iteri
+    (fun l (b : Func.block) ->
+      (* Backward scan within the block: a pure instruction whose defs are
+         all dead at its program point can go. *)
+      let live = ref (Int_set.union live_out.(l) (Int_set.of_list (Instr.term_uses b.Func.term))) in
+      let kept =
+        List.fold_left
+          (fun acc (i : Instr.t) ->
+            let defs = Instr.defs i in
+            let dead =
+              is_pure i && List.for_all (fun d -> not (Int_set.mem d !live)) defs
+            in
+            if dead then begin
+              incr removed;
+              acc
+            end
+            else begin
+              let after =
+                List.fold_left (fun s d -> Int_set.remove d s) !live defs
+              in
+              live :=
+                List.fold_left (fun s u -> Int_set.add u s) after (Instr.uses i);
+              i :: acc
+            end)
+          []
+          (List.rev b.Func.instrs)
+      in
+      b.Func.instrs <- kept)
+    f.Func.blocks;
+  !removed
+
+let run (p : Prog.t) =
+  let total = ref 0 in
+  List.iter
+    (fun (_, f) ->
+      let rec fixpoint rounds =
+        if rounds > 0 then begin
+          let changed =
+            constant_fold f + propagate_copies f + eliminate_dead_code f
+          in
+          total := !total + changed;
+          if changed > 0 then fixpoint (rounds - 1)
+        end
+      in
+      fixpoint 4)
+    p.Prog.funcs;
+  !total

@@ -1,0 +1,70 @@
+let operand f = function
+  | Instr.Reg r -> Func.reg_name f r
+  | Instr.Imm n -> string_of_int n
+
+let instr f (i : Instr.t) =
+  let op = operand f in
+  let body =
+    match i.Instr.kind with
+    | Instr.Bin (bop, d, a, b) ->
+      Printf.sprintf "%s = %s %s, %s" (Func.reg_name f d)
+        (Instr.binop_to_string bop) (op a) (op b)
+    | Instr.Mov (d, a) -> Printf.sprintf "%s = %s" (Func.reg_name f d) (op a)
+    | Instr.Load (d, a) ->
+      Printf.sprintf "%s = load [%s]" (Func.reg_name f d) (op a)
+    | Instr.Store (a, v) -> Printf.sprintf "store [%s], %s" (op a) (op v)
+    | Instr.Call (Some d, name, args) ->
+      Printf.sprintf "%s = call %s(%s)" (Func.reg_name f d) name
+        (String.concat ", " (List.map op args))
+    | Instr.Call (None, name, args) ->
+      Printf.sprintf "call %s(%s)" name
+        (String.concat ", " (List.map op args))
+    | Instr.Print a -> Printf.sprintf "print %s" (op a)
+    | Instr.Input (d, a) ->
+      Printf.sprintf "%s = input [%s]" (Func.reg_name f d) (op a)
+    | Instr.Input_len d -> Printf.sprintf "%s = input_len" (Func.reg_name f d)
+    | Instr.Wait_scalar (ch, d) ->
+      Printf.sprintf "%s = wait_scalar ch%d" (Func.reg_name f d) ch
+    | Instr.Signal_scalar (ch, a) ->
+      Printf.sprintf "signal_scalar ch%d, %s" ch (op a)
+    | Instr.Wait_mem ch -> Printf.sprintf "wait_mem ch%d" ch
+    | Instr.Sync_load (ch, d, a) ->
+      Printf.sprintf "%s = sync_load ch%d, [%s]" (Func.reg_name f d) ch (op a)
+    | Instr.Signal_mem (ch, a) ->
+      Printf.sprintf "signal_mem ch%d, [%s]" ch (op a)
+    | Instr.Signal_mem_if_unsent (ch, a) ->
+      Printf.sprintf "signal_mem_if_unsent ch%d, [%s]" ch (op a)
+    | Instr.Signal_null ch -> Printf.sprintf "signal_null ch%d" ch
+    | Instr.Signal_null_if_unsent ch ->
+      Printf.sprintf "signal_null_if_unsent ch%d" ch
+  in
+  Printf.sprintf "%4d: %s" i.Instr.iid body
+
+let terminator = function
+  | Instr.Jmp l -> Printf.sprintf "jmp L%d" l
+  | Instr.Br (c, a, b) ->
+    let c_str = match c with Instr.Reg r -> Printf.sprintf "r%d" r | Instr.Imm n -> string_of_int n in
+    Printf.sprintf "br %s, L%d, L%d" c_str a b
+  | Instr.Ret None -> "ret"
+  | Instr.Ret (Some o) ->
+    let o_str = match o with Instr.Reg r -> Printf.sprintf "r%d" r | Instr.Imm n -> string_of_int n in
+    Printf.sprintf "ret %s" o_str
+
+let func (f : Func.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "func %s(%s)  ; %d regs\n" f.Func.name
+       (String.concat ", " (List.map fst f.Func.params))
+       f.Func.nregs);
+  Array.iteri
+    (fun l (b : Func.block) ->
+      Buffer.add_string buf (Printf.sprintf "L%d:\n" l);
+      List.iter
+        (fun i -> Buffer.add_string buf ("  " ^ instr f i ^ "\n"))
+        b.Func.instrs;
+      Buffer.add_string buf ("  " ^ terminator b.Func.term ^ "\n"))
+    f.Func.blocks;
+  Buffer.contents buf
+
+let program (p : Prog.t) =
+  String.concat "\n" (List.map (fun (_, f) -> func f) p.Prog.funcs)

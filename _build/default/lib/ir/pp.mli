@@ -1,0 +1,7 @@
+(** Human-readable dumps of the IR, for [mrvcc --dump-ir] and debugging. *)
+
+val operand : Func.t -> Instr.operand -> string
+val instr : Func.t -> Instr.t -> string
+val terminator : Instr.terminator -> string
+val func : Func.t -> string
+val program : Prog.t -> string

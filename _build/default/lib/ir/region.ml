@@ -1,0 +1,31 @@
+(* A speculatively parallelized loop (the paper's "speculative region").
+
+   The loop structure is left intact in the IR; the TLS simulator enters
+   speculative mode when sequential control reaches [header] in [func], and
+   runs each iteration as an epoch.  Scalar channels carry loop-carried
+   register values (wait at epoch start, signal placed by the compiler);
+   memory channels carry compiler-synchronized memory-resident values. *)
+
+type scalar_channel = {
+  sc_id : Instr.channel;
+  sc_reg : Instr.reg;    (* the loop-carried register it forwards *)
+}
+
+type mem_group = {
+  mg_id : Instr.channel;
+  (* Static instruction ids synchronized by this group, for reporting and
+     for the Figure 11 attribution experiment. *)
+  mg_loads : Instr.iid list;
+  mg_stores : Instr.iid list;
+}
+
+type t = {
+  id : int;
+  func : string;                     (* function containing the loop *)
+  header : Instr.label;
+  blocks : Instr.label list;         (* labels of the natural loop *)
+  mutable scalar_channels : scalar_channel list;
+  mutable mem_groups : mem_group list;
+}
+
+let in_loop t label = List.mem label t.blocks

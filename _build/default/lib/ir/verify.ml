@@ -1,0 +1,69 @@
+let func (f : Func.t) =
+  let errors = ref [] in
+  let err fmt =
+    Printf.ksprintf
+      (fun msg -> errors := Printf.sprintf "%s: %s" f.Func.name msg :: !errors)
+      fmt
+  in
+  let n_blocks = Func.num_blocks f in
+  let check_reg what r =
+    if r < 0 || r >= f.Func.nregs then err "%s uses invalid register r%d" what r
+  in
+  let check_label what l =
+    if l < 0 || l >= n_blocks then err "%s targets invalid block L%d" what l
+  in
+  List.iter (fun (_, r) -> check_reg "parameter" r) f.Func.params;
+  if n_blocks = 0 then err "no blocks";
+  Array.iteri
+    (fun bl (b : Func.block) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          let where = Printf.sprintf "L%d/i%d" bl i.Instr.iid in
+          List.iter (check_reg where) (Instr.defs i);
+          List.iter (check_reg where) (Instr.uses i))
+        b.Func.instrs;
+      let where = Printf.sprintf "L%d terminator" bl in
+      List.iter (check_reg where) (Instr.term_uses b.Func.term);
+      List.iter (check_label where) (Instr.successors b.Func.term))
+    f.Func.blocks;
+  List.rev !errors
+
+let program (p : Prog.t) =
+  let errors = ref [] in
+  List.iter (fun (_, f) -> errors := !errors @ func f) p.Prog.funcs;
+  (* Calls resolve. *)
+  List.iter
+    (fun (fname, f) ->
+      Func.iter_instrs f (fun _ i ->
+          match i.Instr.kind with
+          | Instr.Call (_, callee, _) ->
+            if Prog.func_opt p callee = None then
+              errors :=
+                !errors
+                @ [
+                    Printf.sprintf "%s: call to undefined function %s" fname
+                      callee;
+                  ]
+          | _ -> ()))
+    p.Prog.funcs;
+  (* Instruction ids unique program-wide. *)
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun (fname, f) ->
+      Func.iter_instrs f (fun _ i ->
+          match Hashtbl.find_opt seen i.Instr.iid with
+          | Some other ->
+            errors :=
+              !errors
+              @ [
+                  Printf.sprintf "duplicate instruction id %d in %s and %s"
+                    i.Instr.iid other fname;
+                ]
+          | None -> Hashtbl.replace seen i.Instr.iid fname))
+    p.Prog.funcs;
+  !errors
+
+let check_exn p =
+  match program p with
+  | [] -> ()
+  | errs -> failwith ("IR verification failed:\n  " ^ String.concat "\n  " errs)

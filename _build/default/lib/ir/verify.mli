@@ -1,0 +1,17 @@
+(** IR well-formedness checker, run by tests after every transformation.
+
+    Checks per function: register operands and definitions within
+    [nregs]; terminator targets within the block array; parameter
+    registers valid.  Per program: call targets resolve (builtins are
+    instructions, so every [Call] must name a defined function);
+    instruction ids unique program-wide. *)
+
+(** [func f] returns the list of violations (empty = well-formed). *)
+val func : Func.t -> string list
+
+(** [program p] checks every function plus the inter-function rules. *)
+val program : Prog.t -> string list
+
+(** Raise [Failure] with a readable message if the program is ill-formed
+    (convenience for tests and pass pipelines). *)
+val check_exn : Prog.t -> unit

@@ -1,0 +1,1 @@
+lib/lang/tast.ml: Ast

@@ -1,0 +1,102 @@
+(* Abstract syntax of the mini-C workload language.
+
+   The language is a deliberately small C subset: word-sized integers,
+   pointers (with scaled arithmetic), named structs whose fields are all
+   word-sized (int or pointer), global scalars/arrays/structs, and
+   functions with int/pointer parameters.  Every scalar occupies one word
+   of the simulated address space. *)
+
+type pos = Token.pos
+
+(* Surface types.  [Tstruct] only appears behind pointers, as the element
+   type of a global array, or as the type of a global variable. *)
+type ty =
+  | Tint
+  | Tvoid
+  | Tptr of ty
+  | Tstruct of string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land
+  | Lor
+
+type unop = Neg | Not
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int of int
+  | Null
+  | Var of string                    (* local, parameter, or global scalar *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Deref of expr                    (* *e *)
+  | Field of expr * string           (* e->f  (e is a struct pointer) *)
+  | Direct_field of expr * string    (* e.f   (e is a global struct lvalue) *)
+  | Index of expr * expr             (* e[i]  (array global or pointer) *)
+  | Addr_of of expr                  (* &lvalue *)
+  | Call of string * expr list
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Assign of expr * expr            (* lvalue = expr *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Expr of expr                     (* expression statement (a call) *)
+  | Break
+  | Continue
+  | Decl of ty * string * expr option  (* local declaration with optional init *)
+
+type func = {
+  fname : string;
+  return_ty : ty;
+  params : (ty * string) list;
+  body : stmt list;
+  fpos : pos;
+}
+
+type global = {
+  gname : string;
+  gty : ty;                          (* element type for arrays *)
+  array_len : int option;            (* Some n for arrays *)
+  init : int option;                 (* scalar initializer *)
+  gpos : pos;
+}
+
+type struct_decl = {
+  sname : string;
+  fields : (ty * string) list;
+  stpos : pos;
+}
+
+type program = {
+  structs : struct_decl list;
+  globals : global list;
+  funcs : func list;
+}
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tvoid -> "void"
+  | Tptr t -> ty_to_string t ^ "*"
+  | Tstruct s -> "struct " ^ s

@@ -1,0 +1,163 @@
+exception Error of string * Token.pos
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let pos st : Token.pos = { line = st.line; col = st.col }
+
+let peek st = if st.off >= String.length st.src then '\000' else st.src.[st.off]
+
+let peek2 st =
+  if st.off + 1 >= String.length st.src then '\000' else st.src.[st.off + 1]
+
+let advance st =
+  if st.off < String.length st.src then begin
+    if st.src.[st.off] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.off <- st.off + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword_of_ident = function
+  | "int" -> Some Token.Kw_int
+  | "void" -> Some Token.Kw_void
+  | "struct" -> Some Token.Kw_struct
+  | "if" -> Some Token.Kw_if
+  | "else" -> Some Token.Kw_else
+  | "while" -> Some Token.Kw_while
+  | "do" -> Some Token.Kw_do
+  | "for" -> Some Token.Kw_for
+  | "return" -> Some Token.Kw_return
+  | "break" -> Some Token.Kw_break
+  | "continue" -> Some Token.Kw_continue
+  | "null" -> Some Token.Kw_null
+  | _ -> None
+
+let rec skip_trivia st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+    advance st;
+    skip_trivia st
+  | '/' when peek2 st = '/' ->
+    while peek st <> '\n' && peek st <> '\000' do
+      advance st
+    done;
+    skip_trivia st
+  | '/' when peek2 st = '*' ->
+    let start = pos st in
+    advance st;
+    advance st;
+    let rec loop () =
+      match peek st with
+      | '\000' -> raise (Error ("unterminated block comment", start))
+      | '*' when peek2 st = '/' ->
+        advance st;
+        advance st
+      | _ ->
+        advance st;
+        loop ()
+    in
+    loop ();
+    skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.off in
+  if peek st = '0' && (peek2 st = 'x' || peek2 st = 'X') then begin
+    advance st;
+    advance st;
+    while is_hex_digit (peek st) do
+      advance st
+    done
+  end
+  else
+    while is_digit (peek st) do
+      advance st
+    done;
+  let text = String.sub st.src start (st.off - start) in
+  int_of_string text
+
+let lex_ident st =
+  let start = st.off in
+  while is_ident_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.off - start)
+
+let next_token st : Token.spanned =
+  skip_trivia st;
+  let p = pos st in
+  let single tok =
+    advance st;
+    { Token.tok; pos = p }
+  in
+  let double tok =
+    advance st;
+    advance st;
+    { Token.tok; pos = p }
+  in
+  match peek st with
+  | '\000' -> { Token.tok = Token.Eof; pos = p }
+  | c when is_digit c -> { Token.tok = Token.Int_lit (lex_number st); pos = p }
+  | c when is_ident_start c ->
+    let name = lex_ident st in
+    let tok =
+      match keyword_of_ident name with
+      | Some kw -> kw
+      | None -> Token.Ident name
+    in
+    { Token.tok; pos = p }
+  | '(' -> single Token.Lparen
+  | ')' -> single Token.Rparen
+  | '{' -> single Token.Lbrace
+  | '}' -> single Token.Rbrace
+  | '[' -> single Token.Lbracket
+  | ']' -> single Token.Rbracket
+  | ';' -> single Token.Semi
+  | ',' -> single Token.Comma
+  | '.' -> single Token.Dot
+  | '+' -> single Token.Plus
+  | '-' -> if peek2 st = '>' then double Token.Arrow else single Token.Minus
+  | '*' -> single Token.Star
+  | '/' -> single Token.Slash
+  | '%' -> single Token.Percent
+  | '^' -> single Token.Caret
+  | '&' -> if peek2 st = '&' then double Token.Amp_amp else single Token.Amp
+  | '|' -> if peek2 st = '|' then double Token.Pipe_pipe else single Token.Pipe
+  | '=' -> if peek2 st = '=' then double Token.Eq_eq else single Token.Assign
+  | '!' -> if peek2 st = '=' then double Token.Bang_eq else single Token.Bang
+  | '<' ->
+    if peek2 st = '=' then double Token.Le
+    else if peek2 st = '<' then double Token.Shl
+    else single Token.Lt
+  | '>' ->
+    if peek2 st = '=' then double Token.Ge
+    else if peek2 st = '>' then double Token.Shr
+    else single Token.Gt
+  | c -> raise (Error (Printf.sprintf "unexpected character '%c'" c, p))
+
+let tokenize src =
+  let st = { src; off = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let t = next_token st in
+    match t.Token.tok with
+    | Token.Eof -> List.rev (t :: acc)
+    | _ -> loop (t :: acc)
+  in
+  loop []

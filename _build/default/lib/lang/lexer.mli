@@ -1,0 +1,10 @@
+(** Hand-written lexer for the mini-C workload language.
+
+    Supports decimal and hexadecimal integer literals, [//] line comments and
+    [/* ... */] block comments. *)
+
+exception Error of string * Token.pos
+
+(** [tokenize source] is the token list of [source], ending in [Eof].
+    @raise Error on an unrecognized character or unterminated comment. *)
+val tokenize : string -> Token.spanned list

@@ -1,0 +1,575 @@
+exception Error of string * Token.pos
+
+type state = { mutable toks : Token.spanned list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> { Token.tok = Token.Eof; pos = { line = 0; col = 0 } }
+
+let peek_tok st = (peek st).Token.tok
+
+let peek2_tok st =
+  match st.toks with
+  | _ :: t :: _ -> t.Token.tok
+  | _ -> Token.Eof
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let fail st msg =
+  let t = peek st in
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Token.describe t.tok), t.pos))
+
+let expect st tok =
+  let t = peek st in
+  if t.Token.tok = tok then advance st
+  else fail st (Printf.sprintf "expected %s" (Token.describe tok))
+
+let expect_ident st =
+  match peek_tok st with
+  | Token.Ident name ->
+    advance st;
+    name
+  | _ -> fail st "expected identifier"
+
+let expect_int st =
+  match peek_tok st with
+  | Token.Int_lit n ->
+    advance st;
+    n
+  | _ -> fail st "expected integer literal"
+
+(* A type begins with 'int', 'void', or a struct name.  We only know that an
+   identifier is a struct name from context: a declaration is recognized by
+   IDENT IDENT or IDENT '*' patterns. *)
+
+let rec parse_stars st base =
+  if peek_tok st = Token.Star then begin
+    advance st;
+    parse_stars st (Ast.Tptr base)
+  end
+  else base
+
+let parse_type st =
+  match peek_tok st with
+  | Token.Kw_int ->
+    advance st;
+    parse_stars st Ast.Tint
+  | Token.Kw_void ->
+    advance st;
+    parse_stars st Ast.Tvoid
+  | Token.Ident name ->
+    advance st;
+    parse_stars st (Ast.Tstruct name)
+  | _ -> fail st "expected type"
+
+(* Does the upcoming token sequence start a declaration?  True for
+   'int' ..., or IDENT followed by ('*' or IDENT). *)
+let starts_decl st =
+  match peek_tok st with
+  | Token.Kw_int -> true
+  | Token.Ident _ -> begin
+    match peek2_tok st with
+    | Token.Star | Token.Ident _ -> true
+    | _ -> false
+  end
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk pos desc : Ast.expr = { Ast.desc; pos }
+
+let rec parse_expr_prec st = parse_lor st
+
+and parse_lor st =
+  let lhs = parse_land st in
+  let rec loop lhs =
+    match peek_tok st with
+    | Token.Pipe_pipe ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_land st in
+      loop (mk p (Ast.Binop (Ast.Lor, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_land st =
+  let lhs = parse_bitor st in
+  let rec loop lhs =
+    match peek_tok st with
+    | Token.Amp_amp ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_bitor st in
+      loop (mk p (Ast.Binop (Ast.Land, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_bitor st =
+  let lhs = parse_bitxor st in
+  let rec loop lhs =
+    match peek_tok st with
+    | Token.Pipe ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_bitxor st in
+      loop (mk p (Ast.Binop (Ast.Bor, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_bitxor st =
+  let lhs = parse_bitand st in
+  let rec loop lhs =
+    match peek_tok st with
+    | Token.Caret ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_bitand st in
+      loop (mk p (Ast.Binop (Ast.Bxor, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_bitand st =
+  let lhs = parse_equality st in
+  let rec loop lhs =
+    match peek_tok st with
+    | Token.Amp ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_equality st in
+      loop (mk p (Ast.Binop (Ast.Band, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_equality st =
+  let lhs = parse_relational st in
+  let rec loop lhs =
+    match peek_tok st with
+    | Token.Eq_eq ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_relational st in
+      loop (mk p (Ast.Binop (Ast.Eq, lhs, rhs)))
+    | Token.Bang_eq ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_relational st in
+      loop (mk p (Ast.Binop (Ast.Ne, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_relational st =
+  let lhs = parse_shift st in
+  let rec loop lhs =
+    let op =
+      match peek_tok st with
+      | Token.Lt -> Some Ast.Lt
+      | Token.Le -> Some Ast.Le
+      | Token.Gt -> Some Ast.Gt
+      | Token.Ge -> Some Ast.Ge
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_shift st in
+      loop (mk p (Ast.Binop (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop lhs
+
+and parse_shift st =
+  let lhs = parse_additive st in
+  let rec loop lhs =
+    let op =
+      match peek_tok st with
+      | Token.Shl -> Some Ast.Shl
+      | Token.Shr -> Some Ast.Shr
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_additive st in
+      loop (mk p (Ast.Binop (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop lhs
+
+and parse_additive st =
+  let lhs = parse_multiplicative st in
+  let rec loop lhs =
+    let op =
+      match peek_tok st with
+      | Token.Plus -> Some Ast.Add
+      | Token.Minus -> Some Ast.Sub
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_multiplicative st in
+      loop (mk p (Ast.Binop (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop lhs
+
+and parse_multiplicative st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    let op =
+      match peek_tok st with
+      | Token.Star -> Some Ast.Mul
+      | Token.Slash -> Some Ast.Div
+      | Token.Percent -> Some Ast.Rem
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let p = (peek st).Token.pos in
+      advance st;
+      let rhs = parse_unary st in
+      loop (mk p (Ast.Binop (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let p = (peek st).Token.pos in
+  match peek_tok st with
+  | Token.Minus ->
+    advance st;
+    mk p (Ast.Unop (Ast.Neg, parse_unary st))
+  | Token.Bang ->
+    advance st;
+    mk p (Ast.Unop (Ast.Not, parse_unary st))
+  | Token.Star ->
+    advance st;
+    mk p (Ast.Deref (parse_unary st))
+  | Token.Amp ->
+    advance st;
+    mk p (Ast.Addr_of (parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec loop e =
+    let p = (peek st).Token.pos in
+    match peek_tok st with
+    | Token.Arrow ->
+      advance st;
+      let field = expect_ident st in
+      loop (mk p (Ast.Field (e, field)))
+    | Token.Dot ->
+      advance st;
+      let field = expect_ident st in
+      loop (mk p (Ast.Direct_field (e, field)))
+    | Token.Lbracket ->
+      advance st;
+      let idx = parse_expr_prec st in
+      expect st Token.Rbracket;
+      loop (mk p (Ast.Index (e, idx)))
+    | _ -> e
+  in
+  loop e
+
+and parse_primary st =
+  let t = peek st in
+  let p = t.Token.pos in
+  match t.Token.tok with
+  | Token.Int_lit n ->
+    advance st;
+    mk p (Ast.Int n)
+  | Token.Kw_null ->
+    advance st;
+    mk p Ast.Null
+  | Token.Lparen ->
+    advance st;
+    let e = parse_expr_prec st in
+    expect st Token.Rparen;
+    e
+  | Token.Ident name ->
+    advance st;
+    if peek_tok st = Token.Lparen then begin
+      advance st;
+      let args = parse_args st in
+      expect st Token.Rparen;
+      mk p (Ast.Call (name, args))
+    end
+    else mk p (Ast.Var name)
+  | _ -> fail st "expected expression"
+
+and parse_args st =
+  if peek_tok st = Token.Rparen then []
+  else begin
+    let first = parse_expr_prec st in
+    let rec loop acc =
+      if peek_tok st = Token.Comma then begin
+        advance st;
+        let e = parse_expr_prec st in
+        loop (e :: acc)
+      end
+      else List.rev acc
+    in
+    loop [ first ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mks pos sdesc : Ast.stmt = { Ast.sdesc; spos = pos }
+
+let rec parse_stmt st : Ast.stmt =
+  let t = peek st in
+  let p = t.Token.pos in
+  match t.Token.tok with
+  | Token.Kw_if ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr_prec st in
+    expect st Token.Rparen;
+    let then_body = parse_stmt_as_block st in
+    let else_body =
+      if peek_tok st = Token.Kw_else then begin
+        advance st;
+        parse_stmt_as_block st
+      end
+      else []
+    in
+    mks p (Ast.If (cond, then_body, else_body))
+  | Token.Kw_while ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr_prec st in
+    expect st Token.Rparen;
+    let body = parse_stmt_as_block st in
+    mks p (Ast.While (cond, body))
+  | Token.Kw_do ->
+    advance st;
+    let body = parse_stmt_as_block st in
+    expect st Token.Kw_while;
+    expect st Token.Lparen;
+    let cond = parse_expr_prec st in
+    expect st Token.Rparen;
+    expect st Token.Semi;
+    mks p (Ast.Do_while (body, cond))
+  | Token.Kw_for ->
+    advance st;
+    expect st Token.Lparen;
+    let init =
+      if peek_tok st = Token.Semi then None else Some (parse_simple_stmt st)
+    in
+    expect st Token.Semi;
+    let cond =
+      if peek_tok st = Token.Semi then None else Some (parse_expr_prec st)
+    in
+    expect st Token.Semi;
+    let step =
+      if peek_tok st = Token.Rparen then None else Some (parse_simple_stmt st)
+    in
+    expect st Token.Rparen;
+    let body = parse_stmt_as_block st in
+    mks p (Ast.For (init, cond, step, body))
+  | Token.Kw_return ->
+    advance st;
+    let value =
+      if peek_tok st = Token.Semi then None else Some (parse_expr_prec st)
+    in
+    expect st Token.Semi;
+    mks p (Ast.Return value)
+  | Token.Kw_break ->
+    advance st;
+    expect st Token.Semi;
+    mks p Ast.Break
+  | Token.Kw_continue ->
+    advance st;
+    expect st Token.Semi;
+    mks p Ast.Continue
+  | Token.Lbrace ->
+    (* Inline block: flattened into an If(true) would change scoping; we
+       keep blocks flat since locals are function-scoped. *)
+    let body = parse_block st in
+    mks p (Ast.If ({ Ast.desc = Ast.Int 1; pos = p }, body, []))
+  | _ ->
+    if starts_decl st then begin
+      let s = parse_decl st in
+      expect st Token.Semi;
+      s
+    end
+    else begin
+      let s = parse_simple_stmt st in
+      expect st Token.Semi;
+      s
+    end
+
+(* Declaration without the trailing semicolon. *)
+and parse_decl st : Ast.stmt =
+  let p = (peek st).Token.pos in
+  let ty = parse_type st in
+  let name = expect_ident st in
+  let init =
+    if peek_tok st = Token.Assign then begin
+      advance st;
+      Some (parse_expr_prec st)
+    end
+    else None
+  in
+  mks p (Ast.Decl (ty, name, init))
+
+(* Assignment or expression statement, without the trailing semicolon
+   (shared by 'for' headers and plain statements). *)
+and parse_simple_stmt st : Ast.stmt =
+  let p = (peek st).Token.pos in
+  let lhs = parse_expr_prec st in
+  if peek_tok st = Token.Assign then begin
+    advance st;
+    let rhs = parse_expr_prec st in
+    mks p (Ast.Assign (lhs, rhs))
+  end
+  else mks p (Ast.Expr lhs)
+
+and parse_stmt_as_block st : Ast.stmt list =
+  if peek_tok st = Token.Lbrace then parse_block st else [ parse_stmt st ]
+
+and parse_block st : Ast.stmt list =
+  expect st Token.Lbrace;
+  let rec loop acc =
+    if peek_tok st = Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_struct st : Ast.struct_decl =
+  let p = (peek st).Token.pos in
+  expect st Token.Kw_struct;
+  let sname = expect_ident st in
+  expect st Token.Lbrace;
+  let rec loop acc =
+    if peek_tok st = Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let ty = parse_type st in
+      let fname = expect_ident st in
+      expect st Token.Semi;
+      loop ((ty, fname) :: acc)
+    end
+  in
+  let fields = loop [] in
+  if peek_tok st = Token.Semi then advance st;
+  { Ast.sname; fields; stpos = p }
+
+let parse_params st =
+  if peek_tok st = Token.Rparen then []
+  else begin
+    let parse_one () =
+      let ty = parse_type st in
+      let name = expect_ident st in
+      (ty, name)
+    in
+    let first = parse_one () in
+    let rec loop acc =
+      if peek_tok st = Token.Comma then begin
+        advance st;
+        loop (parse_one () :: acc)
+      end
+      else List.rev acc
+    in
+    loop [ first ]
+  end
+
+(* Global variable or function, disambiguated by the token after the name. *)
+let parse_global_or_func st (acc_globals, acc_funcs) =
+  let p = (peek st).Token.pos in
+  let ty = parse_type st in
+  let name = expect_ident st in
+  match peek_tok st with
+  | Token.Lparen ->
+    advance st;
+    let params = parse_params st in
+    expect st Token.Rparen;
+    let body = parse_block st in
+    let f = { Ast.fname = name; return_ty = ty; params; body; fpos = p } in
+    (acc_globals, f :: acc_funcs)
+  | Token.Lbracket ->
+    advance st;
+    let len = expect_int st in
+    expect st Token.Rbracket;
+    expect st Token.Semi;
+    let g =
+      { Ast.gname = name; gty = ty; array_len = Some len; init = None; gpos = p }
+    in
+    (g :: acc_globals, acc_funcs)
+  | Token.Assign ->
+    advance st;
+    let neg =
+      if peek_tok st = Token.Minus then begin
+        advance st;
+        true
+      end
+      else false
+    in
+    let v = expect_int st in
+    expect st Token.Semi;
+    let v = if neg then -v else v in
+    let g =
+      { Ast.gname = name; gty = ty; array_len = None; init = Some v; gpos = p }
+    in
+    (g :: acc_globals, acc_funcs)
+  | Token.Semi ->
+    advance st;
+    let g =
+      { Ast.gname = name; gty = ty; array_len = None; init = None; gpos = p }
+    in
+    (g :: acc_globals, acc_funcs)
+  | _ -> fail st "expected '(', '[', '=' or ';' after top-level name"
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop structs globals funcs =
+    match peek_tok st with
+    | Token.Eof ->
+      {
+        Ast.structs = List.rev structs;
+        globals = List.rev globals;
+        funcs = List.rev funcs;
+      }
+    | Token.Kw_struct ->
+      let s = parse_struct st in
+      loop (s :: structs) globals funcs
+    | _ ->
+      let globals, funcs = parse_global_or_func st (globals, funcs) in
+      loop structs globals funcs
+  in
+  loop [] [] []
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr_prec st in
+  (match peek_tok st with
+  | Token.Eof -> ()
+  | _ -> fail st "trailing tokens after expression");
+  e

@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the mini-C workload language.
+
+    Grammar sketch (standard C precedence for expressions):
+    {v
+    program   ::= (struct | global | func)*
+    struct    ::= "struct" IDENT "{" (type IDENT ";")* "}" ";"?
+    type      ::= ("int" | IDENT) "*"*
+    global    ::= type IDENT ("[" INT "]")? ("=" INT)? ";"
+    func      ::= (type | "void") IDENT "(" params ")" block
+    stmt      ::= decl | assign | if | while | do-while | for | return
+                | break | continue | block | expr ";"
+    v} *)
+
+exception Error of string * Token.pos
+
+(** Parse a whole translation unit.  @raise Error on syntax errors. *)
+val parse_program : string -> Ast.program
+
+(** Parse a single expression (used by tests). *)
+val parse_expr : string -> Ast.expr

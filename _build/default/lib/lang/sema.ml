@@ -1,0 +1,404 @@
+exception Error of string * Token.pos
+
+type global_info = { g_ty : Ast.ty; g_is_array : bool }
+
+type env = {
+  structs : (string, (string * Ast.ty) list) Hashtbl.t;
+  globals : (string, global_info) Hashtbl.t;
+  funcs : (string, Ast.ty * Ast.ty list) Hashtbl.t;  (* return, params *)
+  locals : (string, Ast.ty) Hashtbl.t;               (* per-function *)
+  mutable decls : (string * Ast.ty) list;            (* collected locals *)
+  mutable current_return : Ast.ty;
+}
+
+let err pos fmt = Printf.ksprintf (fun msg -> raise (Error (msg, pos))) fmt
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Ast.Tint, Ast.Tint | Ast.Tvoid, Ast.Tvoid -> true
+  | Ast.Tptr a, Ast.Tptr b -> ty_equal a b
+  | Ast.Tstruct a, Ast.Tstruct b -> String.equal a b
+  | (Ast.Tint | Ast.Tvoid | Ast.Tptr _ | Ast.Tstruct _), _ -> false
+
+let is_pointer = function Ast.Tptr _ -> true | Ast.Tint | Ast.Tvoid | Ast.Tstruct _ -> false
+
+let is_scalar = function
+  | Ast.Tint | Ast.Tptr _ -> true
+  | Ast.Tvoid | Ast.Tstruct _ -> false
+
+(* [null] is assignment/comparison-compatible with every pointer type. *)
+let compatible ~(expected : Ast.ty) (e : Tast.texpr) =
+  ty_equal expected e.Tast.ty
+  || (is_pointer expected && e.Tast.t = Tast.Tnull)
+
+let struct_fields env pos name =
+  match Hashtbl.find_opt env.structs name with
+  | Some fields -> fields
+  | None -> err pos "unknown struct '%s'" name
+
+let field_ty env pos sname fname =
+  let fields = struct_fields env pos sname in
+  match List.assoc_opt fname fields with
+  | Some ty -> ty
+  | None -> err pos "struct '%s' has no field '%s'" sname fname
+
+(* Validate that a surface type is well-formed for the given context. *)
+let rec check_ty env pos ~allow_struct (ty : Ast.ty) =
+  match ty with
+  | Ast.Tint -> ()
+  | Ast.Tvoid -> err pos "'void' is only valid as a return type"
+  | Ast.Tptr inner -> check_ty env pos ~allow_struct:true inner
+  | Ast.Tstruct name ->
+    if not (Hashtbl.mem env.structs name) then
+      err pos "unknown type '%s'" name;
+    if not allow_struct then
+      err pos "struct '%s' can only be used behind a pointer or in globals"
+        name
+
+let mk ty pos t : Tast.texpr = { Tast.t; ty; pos }
+
+(* Is this typed expression a memory lvalue (lowerable to an address)? *)
+let is_memory_lvalue env (e : Tast.texpr) =
+  match e.Tast.t with
+  | Tast.Tglobal name -> Hashtbl.mem env.globals name
+  | Tast.Tderef _ | Tast.Tfield _ | Tast.Tdirect_field _ | Tast.Tindex _ ->
+    true
+  | Tast.Tconst _ | Tast.Tnull | Tast.Tlocal _ | Tast.Tarray _ | Tast.Tbin _
+  | Tast.Tun _ | Tast.Taddr _ | Tast.Tcall _ | Tast.Tprint _ | Tast.Tinput _
+  | Tast.Tinput_len ->
+    false
+
+let rec check_expr env (e : Ast.expr) : Tast.texpr =
+  let pos = e.Ast.pos in
+  match e.Ast.desc with
+  | Ast.Int n -> mk Ast.Tint pos (Tast.Tconst n)
+  | Ast.Null -> mk (Ast.Tptr Ast.Tint) pos Tast.Tnull
+  | Ast.Var name -> check_var env pos name
+  | Ast.Binop (op, a, b) -> check_binop env pos op a b
+  | Ast.Unop (op, a) ->
+    let ta = check_rvalue env a in
+    if not (ty_equal ta.Tast.ty Ast.Tint) then
+      err pos "unary operator requires an int operand";
+    mk Ast.Tint pos (Tast.Tun (op, ta))
+  | Ast.Deref inner ->
+    let ti = check_rvalue env inner in
+    (match ti.Tast.ty with
+    | Ast.Tptr pointee -> mk pointee pos (Tast.Tderef ti)
+    | Ast.Tint | Ast.Tvoid | Ast.Tstruct _ ->
+      err pos "cannot dereference a non-pointer")
+  | Ast.Field (base, fname) ->
+    let tb = check_rvalue env base in
+    (match tb.Tast.ty with
+    | Ast.Tptr (Ast.Tstruct sname) ->
+      let fty = field_ty env pos sname fname in
+      mk fty pos (Tast.Tfield (tb, sname, fname))
+    | Ast.Tint | Ast.Tvoid | Ast.Tptr _ | Ast.Tstruct _ ->
+      err pos "'->' requires a struct pointer")
+  | Ast.Direct_field (base, fname) ->
+    let tb = check_expr env base in
+    (match tb.Tast.ty with
+    | Ast.Tstruct sname ->
+      let fty = field_ty env pos sname fname in
+      mk fty pos (Tast.Tdirect_field (tb, sname, fname))
+    | Ast.Tint | Ast.Tvoid | Ast.Tptr _ ->
+      err pos "'.' requires a struct lvalue")
+  | Ast.Index (base, idx) ->
+    let tb = check_expr env base in
+    let ti = check_rvalue env idx in
+    if not (ty_equal ti.Tast.ty Ast.Tint) then
+      err pos "array index must be an int";
+    let elem_ty =
+      match tb.Tast.t, tb.Tast.ty with
+      | Tast.Tarray _, elem -> elem
+      | _, Ast.Tptr pointee -> pointee
+      | _, (Ast.Tint | Ast.Tvoid | Ast.Tstruct _) ->
+        err pos "indexing requires an array or pointer"
+    in
+    mk elem_ty pos (Tast.Tindex (tb, ti))
+  | Ast.Addr_of inner ->
+    let ti = check_expr env inner in
+    (match ti.Tast.t with
+    | Tast.Tlocal _ ->
+      err pos "cannot take the address of a register-resident local"
+    | Tast.Tarray name ->
+      (* &arr is the array base address *)
+      mk (Ast.Tptr ti.Tast.ty) pos (Tast.Tarray name)
+    | _ ->
+      if is_memory_lvalue env ti then
+        mk (Ast.Tptr ti.Tast.ty) pos (Tast.Taddr ti)
+      else err pos "'&' requires a memory lvalue")
+  | Ast.Call (name, args) -> check_call env pos name args
+
+and check_var env pos name =
+  match Hashtbl.find_opt env.locals name with
+  | Some ty -> mk ty pos (Tast.Tlocal name)
+  | None -> begin
+    match Hashtbl.find_opt env.globals name with
+    | Some { g_ty; g_is_array = true } -> mk g_ty pos (Tast.Tarray name)
+    | Some { g_ty; g_is_array = false } -> mk g_ty pos (Tast.Tglobal name)
+    | None -> err pos "unknown variable '%s'" name
+  end
+
+(* Struct-typed expressions are lvalues; everything else is already a value.
+   Arrays decay to pointers when used as values (handled by the caller
+   where needed). *)
+and check_rvalue env (e : Ast.expr) : Tast.texpr =
+  let te = check_expr env e in
+  match te.Tast.ty, te.Tast.t with
+  | Ast.Tstruct _, _ -> err e.Ast.pos "struct value used where a scalar is required"
+  | _, Tast.Tarray _ ->
+    (* Decay: array used as value has pointer-to-element type. *)
+    { te with Tast.ty = Ast.Tptr te.Tast.ty }
+  | _, _ -> te
+
+and check_binop env pos op a b =
+  let ta = check_rvalue env a in
+  let tb = check_rvalue env b in
+  let int_ty = Ast.Tint in
+  match op with
+  | Ast.Add | Ast.Sub -> begin
+    match ta.Tast.ty, tb.Tast.ty with
+    | Ast.Tint, Ast.Tint -> mk int_ty pos (Tast.Tbin (op, ta, tb))
+    | Ast.Tptr _, Ast.Tint -> mk ta.Tast.ty pos (Tast.Tbin (op, ta, tb))
+    | Ast.Tint, Ast.Tptr _ when op = Ast.Add ->
+      mk tb.Tast.ty pos (Tast.Tbin (op, ta, tb))
+    | _, _ -> err pos "invalid operand types for '+'/'-'"
+  end
+  | Ast.Mul | Ast.Div | Ast.Rem | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl
+  | Ast.Shr ->
+    if ty_equal ta.Tast.ty int_ty && ty_equal tb.Tast.ty int_ty then
+      mk int_ty pos (Tast.Tbin (op, ta, tb))
+    else err pos "arithmetic operator requires int operands"
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    let ok =
+      ty_equal ta.Tast.ty tb.Tast.ty
+      || (is_pointer ta.Tast.ty && tb.Tast.t = Tast.Tnull)
+      || (is_pointer tb.Tast.ty && ta.Tast.t = Tast.Tnull)
+    in
+    if not ok then err pos "comparison requires operands of the same type";
+    mk int_ty pos (Tast.Tbin (op, ta, tb))
+  | Ast.Land | Ast.Lor ->
+    let truthy t =
+      ty_equal t int_ty || is_pointer t
+    in
+    if truthy ta.Tast.ty && truthy tb.Tast.ty then
+      mk int_ty pos (Tast.Tbin (op, ta, tb))
+    else err pos "logical operator requires scalar operands"
+
+and check_call env pos name args =
+  match name, args with
+  | "print", [ arg ] ->
+    let ta = check_rvalue env arg in
+    if not (is_scalar ta.Tast.ty) then err pos "print requires a scalar";
+    mk Ast.Tvoid pos (Tast.Tprint ta)
+  | "print", _ -> err pos "print takes exactly one argument"
+  | "in", [ arg ] ->
+    let ta = check_rvalue env arg in
+    if not (ty_equal ta.Tast.ty Ast.Tint) then
+      err pos "in() requires an int index";
+    mk Ast.Tint pos (Tast.Tinput ta)
+  | "in", _ -> err pos "in() takes exactly one argument"
+  | "inlen", [] -> mk Ast.Tint pos Tast.Tinput_len
+  | "inlen", _ -> err pos "inlen() takes no arguments"
+  | _, _ -> begin
+    match Hashtbl.find_opt env.funcs name with
+    | None -> err pos "unknown function '%s'" name
+    | Some (ret, param_tys) ->
+      if List.length args <> List.length param_tys then
+        err pos "function '%s' expects %d argument(s)" name
+          (List.length param_tys);
+      let targs =
+        List.map2
+          (fun expected arg ->
+            let ta = check_rvalue env arg in
+            if not (compatible ~expected ta) then
+              err arg.Ast.pos
+                "argument type mismatch in call to '%s': expected %s, got %s"
+                name (Ast.ty_to_string expected)
+                (Ast.ty_to_string ta.Tast.ty);
+            ta)
+          param_tys args
+      in
+      mk ret pos (Tast.Tcall (name, targs))
+  end
+
+let check_lvalue env (e : Ast.expr) : Tast.texpr =
+  let te = check_expr env e in
+  match te.Tast.t with
+  | Tast.Tlocal _ -> te
+  | _ ->
+    if is_memory_lvalue env te then te
+    else err e.Ast.pos "expression is not assignable"
+
+let rec check_stmt env (s : Ast.stmt) : Tast.tstmt =
+  let pos = s.Ast.spos in
+  match s.Ast.sdesc with
+  | Ast.Assign (lhs, rhs) ->
+    let tl = check_lvalue env lhs in
+    (match tl.Tast.ty with
+    | Ast.Tstruct _ -> err pos "cannot assign whole structs"
+    | Ast.Tvoid -> err pos "cannot assign to void"
+    | Ast.Tint | Ast.Tptr _ -> ());
+    let tr = check_rvalue env rhs in
+    if not (compatible ~expected:tl.Tast.ty tr)
+       (* Pointers may be initialized from int 0 as well as null. *)
+       && not (is_pointer tl.Tast.ty && tr.Tast.t = Tast.Tconst 0)
+    then
+      err pos "assignment type mismatch: %s := %s"
+        (Ast.ty_to_string tl.Tast.ty)
+        (Ast.ty_to_string tr.Tast.ty);
+    Tast.Sassign (tl, tr)
+  | Ast.If (cond, then_b, else_b) ->
+    let tc = check_rvalue env cond in
+    Tast.Sif (tc, check_stmts env then_b, check_stmts env else_b)
+  | Ast.While (cond, body) ->
+    let tc = check_rvalue env cond in
+    Tast.Swhile (tc, check_stmts env body)
+  | Ast.Do_while (body, cond) ->
+    let tb = check_stmts env body in
+    let tc = check_rvalue env cond in
+    Tast.Sdo_while (tb, tc)
+  | Ast.For (init, cond, step, body) ->
+    let tinit = Option.map (check_stmt env) init in
+    let tcond = Option.map (check_rvalue env) cond in
+    let tstep = Option.map (check_stmt env) step in
+    Tast.Sfor (tinit, tcond, tstep, check_stmts env body)
+  | Ast.Return None ->
+    if not (ty_equal env.current_return Ast.Tvoid) then
+      err pos "non-void function must return a value";
+    Tast.Sreturn None
+  | Ast.Return (Some e) ->
+    let te = check_rvalue env e in
+    if ty_equal env.current_return Ast.Tvoid then
+      err pos "void function cannot return a value";
+    if not (compatible ~expected:env.current_return te) then
+      err pos "return type mismatch";
+    Tast.Sreturn (Some te)
+  | Ast.Expr e ->
+    let te = check_expr env e in
+    Tast.Sexpr te
+  | Ast.Break -> Tast.Sbreak
+  | Ast.Continue -> Tast.Scontinue
+  | Ast.Decl (ty, name, init) ->
+    check_ty env pos ~allow_struct:false ty;
+    if not (is_scalar ty) then
+      err pos "locals must be int or pointer typed";
+    if Hashtbl.mem env.locals name then
+      err pos "redeclaration of local '%s'" name;
+    Hashtbl.replace env.locals name ty;
+    env.decls <- (name, ty) :: env.decls;
+    (match init with
+    | None ->
+      (* Uninitialized locals read as 0; make that explicit. *)
+      Tast.Sassign
+        ( mk ty pos (Tast.Tlocal name),
+          mk Ast.Tint pos (Tast.Tconst 0) )
+    | Some e ->
+      let te = check_rvalue env e in
+      if
+        (not (compatible ~expected:ty te))
+        && not (is_pointer ty && te.Tast.t = Tast.Tconst 0)
+      then err pos "initializer type mismatch for '%s'" name;
+      Tast.Sassign (mk ty pos (Tast.Tlocal name), te))
+
+and check_stmts env stmts = List.map (check_stmt env) stmts
+
+let check_func env (f : Ast.func) : Tast.tfunc =
+  Hashtbl.reset env.locals;
+  env.decls <- [];
+  env.current_return <- f.Ast.return_ty;
+  List.iter
+    (fun (ty, name) ->
+      check_ty env f.Ast.fpos ~allow_struct:false ty;
+      if not (is_scalar ty) then
+        err f.Ast.fpos "parameter '%s' must be int or pointer typed" name;
+      if Hashtbl.mem env.locals name then
+        err f.Ast.fpos "duplicate parameter '%s'" name;
+      Hashtbl.replace env.locals name ty)
+    f.Ast.params;
+  let body = check_stmts env f.Ast.body in
+  {
+    Tast.tf_name = f.Ast.fname;
+    tf_return = f.Ast.return_ty;
+    tf_params = List.map (fun (ty, name) -> (name, ty)) f.Ast.params;
+    tf_locals = List.rev env.decls;
+    tf_body = body;
+  }
+
+let check (p : Ast.program) : Tast.tprogram =
+  let env =
+    {
+      structs = Hashtbl.create 16;
+      globals = Hashtbl.create 64;
+      funcs = Hashtbl.create 64;
+      locals = Hashtbl.create 64;
+      decls = [];
+      current_return = Ast.Tvoid;
+    }
+  in
+  List.iter
+    (fun (s : Ast.struct_decl) ->
+      if Hashtbl.mem env.structs s.Ast.sname then
+        err s.Ast.stpos "duplicate struct '%s'" s.Ast.sname;
+      (* Register the name first so self-referential pointers check. *)
+      Hashtbl.replace env.structs s.Ast.sname [];
+      List.iter
+        (fun (ty, fname) ->
+          check_ty env s.Ast.stpos ~allow_struct:false ty;
+          if not (is_scalar ty) then
+            err s.Ast.stpos "field '%s' must be int or pointer typed" fname)
+        s.Ast.fields;
+      let field_names = List.map snd s.Ast.fields in
+      let sorted = List.sort_uniq compare field_names in
+      if List.length sorted <> List.length field_names then
+        err s.Ast.stpos "duplicate field in struct '%s'" s.Ast.sname;
+      Hashtbl.replace env.structs s.Ast.sname
+        (List.map (fun (ty, fname) -> (fname, ty)) s.Ast.fields))
+    p.Ast.structs;
+  List.iter
+    (fun (g : Ast.global) ->
+      if Hashtbl.mem env.globals g.Ast.gname then
+        err g.Ast.gpos "duplicate global '%s'" g.Ast.gname;
+      check_ty env g.Ast.gpos ~allow_struct:true g.Ast.gty;
+      (match g.Ast.array_len with
+      | Some n when n <= 0 -> err g.Ast.gpos "array length must be positive"
+      | Some _ | None -> ());
+      (match g.Ast.init, g.Ast.gty with
+      | Some _, Ast.Tstruct _ ->
+        err g.Ast.gpos "struct globals cannot have scalar initializers"
+      | (Some _ | None), _ -> ());
+      Hashtbl.replace env.globals g.Ast.gname
+        { g_ty = g.Ast.gty; g_is_array = g.Ast.array_len <> None })
+    p.Ast.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem env.funcs f.Ast.fname then
+        err f.Ast.fpos "duplicate function '%s'" f.Ast.fname;
+      if List.mem f.Ast.fname [ "print"; "in"; "inlen" ] then
+        err f.Ast.fpos "'%s' is a builtin" f.Ast.fname;
+      (match f.Ast.return_ty with
+      | Ast.Tvoid -> ()
+      | ty -> check_ty env f.Ast.fpos ~allow_struct:false ty);
+      Hashtbl.replace env.funcs f.Ast.fname
+        (f.Ast.return_ty, List.map fst f.Ast.params))
+    p.Ast.funcs;
+  (match Hashtbl.find_opt env.funcs "main" with
+  | Some (Ast.Tvoid, []) -> ()
+  | Some _ ->
+    raise
+      (Error ("main must be 'void main()'", { Token.line = 0; col = 0 }))
+  | None ->
+    raise (Error ("missing 'void main()'", { Token.line = 0; col = 0 })));
+  let funcs = List.map (check_func env) p.Ast.funcs in
+  {
+    Tast.tp_structs =
+      List.map
+        (fun (s : Ast.struct_decl) ->
+          ( s.Ast.sname,
+            List.map (fun (ty, fname) -> (fname, ty)) s.Ast.fields ))
+        p.Ast.structs;
+    tp_globals = p.Ast.globals;
+    tp_funcs = funcs;
+  }
+
+let check_source src = check (Parser.parse_program src)

@@ -1,0 +1,20 @@
+(** Type checker: resolves names, checks types, and produces the typed AST
+    consumed by IR lowering.
+
+    Rules enforced:
+    - locals and parameters are [int] or pointer typed (register-resident;
+      their address cannot be taken — this is what makes the paper's scalar
+      vs. memory-resident distinction crisp in the workload language);
+    - struct-typed expressions are lvalues only (used via [.], [\[\]], [&]);
+    - pointer arithmetic is [ptr +/- int] (scaled in lowering), pointers
+      compare with [==]/[!=]/relational operators and [null];
+    - builtins: [print(int)], [in(int) -> int], [inlen() -> int];
+    - every program must define [void main()]. *)
+
+exception Error of string * Token.pos
+
+(** Typecheck a parsed program.  @raise Error on the first type error. *)
+val check : Ast.program -> Tast.tprogram
+
+(** Convenience: parse then check. *)
+val check_source : string -> Tast.tprogram

@@ -1,0 +1,56 @@
+(* Typed abstract syntax produced by {!Sema}.
+
+   Conventions:
+   - locals and parameters are register-resident scalars (their address
+     cannot be taken), matching the paper's "communicating scalars";
+   - global scalars, struct fields, and array elements are memory-resident;
+   - any expression of struct type is an lvalue and lowers to an address. *)
+
+type ty = Ast.ty
+
+type texpr = { t : tdesc; ty : ty; pos : Ast.pos }
+
+and tdesc =
+  | Tconst of int
+  | Tnull
+  | Tlocal of string                       (* register read *)
+  | Tglobal of string                      (* global scalar (memory) or
+                                              struct global (lvalue) *)
+  | Tarray of string                       (* global array, decays to base
+                                              address when used as a value *)
+  | Tbin of Ast.binop * texpr * texpr
+  | Tun of Ast.unop * texpr
+  | Tderef of texpr
+  | Tfield of texpr * string * string      (* pointer expr, struct, field *)
+  | Tdirect_field of texpr * string * string (* struct lvalue, struct, field *)
+  | Tindex of texpr * texpr                (* base (array or pointer), index *)
+  | Taddr of texpr                         (* address of a memory lvalue *)
+  | Tcall of string * texpr list
+  | Tprint of texpr                        (* builtin print(e) *)
+  | Tinput of texpr                        (* builtin in(i) *)
+  | Tinput_len                             (* builtin inlen() *)
+
+type tstmt =
+  | Sassign of texpr * texpr               (* lvalue, rvalue *)
+  | Sif of texpr * tstmt list * tstmt list
+  | Swhile of texpr * tstmt list
+  | Sdo_while of tstmt list * texpr
+  | Sfor of tstmt option * texpr option * tstmt option * tstmt list
+  | Sreturn of texpr option
+  | Sexpr of texpr
+  | Sbreak
+  | Scontinue
+
+type tfunc = {
+  tf_name : string;
+  tf_return : ty;
+  tf_params : (string * ty) list;
+  tf_locals : (string * ty) list;          (* declared locals, function scope *)
+  tf_body : tstmt list;
+}
+
+type tprogram = {
+  tp_structs : (string * (string * ty) list) list;  (* name -> fields *)
+  tp_globals : Ast.global list;
+  tp_funcs : tfunc list;
+}

@@ -1,0 +1,97 @@
+type t =
+  | Int_lit of int
+  | Ident of string
+  | Kw_int
+  | Kw_void
+  | Kw_struct
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_do
+  | Kw_for
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_null
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Arrow
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Shl
+  | Shr
+  | Eq_eq
+  | Bang_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Amp_amp
+  | Pipe_pipe
+  | Bang
+  | Eof
+
+type pos = { line : int; col : int }
+
+type spanned = { tok : t; pos : pos }
+
+let describe = function
+  | Int_lit n -> Printf.sprintf "integer literal %d" n
+  | Ident s -> Printf.sprintf "identifier '%s'" s
+  | Kw_int -> "'int'"
+  | Kw_void -> "'void'"
+  | Kw_struct -> "'struct'"
+  | Kw_if -> "'if'"
+  | Kw_else -> "'else'"
+  | Kw_while -> "'while'"
+  | Kw_do -> "'do'"
+  | Kw_for -> "'for'"
+  | Kw_return -> "'return'"
+  | Kw_break -> "'break'"
+  | Kw_continue -> "'continue'"
+  | Kw_null -> "'null'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Dot -> "'.'"
+  | Arrow -> "'->'"
+  | Assign -> "'='"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Percent -> "'%'"
+  | Amp -> "'&'"
+  | Pipe -> "'|'"
+  | Caret -> "'^'"
+  | Shl -> "'<<'"
+  | Shr -> "'>>'"
+  | Eq_eq -> "'=='"
+  | Bang_eq -> "'!='"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | Amp_amp -> "'&&'"
+  | Pipe_pipe -> "'||'"
+  | Bang -> "'!'"
+  | Eof -> "end of input"

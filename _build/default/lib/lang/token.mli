@@ -1,0 +1,56 @@
+(** Tokens of the mini-C workload language, with source positions. *)
+
+type t =
+  | Int_lit of int
+  | Ident of string
+  | Kw_int
+  | Kw_void
+  | Kw_struct
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_do
+  | Kw_for
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_null
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Arrow      (** [->] *)
+  | Assign     (** [=] *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp        (** [&]: unary address-of, binary bitwise and *)
+  | Pipe
+  | Caret
+  | Shl
+  | Shr
+  | Eq_eq
+  | Bang_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Amp_amp
+  | Pipe_pipe
+  | Bang
+  | Eof
+
+(** A position in the source: 1-based line and column. *)
+type pos = { line : int; col : int }
+
+type spanned = { tok : t; pos : pos }
+
+(** Human-readable token name for diagnostics. *)
+val describe : t -> string

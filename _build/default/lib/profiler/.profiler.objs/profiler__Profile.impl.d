@@ -1,0 +1,1 @@
+lib/profiler/profile.ml: Buffer Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+lib/profiler/runner.ml: Dataflow Hashtbl Int Ir List Profile Runtime Set

@@ -1,0 +1,1 @@
+lib/profiler/runner.mli: Ir Profile

@@ -1,0 +1,1 @@
+lib/runtime/code.ml: Array Hashtbl Ir List String

@@ -1,0 +1,1 @@
+lib/runtime/code.mli: Hashtbl Ir

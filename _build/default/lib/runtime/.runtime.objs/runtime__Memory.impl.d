@@ -1,0 +1,1 @@
+lib/runtime/memory.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/runtime/thread.ml: Array Code Hashtbl Ir List Memory Option

@@ -1,0 +1,1 @@
+lib/runtime/thread.mli: Code Ir Memory

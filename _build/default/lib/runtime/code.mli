@@ -1,0 +1,31 @@
+(** Immutable execution snapshot of an IR program.
+
+    Block instruction lists become arrays for O(1) program-counter
+    indexing; taken after all compiler passes have run. *)
+
+type cblock = {
+  instrs : Ir.Instr.t array;
+  term : Ir.Instr.terminator;
+}
+
+type cfunc = {
+  cf_name : string;
+  cf_nregs : int;
+  cf_params : Ir.Instr.reg list;
+  cf_blocks : cblock array;
+}
+
+type t = {
+  funcs : (string, cfunc) Hashtbl.t;
+  layout : Ir.Layout.t;
+  regions : Ir.Region.t list;
+  initial_stores : (int * int) list;
+}
+
+val of_prog : Ir.Prog.t -> t
+
+(** @raise Not_found on unknown function. *)
+val func : t -> string -> cfunc
+
+(** Region keyed by (function, header), if one is registered. *)
+val region_at : t -> string -> Ir.Instr.label -> Ir.Region.t option

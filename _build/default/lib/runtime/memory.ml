@@ -1,0 +1,23 @@
+type t = (int, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 4096
+
+let copy = Hashtbl.copy
+
+let load t addr = match Hashtbl.find_opt t addr with Some v -> v | None -> 0
+
+let store t addr v =
+  if v = 0 then Hashtbl.remove t addr else Hashtbl.replace t addr v
+
+let store_all t pairs = List.iter (fun (a, v) -> store t a v) pairs
+
+let iter t k = Hashtbl.iter k t
+
+let footprint = Hashtbl.length
+
+let equal a b =
+  (* Zero-valued words are never stored, so plain containment both ways. *)
+  let subset x y =
+    Hashtbl.fold (fun addr v ok -> ok && load y addr = v) x true
+  in
+  subset a b && subset b a

@@ -1,0 +1,25 @@
+(** Flat word-addressed memory.  Uninitialized words read as 0; any address
+    (including garbage computed on speculative wrong paths) is readable and
+    writable without trapping. *)
+
+type t
+
+val create : unit -> t
+
+(** Copy-on-write-free deep copy (used to snapshot committed state). *)
+val copy : t -> t
+
+val load : t -> int -> int
+val store : t -> int -> int -> unit
+
+(** Apply a list of (addr, value) stores. *)
+val store_all : t -> (int * int) list -> unit
+
+(** Iterate over all written words (order unspecified). *)
+val iter : t -> (int -> int -> unit) -> unit
+
+(** Number of distinct written words. *)
+val footprint : t -> int
+
+(** Structural equality of contents, ignoring words equal to 0. *)
+val equal : t -> t -> bool

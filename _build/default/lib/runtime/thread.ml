@@ -1,0 +1,256 @@
+type frame = {
+  cfunc : Code.cfunc;
+  regs : int array;
+  mutable block : Ir.Instr.label;
+  mutable pc : int;
+  ret_to : Ir.Instr.reg option;
+  call_iid : Ir.Instr.iid;
+}
+
+type t = {
+  code : Code.t;
+  mutable frames : frame list;
+  input : int array;
+  mutable output : int list;
+  mutable icount : int;
+}
+
+type event =
+  | Exec of Ir.Instr.t
+  | Goto of string * Ir.Instr.label * Ir.Instr.label
+  | Return of string * int option
+
+type outcome =
+  | Ran of event
+  | Blocked
+  | Suspended
+  | Finished of int option
+
+type hooks = {
+  load : t -> Ir.Instr.t -> int -> int;
+  store : t -> Ir.Instr.t -> int -> int -> unit;
+  wait_scalar : t -> Ir.Instr.t -> Ir.Instr.channel -> int option;
+  signal_scalar : t -> Ir.Instr.t -> Ir.Instr.channel -> int -> unit;
+  wait_mem : t -> Ir.Instr.t -> Ir.Instr.channel -> bool;
+  sync_load : t -> Ir.Instr.t -> Ir.Instr.channel -> int -> int;
+  signal_mem : t -> Ir.Instr.t -> Ir.Instr.channel -> int -> unit;
+  signal_mem_if_unsent : t -> Ir.Instr.t -> Ir.Instr.channel -> int -> unit;
+  signal_null : t -> Ir.Instr.t -> Ir.Instr.channel -> unit;
+  signal_null_if_unsent : t -> Ir.Instr.t -> Ir.Instr.channel -> unit;
+  control : t -> target:Ir.Instr.label -> bool;
+}
+
+let current_regs t =
+  match t.frames with
+  | f :: _ -> f.regs
+  | [] -> [||]
+
+let sequential_hooks mem =
+  {
+    load = (fun _ _ addr -> Memory.load mem addr);
+    store = (fun _ _ addr v -> Memory.store mem addr v);
+    wait_scalar =
+      (fun t i _ch ->
+        (* Sequentially, the "forwarded" value is just the current one. *)
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Wait_scalar (_, dst) ->
+          Some (current_regs t).(dst)
+        | _ -> None);
+    signal_scalar = (fun _ _ _ _ -> ());
+    wait_mem = (fun _ _ _ -> true);
+    sync_load = (fun _ _ _ addr -> Memory.load mem addr);
+    signal_mem = (fun _ _ _ _ -> ());
+    signal_mem_if_unsent = (fun _ _ _ _ -> ());
+    signal_null = (fun _ _ _ -> ());
+    signal_null_if_unsent = (fun _ _ _ -> ());
+    control = (fun _ ~target:_ -> true);
+  }
+
+let create code ~func_name ~input =
+  let cf = Code.func code func_name in
+  let frame =
+    {
+      cfunc = cf;
+      regs = Array.make cf.Code.cf_nregs 0;
+      block = 0;
+      pc = 0;
+      ret_to = None;
+      call_iid = -1;
+    }
+  in
+  { code; frames = [ frame ]; input; output = []; icount = 0 }
+
+let create_from_frame code frame ~input =
+  { code; frames = [ frame ]; input; output = []; icount = 0 }
+
+let copy_frame f = { f with regs = Array.copy f.regs }
+
+let current_frame t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> failwith "Thread.current_frame: no frames"
+
+let depth t = List.length t.frames
+
+let operand_value regs = function
+  | Ir.Instr.Reg r -> regs.(r)
+  | Ir.Instr.Imm n -> n
+
+let next_instr t =
+  match t.frames with
+  | [] -> None
+  | f :: _ ->
+    let b = f.cfunc.Code.cf_blocks.(f.block) in
+    if f.pc < Array.length b.Code.instrs then Some b.Code.instrs.(f.pc)
+    else None
+
+let exec_instr t hooks (f : frame) (i : Ir.Instr.t) : outcome =
+  let regs = f.regs in
+  let v op = operand_value regs op in
+  let finish () =
+    f.pc <- f.pc + 1;
+    t.icount <- t.icount + 1;
+    Ran (Exec i)
+  in
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Bin (op, d, a, b) ->
+    regs.(d) <- Ir.Instr.eval_binop op (v a) (v b);
+    finish ()
+  | Ir.Instr.Mov (d, a) ->
+    regs.(d) <- v a;
+    finish ()
+  | Ir.Instr.Load (d, a) ->
+    regs.(d) <- hooks.load t i (v a);
+    finish ()
+  | Ir.Instr.Store (a, value) ->
+    hooks.store t i (v a) (v value);
+    finish ()
+  | Ir.Instr.Call (_, name, args) -> begin
+    match Hashtbl.find_opt t.code.Code.funcs name with
+    | None -> failwith ("Thread: call to unknown function " ^ name)
+    | Some callee ->
+      let callee_regs = Array.make callee.Code.cf_nregs 0 in
+      List.iteri
+        (fun idx arg ->
+          match List.nth_opt callee.Code.cf_params idx with
+          | Some preg -> callee_regs.(preg) <- v arg
+          | None -> ())
+        args;
+      f.pc <- f.pc + 1;
+      (* the call itself graduates *)
+      t.icount <- t.icount + 1;
+      let ret_to =
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Call (dst, _, _) -> dst
+        | _ -> None
+      in
+      let callee_frame =
+        {
+          cfunc = callee;
+          regs = callee_regs;
+          block = 0;
+          pc = 0;
+          ret_to;
+          call_iid = i.Ir.Instr.iid;
+        }
+      in
+      t.frames <- callee_frame :: t.frames;
+      Ran (Exec i)
+  end
+  | Ir.Instr.Print a ->
+    t.output <- v a :: t.output;
+    finish ()
+  | Ir.Instr.Input (d, a) ->
+    let idx = v a in
+    regs.(d) <-
+      (if idx >= 0 && idx < Array.length t.input then t.input.(idx) else 0);
+    finish ()
+  | Ir.Instr.Input_len d ->
+    regs.(d) <- Array.length t.input;
+    finish ()
+  | Ir.Instr.Wait_scalar (ch, d) -> begin
+    match hooks.wait_scalar t i ch with
+    | Some value ->
+      regs.(d) <- value;
+      finish ()
+    | None -> Blocked
+  end
+  | Ir.Instr.Signal_scalar (ch, a) ->
+    hooks.signal_scalar t i ch (v a);
+    finish ()
+  | Ir.Instr.Wait_mem ch ->
+    if hooks.wait_mem t i ch then finish () else Blocked
+  | Ir.Instr.Sync_load (ch, d, a) ->
+    regs.(d) <- hooks.sync_load t i ch (v a);
+    finish ()
+  | Ir.Instr.Signal_mem (ch, a) ->
+    hooks.signal_mem t i ch (v a);
+    finish ()
+  | Ir.Instr.Signal_mem_if_unsent (ch, a) ->
+    hooks.signal_mem_if_unsent t i ch (v a);
+    finish ()
+  | Ir.Instr.Signal_null ch ->
+    hooks.signal_null t i ch;
+    finish ()
+  | Ir.Instr.Signal_null_if_unsent ch ->
+    hooks.signal_null_if_unsent t i ch;
+    finish ()
+
+let exec_term t hooks (f : frame) : outcome =
+  let term = f.cfunc.Code.cf_blocks.(f.block).Code.term in
+  let goto target =
+    if hooks.control t ~target then begin
+      let from = f.block in
+      f.block <- target;
+      f.pc <- 0;
+      t.icount <- t.icount + 1;
+      Ran (Goto (f.cfunc.Code.cf_name, from, target))
+    end
+    else Suspended
+  in
+  match term with
+  | Ir.Instr.Jmp l -> goto l
+  | Ir.Instr.Br (c, a, b) ->
+    let cv = operand_value f.regs c in
+    goto (if cv <> 0 then a else b)
+  | Ir.Instr.Ret value ->
+    let rv = Option.map (operand_value f.regs) value in
+    t.icount <- t.icount + 1;
+    (match t.frames with
+    | [ _ ] ->
+      t.frames <- [];
+      Finished rv
+    | _ :: (caller :: _ as rest) ->
+      (match f.ret_to, rv with
+      | Some dst, Some v -> caller.regs.(dst) <- v
+      | Some dst, None -> caller.regs.(dst) <- 0
+      | None, _ -> ());
+      t.frames <- rest;
+      Ran (Return (f.cfunc.Code.cf_name, rv))
+    | [] -> failwith "Thread: step on finished thread")
+
+let step t hooks : outcome =
+  match t.frames with
+  | [] -> failwith "Thread: step on finished thread"
+  | f :: _ ->
+    let b = f.cfunc.Code.cf_blocks.(f.block) in
+    if f.pc < Array.length b.Code.instrs then
+      exec_instr t hooks f b.Code.instrs.(f.pc)
+    else exec_term t hooks f
+
+let output t = List.rev t.output
+
+let run_sequential ?(max_steps = 100_000_000) code ~input mem =
+  Memory.store_all mem code.Code.initial_stores;
+  let t = create code ~func_name:"main" ~input in
+  let hooks = sequential_hooks mem in
+  let rec loop () =
+    if t.icount > max_steps then
+      failwith "Thread.run_sequential: step budget exceeded";
+    match step t hooks with
+    | Ran _ -> loop ()
+    | Blocked -> failwith "Thread.run_sequential: blocked"
+    | Suspended -> failwith "Thread.run_sequential: suspended"
+    | Finished _ -> output t
+  in
+  loop ()

@@ -1,0 +1,34 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Workload input generation and the simulator never consult the global
+    [Random] state, so every experiment is reproducible bit-for-bit. *)
+
+type t
+
+(** [create seed] is a fresh generator. *)
+val create : int64 -> t
+
+(** [of_int seed] is [create] on the sign-extended seed. *)
+val of_int : int -> t
+
+(** [split t] is a new generator statistically independent of [t]. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val next64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+(** [bool t p_num p_den] is [true] with probability [p_num/p_den]. *)
+val chance : t -> int -> int -> bool
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

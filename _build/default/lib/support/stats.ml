@@ -1,0 +1,47 @@
+let mean = function
+  | [] -> 0.0
+  | values ->
+    List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let geomean = function
+  | [] -> 0.0
+  | values ->
+    let log_sum =
+      List.fold_left
+        (fun acc v ->
+          if v <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+          acc +. log v)
+        0.0 values
+    in
+    exp (log_sum /. float_of_int (List.length values))
+
+let percent num den = if den = 0.0 then 0.0 else 100.0 *. num /. den
+
+let ratio num den = if den = 0.0 then 0.0 else num /. den
+
+let histogram bins values =
+  let rec check_increasing = function
+    | a :: (b :: _ as rest) ->
+      if a >= b then invalid_arg "Stats.histogram: bins must increase";
+      check_increasing rest
+    | [] | [ _ ] -> ()
+  in
+  check_increasing bins;
+  let bins_arr = Array.of_list bins in
+  let n = Array.length bins_arr in
+  let counts = Array.make n 0 in
+  let place v =
+    (* Last bin whose lower bound is <= v. *)
+    let rec loop i =
+      if i < 0 then ()
+      else if v >= bins_arr.(i) then counts.(i) <- counts.(i) + 1
+      else loop (i - 1)
+    in
+    loop (n - 1)
+  in
+  List.iter place values;
+  Array.to_list counts
+
+let round_to d v =
+  let scale = 10.0 ** float_of_int d in
+  Float.round (v *. scale) /. scale

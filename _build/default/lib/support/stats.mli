@@ -1,0 +1,23 @@
+(** Small numeric helpers used by profiles and the experiment harness. *)
+
+(** Arithmetic mean; 0.0 on the empty list. *)
+val mean : float list -> float
+
+(** Geometric mean; 0.0 on the empty list.
+    @raise Invalid_argument if any element is non-positive. *)
+val geomean : float list -> float
+
+(** [percent num den] is [100 * num / den] as a float; 0.0 when [den = 0]. *)
+val percent : float -> float -> float
+
+(** [ratio num den] is [num / den]; 0.0 when [den = 0]. *)
+val ratio : float -> float -> float
+
+(** [histogram bins values] counts how many values fall into each
+    half-open bin [\[b_i, b_{i+1})]; the last bin is open-ended.
+    [bins] must be strictly increasing; result has [length bins] cells,
+    cell [i] counting values in [\[bins_i, bins_{i+1})]. *)
+val histogram : int list -> int list -> int list
+
+(** Round to [d] decimal places. *)
+val round_to : int -> float -> float

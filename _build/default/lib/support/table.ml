@@ -1,0 +1,54 @@
+type align = Left | Right
+
+let pad align width s =
+  let deficit = width - String.length s in
+  if deficit <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make deficit ' '
+    | Right -> String.make deficit ' ' ^ s
+
+let default_aligns n = List.init n (fun i -> if i = 0 then Left else Right)
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | Some _ -> invalid_arg "Table.render: aligns length mismatch"
+    | None -> default_aligns ncols
+  in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then
+        invalid_arg "Table.render: row width mismatch")
+    rows;
+  let widths = Array.make ncols 0 in
+  let account row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  account header;
+  List.iter account rows;
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> pad (List.nth aligns i) widths.(i) cell)
+        row
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.sprintf "%s\n= %s =\n%s" bar title bar
+
+let float_cell d v = Printf.sprintf "%.*f" d v
+
+let pct_cell v = Printf.sprintf "%.1f" v

@@ -1,0 +1,21 @@
+(** Plain-text table rendering for experiment output.
+
+    All figures and tables of the paper are regenerated as aligned text
+    tables; this module owns the layout so every experiment prints
+    consistently. *)
+
+type align = Left | Right
+
+(** [render ~header rows] lays out columns to their widest cell.  Numeric
+    alignment is chosen per column via [aligns]; defaults to [Left] for the
+    first column and [Right] elsewhere. *)
+val render : ?aligns:align list -> header:string list -> string list list -> string
+
+(** [section title] is a visually distinct banner line for grouping output. *)
+val section : string -> string
+
+(** Format a float with [d] decimals (no trailing spaces). *)
+val float_cell : int -> float -> string
+
+(** Percentage cell with one decimal, e.g. ["42.5"]. *)
+val pct_cell : float -> string

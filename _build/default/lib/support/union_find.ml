@@ -1,0 +1,56 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let size t = Array.length t.parent
+
+let check t i =
+  if i < 0 || i >= size t then invalid_arg "Union_find: key out of range"
+
+let rec find t i =
+  check t i;
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then ri
+  else if t.rank.(ri) < t.rank.(rj) then begin
+    t.parent.(ri) <- rj;
+    rj
+  end
+  else if t.rank.(ri) > t.rank.(rj) then begin
+    t.parent.(rj) <- ri;
+    ri
+  end
+  else begin
+    t.parent.(rj) <- ri;
+    t.rank.(ri) <- t.rank.(ri) + 1;
+    ri
+  end
+
+let same t i j = find t i = find t j
+
+let classes t =
+  let n = size t in
+  let by_root = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let members = try Hashtbl.find by_root r with Not_found -> [] in
+    Hashtbl.replace by_root r (i :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) by_root []
+  |> List.sort compare
+
+let class_count t =
+  let n = size t in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if find t i = i then incr count
+  done;
+  !count

@@ -1,0 +1,29 @@
+(** Imperative union-find over dense integer keys [0..n-1], with path
+    compression and union by rank.  Used to form synchronization groups as
+    connected components of the frequent-dependence graph (paper §2.3). *)
+
+type t
+
+(** [create n] is a fresh structure with [n] singleton classes. *)
+val create : int -> t
+
+(** Number of keys the structure was created with. *)
+val size : t -> int
+
+(** [find t i] is the canonical representative of [i]'s class.
+    @raise Invalid_argument if [i] is out of range. *)
+val find : t -> int -> int
+
+(** [union t i j] merges the classes of [i] and [j]; returns the
+    representative of the merged class. *)
+val union : t -> int -> int -> int
+
+(** [same t i j] is [true] iff [i] and [j] are in the same class. *)
+val same : t -> int -> int -> bool
+
+(** [classes t] lists every equivalence class whose size is at least 1,
+    each as the list of its members in increasing order. *)
+val classes : t -> int list list
+
+(** Number of distinct classes. *)
+val class_count : t -> int

@@ -1,0 +1,1 @@
+lib/tls/cache.ml: Array

@@ -1,0 +1,1 @@
+lib/tls/hwsync.ml: Hashtbl Ir List

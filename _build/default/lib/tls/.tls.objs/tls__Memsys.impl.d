@@ -1,0 +1,1 @@
+lib/tls/memsys.ml: Array Cache Config

@@ -1,0 +1,1 @@
+lib/tls/oracle.ml: Array Hashtbl Int Ir List Runtime Set

@@ -1,0 +1,1 @@
+lib/tls/oracle.mli: Ir Runtime

@@ -1,0 +1,1 @@
+lib/tls/sim.ml: Array Config Hashtbl Hwsync Int Ir List Memsys Oracle Printf Runtime Set Simstats Vpred

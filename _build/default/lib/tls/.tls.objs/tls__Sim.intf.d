@@ -1,0 +1,1 @@
+lib/tls/sim.mli: Config Ir Oracle Runtime Simstats

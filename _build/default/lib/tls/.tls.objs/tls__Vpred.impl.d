@@ -1,0 +1,1 @@
+lib/tls/vpred.ml: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/tls/vpred.mli: Ir

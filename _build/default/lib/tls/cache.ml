@@ -1,0 +1,61 @@
+type t = {
+  sets : int;
+  ways : int;
+  (* tags.(set * ways + way); -1 = invalid. *)
+  tags : int array;
+  (* LRU stamps parallel to [tags]. *)
+  stamps : int array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~sets ~ways =
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.create: sets must be a positive power of two";
+  if ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  {
+    sets;
+    ways;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let find_way t set line =
+  let base = set * t.ways in
+  let rec loop w =
+    if w >= t.ways then None
+    else if t.tags.(base + w) = line then Some w
+    else loop (w + 1)
+  in
+  loop 0
+
+let probe t line =
+  let set = line land (t.sets - 1) in
+  find_way t set line <> None
+
+let access t line =
+  t.clock <- t.clock + 1;
+  let set = line land (t.sets - 1) in
+  let base = set * t.ways in
+  match find_way t set line with
+  | Some w ->
+    t.stamps.(base + w) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict LRU (or fill an invalid way). *)
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+    done;
+    t.tags.(base + !victim) <- line;
+    t.stamps.(base + !victim) <- t.clock;
+    false
+
+let hits t = t.hits
+let misses t = t.misses

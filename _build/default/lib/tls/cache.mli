@@ -1,0 +1,18 @@
+(** Set-associative cache with LRU replacement, used for latency modelling
+    only (hits/misses — coherence state is tracked by the simulator's
+    speculative sets, not here). *)
+
+type t
+
+(** [create ~sets ~ways] — [sets] must be a power of two. *)
+val create : sets:int -> ways:int -> t
+
+(** [access t line] touches a cache line (by line id): returns [true] on
+    hit.  On a miss, fills the line, evicting the LRU way. *)
+val access : t -> int -> bool
+
+(** Is the line present (no state change)? *)
+val probe : t -> int -> bool
+
+val hits : t -> int
+val misses : t -> int

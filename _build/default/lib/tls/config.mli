@@ -1,0 +1,86 @@
+(** Simulator configuration: the machine of Table 1 plus the experiment
+    mode knobs used across the paper's figures. *)
+
+module Iid_set : Set.S with type elt = int
+
+(** Which loads receive perfect (sequential) values — the paper's limit
+    studies: [Oracle_all] is Figure 2's O bars; [Oracle_set] is Figure 6's
+    frequency-threshold study and Figure 9's E bars. *)
+type oracle_mode =
+  | Oracle_none
+  | Oracle_all
+  | Oracle_set of Iid_set.t
+
+(** Timing of compiler-forwarded values (Figure 9):
+    [Forward_normal] — signal/wait over the interconnect;
+    [Forward_perfect] (E) — consumers never stall and receive the correct
+    value; [Forward_at_commit] (L) — synchronized loads stall until the
+    previous epoch commits. *)
+type forward_timing = Forward_normal | Forward_perfect | Forward_at_commit
+
+type t = {
+  (* Machine (Table 1). *)
+  num_procs : int;
+  issue_width : int;
+  lat_mul : int;
+  lat_div : int;
+  line_words : int;
+  l1_sets : int;
+  l1_ways : int;
+  l1_hit : int;
+  l2_sets : int;
+  l2_ways : int;
+  l2_hit : int;               (* minimum miss latency to secondary cache *)
+  mem_lat : int;              (* minimum miss latency to local memory *)
+  (* TLS mechanism costs. *)
+  spawn_overhead : int;       (* cycles before a spawned epoch may run *)
+  commit_overhead : int;      (* serialized commit cost *)
+  forward_latency : int;      (* signal -> wait communication delay *)
+  violation_penalty : int;    (* squash/restart cost *)
+  epoch_max_instrs : int;     (* runaway-speculation cap *)
+  max_restarts_before_hold : int;  (* after this many squashes, wait to be
+                                      the oldest epoch before re-running *)
+  (* Experiment modes. *)
+  stall_compiler_sync : bool; (* honor Wait_mem/Sync_load/Signal_mem *)
+  hw_sync_stall : bool;       (* [25]: stall table-marked loads *)
+  hw_value_predict : bool;    (* [25]: predict table-marked loads *)
+  (* The paper's §4.2 hybrid enhancements ("future work", implemented): *)
+  hw_skip_compiler_synced : bool;
+      (* coordinated hybrid: the hardware never stalls loads the compiler
+         already synchronizes, trusting the forwarded value *)
+  filter_useless_sync : bool;
+      (* the hardware filters out compiler-inserted synchronization that
+         rarely forwards a matching value: after [filter_window] waits on
+         a channel with a match rate below 1/4, consumers stop stalling *)
+  filter_window : int;
+  hw_table_size : int;
+  hw_reset_interval : int;    (* cycles between violating-loads resets *)
+  vpred_confidence : int;     (* confidence needed to use a prediction *)
+  vpred_stride : bool;        (* stride predictor instead of last-value *)
+  word_level_tracking : bool;
+      (* track speculative reads/writes at word rather than cache-line
+         granularity, as the per-word access bits of Cintra & Torrellas [8]
+         allow: false sharing then never violates (ablation knob) *)
+  oracle : oracle_mode;
+  forward_timing : forward_timing;
+}
+
+(** The machine of Table 1 with compiler synchronization honored and all
+    hardware mechanisms off (the paper's C configuration; clear
+    [stall_compiler_sync] for U). *)
+val default : t
+
+(** Named configurations matching the paper's bar labels. *)
+val u_mode : t   (* no memory sync stalls *)
+val c_mode : t   (* compiler-inserted sync *)
+val h_mode : t   (* hardware-inserted sync *)
+val p_mode : t   (* hardware value prediction *)
+val b_mode : t   (* hybrid: compiler + hardware *)
+
+(** The enhanced hybrid of the paper's §4.2 suggestions (iii)/(iv):
+    hardware skips compiler-synchronized loads and filters rarely-useful
+    compiler synchronization. *)
+val bplus_mode : t
+
+(** Render the Table 1 parameter block. *)
+val describe : t -> string

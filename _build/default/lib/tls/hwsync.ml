@@ -1,0 +1,51 @@
+type t = {
+  size : int;
+  reset_interval : int;
+  entries : (Ir.Instr.iid, int) Hashtbl.t;   (* iid -> LRU stamp *)
+  mutable clock : int;
+  mutable last_reset : int;
+  mutable resets : int;
+}
+
+let create ~size ~reset_interval =
+  {
+    size;
+    reset_interval;
+    entries = Hashtbl.create 64;
+    clock = 0;
+    last_reset = 0;
+    resets = 0;
+  }
+
+let record_violation t iid =
+  t.clock <- t.clock + 1;
+  if (not (Hashtbl.mem t.entries iid)) && Hashtbl.length t.entries >= t.size
+  then begin
+    (* Evict the LRU entry. *)
+    let victim =
+      Hashtbl.fold
+        (fun id stamp acc ->
+          match acc with
+          | Some (_, best) when best <= stamp -> acc
+          | _ -> Some (id, stamp))
+        t.entries None
+    in
+    match victim with
+    | Some (id, _) -> Hashtbl.remove t.entries id
+    | None -> ()
+  end;
+  Hashtbl.replace t.entries iid t.clock
+
+let marked t iid = Hashtbl.mem t.entries iid
+
+let tick t ~now =
+  if now - t.last_reset >= t.reset_interval then begin
+    Hashtbl.reset t.entries;
+    t.last_reset <- now;
+    t.resets <- t.resets + 1
+  end
+
+let contents t =
+  Hashtbl.fold (fun iid _ acc -> iid :: acc) t.entries [] |> List.sort compare
+
+let resets t = t.resets

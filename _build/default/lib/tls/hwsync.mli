@@ -1,0 +1,24 @@
+(** Hardware-inserted synchronization, after Steffan et al. [25]: a small
+    table of the (static) loads that recently caused violations.  A load
+    whose id is in the table is stalled until its epoch is the oldest
+    ("until the previous epoch completes").  The table is reset
+    periodically so infrequently-violating loads stop being synchronized
+    (paper §4.2). *)
+
+type t
+
+val create : size:int -> reset_interval:int -> t
+
+(** Record that this load caused a violation (insert / refresh, LRU). *)
+val record_violation : t -> Ir.Instr.iid -> unit
+
+(** Is the load currently marked for synchronization? *)
+val marked : t -> Ir.Instr.iid -> bool
+
+(** Advance time; clears the table when the reset interval elapses. *)
+val tick : t -> now:int -> unit
+
+(** Loads currently in the table. *)
+val contents : t -> Ir.Instr.iid list
+
+val resets : t -> int

@@ -1,0 +1,45 @@
+type t = {
+  cfg : Config.t;
+  l1 : Cache.t array;
+  l2 : Cache.t;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    l1 =
+      Array.init cfg.Config.num_procs (fun _ ->
+          Cache.create ~sets:cfg.Config.l1_sets ~ways:cfg.Config.l1_ways);
+    l2 = Cache.create ~sets:cfg.Config.l2_sets ~ways:cfg.Config.l2_ways;
+    l1_hits = 0;
+    l1_misses = 0;
+    l2_misses = 0;
+  }
+
+(* Floor division so negative (garbage speculative) addresses still map to
+   stable line ids. *)
+let line_of t addr =
+  let w = t.cfg.Config.line_words in
+  if addr >= 0 then addr / w else ((addr + 1) / w) - 1
+
+let access t ~proc ~addr =
+  let line = line_of t addr in
+  if Cache.access t.l1.(proc) line then begin
+    t.l1_hits <- t.l1_hits + 1;
+    t.cfg.Config.l1_hit
+  end
+  else begin
+    t.l1_misses <- t.l1_misses + 1;
+    if Cache.access t.l2 line then t.cfg.Config.l1_hit + t.cfg.Config.l2_hit
+    else begin
+      t.l2_misses <- t.l2_misses + 1;
+      t.cfg.Config.l1_hit + t.cfg.Config.l2_hit + t.cfg.Config.mem_lat
+    end
+  end
+
+let l1_hits t = t.l1_hits
+let l1_misses t = t.l1_misses
+let l2_misses t = t.l2_misses

@@ -1,0 +1,18 @@
+(** Memory-hierarchy latency model: per-processor private L1 data caches
+    backed by a shared L2 (Table 1).  Returns the access latency for each
+    load/store and maintains the cache state. *)
+
+type t
+
+val create : Config.t -> t
+
+(** [access t ~proc ~addr] — latency in cycles of a data access by
+    processor [proc] to word address [addr]. *)
+val access : t -> proc:int -> addr:int -> int
+
+(** Line id of a word address. *)
+val line_of : t -> int -> int
+
+val l1_hits : t -> int
+val l1_misses : t -> int
+val l2_misses : t -> int

@@ -1,0 +1,199 @@
+module Int_set = Set.Make (Int)
+
+type key = {
+  k_region : int;
+  k_instance : int;
+  k_iteration : int;
+  k_iid : Ir.Instr.iid;
+}
+
+type t = { values : (key, int array) Hashtbl.t }
+
+(* One tracked (possibly nested) region instance during the recording run. *)
+type active = {
+  a_region : int;
+  a_body : Int_set.t;
+  a_header : int;
+  a_recording : bool;          (* outermost instances only *)
+  a_instance : int;
+  mutable a_iteration : int;
+}
+
+type rec_state = {
+  by_func : (string, (int * int * Int_set.t) list) Hashtbl.t;
+  (* func -> (region_id, header, body) *)
+  mutable frame_actives : active list list;  (* parallel to the frame stack *)
+  mutable depth_actives : int;               (* number of active instances *)
+  counters : (int, int) Hashtbl.t;           (* region -> next instance id *)
+  acc : (key, int list ref) Hashtbl.t;
+}
+
+let current_recorder st =
+  let rec scan = function
+    | [] -> None
+    | actives :: rest -> begin
+      match List.find_opt (fun a -> a.a_recording) actives with
+      | Some a -> Some a
+      | None -> scan rest
+    end
+  in
+  scan st.frame_actives
+
+let record_value st iid v =
+  match current_recorder st with
+  | None -> ()
+  | Some a ->
+    let key =
+      {
+        k_region = a.a_region;
+        k_instance = a.a_instance;
+        k_iteration = a.a_iteration;
+        k_iid = iid;
+      }
+    in
+    let cell =
+      match Hashtbl.find_opt st.acc key with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.replace st.acc key c;
+        c
+    in
+    cell := v :: !cell
+
+let handle_goto st fname target =
+  match st.frame_actives with
+  | [] -> ()
+  | actives :: rest ->
+    let still, closed =
+      List.partition (fun a -> Int_set.mem target a.a_body) actives
+    in
+    st.depth_actives <- st.depth_actives - List.length closed;
+    let actives = still in
+    let actives =
+      match List.find_opt (fun a -> a.a_header = target) actives with
+      | Some a ->
+        a.a_iteration <- a.a_iteration + 1;
+        actives
+      | None -> begin
+        match Hashtbl.find_opt st.by_func fname with
+        | Some regions -> begin
+          match
+            List.find_opt (fun (_, header, _) -> header = target) regions
+          with
+          | Some (region_id, header, body) ->
+            let recording = st.depth_actives = 0 in
+            let instance =
+              if recording then begin
+                let n =
+                  match Hashtbl.find_opt st.counters region_id with
+                  | Some n -> n
+                  | None -> 0
+                in
+                Hashtbl.replace st.counters region_id (n + 1);
+                n
+              end
+              else -1
+            in
+            st.depth_actives <- st.depth_actives + 1;
+            {
+              a_region = region_id;
+              a_body = body;
+              a_header = header;
+              a_recording = recording;
+              a_instance = instance;
+              a_iteration = 1;
+            }
+            :: actives
+          | None -> actives
+        end
+        | None -> actives
+      end
+    in
+    st.frame_actives <- actives :: rest
+
+let handle_pop st =
+  match st.frame_actives with
+  | actives :: rest ->
+    st.depth_actives <- st.depth_actives - List.length actives;
+    st.frame_actives <- rest
+  | [] -> ()
+
+let record (code : Runtime.Code.t) ~input =
+  let by_func = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Ir.Region.t) ->
+      let prev =
+        match Hashtbl.find_opt by_func r.Ir.Region.func with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace by_func r.Ir.Region.func
+        ((r.Ir.Region.id, r.Ir.Region.header, Int_set.of_list r.Ir.Region.blocks)
+        :: prev))
+    code.Runtime.Code.regions;
+  let st =
+    {
+      by_func;
+      frame_actives = [ [] ];
+      depth_actives = 0;
+      counters = Hashtbl.create 8;
+      acc = Hashtbl.create 1024;
+    }
+  in
+  let mem = Runtime.Memory.create () in
+  Runtime.Memory.store_all mem code.Runtime.Code.initial_stores;
+  let base = Runtime.Thread.sequential_hooks mem in
+  let hooks =
+    {
+      base with
+      Runtime.Thread.load =
+        (fun t i addr ->
+          let v = base.Runtime.Thread.load t i addr in
+          record_value st i.Ir.Instr.iid v;
+          v);
+      sync_load =
+        (fun t i ch addr ->
+          let v = base.Runtime.Thread.sync_load t i ch addr in
+          record_value st i.Ir.Instr.iid v;
+          v);
+    }
+  in
+  let t = Runtime.Thread.create code ~func_name:"main" ~input in
+  let rec loop () =
+    match Runtime.Thread.step t hooks with
+    | Runtime.Thread.Ran (Runtime.Thread.Exec i) ->
+      (match i.Ir.Instr.kind with
+      | Ir.Instr.Call (_, _, _) ->
+        st.frame_actives <- [] :: st.frame_actives
+      | _ -> ());
+      loop ()
+    | Runtime.Thread.Ran (Runtime.Thread.Goto (fname, _from, target)) ->
+      handle_goto st fname target;
+      loop ()
+    | Runtime.Thread.Ran (Runtime.Thread.Return (_, _)) ->
+      handle_pop st;
+      loop ()
+    | Runtime.Thread.Blocked | Runtime.Thread.Suspended ->
+      failwith "Oracle.record: sequential execution blocked"
+    | Runtime.Thread.Finished _ -> ()
+  in
+  loop ();
+  let values = Hashtbl.create (Hashtbl.length st.acc) in
+  Hashtbl.iter
+    (fun key cell ->
+      Hashtbl.replace values key (Array.of_list (List.rev !cell)))
+    st.acc;
+  { values }
+
+let value t ~region ~instance ~iteration ~iid ~occurrence =
+  match
+    Hashtbl.find_opt t.values
+      { k_region = region; k_instance = instance; k_iteration = iteration; k_iid = iid }
+  with
+  | Some arr when occurrence >= 0 && occurrence < Array.length arr ->
+    Some arr.(occurrence)
+  | Some _ | None -> None
+
+let size t =
+  Hashtbl.fold (fun _ arr acc -> acc + Array.length arr) t.values 0

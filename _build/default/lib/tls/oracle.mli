@@ -1,0 +1,31 @@
+(** Perfect-value oracle for the paper's limit studies (Figure 2 "O",
+    Figure 6, Figure 9 "E").
+
+    A preparatory sequential run of the transformed program records, for
+    every top-level region instance and every epoch (iteration), the
+    sequence of values each static load observes.  During simulation an
+    oracle-covered load consumes the recorded value — i.e. it is
+    "perfectly predicted" — so it neither stalls nor speculates on
+    memory. *)
+
+type t
+
+(** Sequentially execute [code] on [input], recording load values inside
+    top-level region instances.  Instance numbering matches the TLS
+    simulator's activation order. *)
+val record : Runtime.Code.t -> input:int array -> t
+
+(** [value t ~region ~instance ~iteration ~iid ~occurrence] — the value of
+    the [occurrence]-th dynamic execution (0-based) of load [iid] in that
+    epoch, if recorded. *)
+val value :
+  t ->
+  region:int ->
+  instance:int ->
+  iteration:int ->
+  iid:Ir.Instr.iid ->
+  occurrence:int ->
+  int option
+
+(** Total recorded values (for tests). *)
+val size : t -> int

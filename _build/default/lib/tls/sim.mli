@@ -1,0 +1,46 @@
+(** The TLS chip-multiprocessor simulator.
+
+    Trace-driven and cycle-stepped: each simulated processor graduates up
+    to [issue_width] instructions per cycle from the epoch it is running,
+    with latencies from {!Memsys} and stalls from synchronization.
+    Sequential program phases run on processor 0 with the same pipeline
+    model; reaching a parallelized loop header switches to TLS mode.
+
+    Speculation model (DESIGN.md §4):
+    - epochs buffer stores; speculative loads read committed memory
+      overlaid with the epoch's own writes;
+    - violations are detected at store time (line in a younger epoch's
+      speculative-load set) and at commit time (write set vs younger load
+      sets); a violated epoch and all younger epochs squash and restart;
+    - compiler-forwarded values travel point-to-point over channels with
+      {!Config.t.forward_latency}; the signal address buffer violates the
+      consumer when the producer stores to an already-signaled address;
+    - epochs commit in order; a committed epoch whose exit leaves the loop
+      ends the region instance and discards all younger epochs. *)
+
+exception Deadlock of string
+
+(** Run a whole program under TLS.
+    @param oracle required when [cfg.oracle <> Oracle_none] or
+    [cfg.forward_timing = Forward_perfect].
+    @raise Deadlock on a synchronization protocol violation (a consumer
+    waits on a channel its completed predecessor never signaled). *)
+val run :
+  ?max_cycles:int ->
+  Config.t ->
+  Runtime.Code.t ->
+  input:int array ->
+  ?oracle:Oracle.t ->
+  unit ->
+  Simstats.result
+
+(** Sequential timed run (1 processor, same pipeline/cache model), tracking
+    cycles inside the loop extents of [track] — used to time the original
+    program as the normalization baseline. *)
+val run_sequential :
+  ?max_cycles:int ->
+  Config.t ->
+  Runtime.Code.t ->
+  input:int array ->
+  track:Ir.Region.t list ->
+  Simstats.seq_result

@@ -1,0 +1,64 @@
+(* Result records of the TLS simulator.
+
+   Slot accounting follows Figure 2's methodology: during parallel
+   execution, every cycle provides (issue width x processors) graduation
+   slots.  "busy" slots graduated an instruction of an epoch that
+   eventually committed; "sync" slots were spent stalled on wait
+   instructions (scalar or memory) of committed epochs; "fail" slots are
+   everything consumed by attempts that were later squashed or discarded;
+   "other" is the remainder (latency stalls, commit waits, idle
+   processors). *)
+
+type slots = {
+  mutable s_busy : int;
+  mutable s_sync : int;
+  mutable s_fail : int;
+  mutable s_other_stall : int;   (* latency stalls of committed attempts *)
+  mutable s_total : int;         (* wall slots: cycles x procs x width *)
+}
+
+let fresh_slots () =
+  { s_busy = 0; s_sync = 0; s_fail = 0; s_other_stall = 0; s_total = 0 }
+
+(* Everything not otherwise classified: latency stalls, commit waits, idle
+   processors. *)
+let other s = max 0 (s.s_total - s.s_busy - s.s_sync - s.s_fail)
+
+(* Violated loads classified by which scheme had marked them when the
+   violation happened (Figure 11). *)
+type attribution = {
+  mutable v_comp_only : int;
+  mutable v_hw_only : int;
+  mutable v_both : int;
+  mutable v_neither : int;
+}
+
+let fresh_attribution () =
+  { v_comp_only = 0; v_hw_only = 0; v_both = 0; v_neither = 0 }
+
+type result = {
+  total_cycles : int;
+  seq_cycles : int;               (* cycles outside speculative regions *)
+  region_cycles : int;            (* wall-clock cycles in TLS mode *)
+  slots : slots;
+  violations : int;               (* dependence violations (squash causes) *)
+  attribution : attribution;
+  epochs_committed : int;
+  epochs_squashed : int;
+  output : int list;
+  final_memory : Runtime.Memory.t;
+  max_signal_buffer : int;        (* peak signal-address-buffer occupancy *)
+  region_cycle_by_id : (int * int) list;  (* region id -> wall cycles *)
+  region_instances : (int * int) list;    (* region id -> activations *)
+  l1_miss_rate : float;
+  hw_marked_loads : int;          (* distinct loads ever in the hw table *)
+  vpred_predictions : int;
+}
+
+type seq_result = {
+  sq_cycles : int;
+  sq_region_cycles : (int * int) list;  (* region id -> cycles inside *)
+  sq_output : int list;
+  sq_memory : Runtime.Memory.t;
+  sq_instrs : int;
+}

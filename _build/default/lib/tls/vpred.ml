@@ -1,0 +1,45 @@
+type entry = {
+  mutable value : int;
+  mutable stride : int;
+  mutable confidence : int;
+}
+
+type t = {
+  stride_mode : bool;
+  entries : (Ir.Instr.iid, entry) Hashtbl.t;
+  mutable predictions : int;
+  mutable correct : int;
+}
+
+let create ~stride =
+  { stride_mode = stride; entries = Hashtbl.create 256; predictions = 0; correct = 0 }
+
+let max_confidence = 3
+
+let predicted_value t (e : entry) =
+  if t.stride_mode then e.value + e.stride else e.value
+
+let predict t iid ~confidence =
+  match Hashtbl.find_opt t.entries iid with
+  | Some e when e.confidence >= confidence ->
+    t.predictions <- t.predictions + 1;
+    Some (predicted_value t e)
+  | Some _ | None -> None
+
+let train t iid ~actual =
+  match Hashtbl.find_opt t.entries iid with
+  | Some e ->
+    if predicted_value t e = actual then begin
+      if e.confidence < max_confidence then e.confidence <- e.confidence + 1;
+      t.correct <- t.correct + 1
+    end
+    else begin
+      e.stride <- (if t.stride_mode then actual - e.value else 0);
+      e.confidence <- e.confidence / 2
+    end;
+    e.value <- actual
+  | None ->
+    Hashtbl.replace t.entries iid { value = actual; stride = 0; confidence = 1 }
+
+let predictions t = t.predictions
+let correct t = t.correct

@@ -1,0 +1,19 @@
+(** Value predictor with saturating confidence counters, after the
+    hardware value-prediction mechanism the paper compares against [25].
+    Indexed by static load id.  Two flavors: last-value (the paper's), and
+    stride (predicts last + observed stride) as an extension. *)
+
+type t
+
+(** [create ~stride:false] is the paper's last-value predictor. *)
+val create : stride:bool -> t
+
+(** Prediction for a load, if the predictor is confident enough. *)
+val predict : t -> Ir.Instr.iid -> confidence:int -> int option
+
+(** Train with the actual value; bumps confidence on a match, resets the
+    value and halves confidence on a mismatch. *)
+val train : t -> Ir.Instr.iid -> actual:int -> unit
+
+val predictions : t -> int
+val correct : t -> int

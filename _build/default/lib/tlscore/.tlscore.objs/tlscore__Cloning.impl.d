@@ -1,0 +1,1 @@
+lib/tlscore/cloning.ml: Array Edit Hashtbl Ir List Printf Profiler

@@ -1,0 +1,1 @@
+lib/tlscore/cloning.mli: Ir Profiler

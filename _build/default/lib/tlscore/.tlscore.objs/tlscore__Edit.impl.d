@@ -1,0 +1,1 @@
+lib/tlscore/edit.ml: Array Ir List

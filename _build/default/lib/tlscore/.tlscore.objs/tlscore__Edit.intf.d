@@ -1,0 +1,1 @@
+lib/tlscore/edit.mli: Ir

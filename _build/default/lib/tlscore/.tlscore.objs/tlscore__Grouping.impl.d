@@ -1,0 +1,1 @@
+lib/tlscore/grouping.ml: Array Hashtbl List Profiler Support

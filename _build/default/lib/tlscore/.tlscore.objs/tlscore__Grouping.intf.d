@@ -1,0 +1,1 @@
+lib/tlscore/grouping.mli: Profiler

@@ -1,0 +1,1 @@
+lib/tlscore/memsync.ml: Array Cloning Dataflow Edit Grouping Int Ir List Option Printf Profiler Set String

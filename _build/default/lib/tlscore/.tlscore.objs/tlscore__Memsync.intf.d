@@ -1,0 +1,1 @@
+lib/tlscore/memsync.mli: Ir Profiler

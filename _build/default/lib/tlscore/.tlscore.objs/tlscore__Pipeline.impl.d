@@ -1,0 +1,1 @@
+lib/tlscore/pipeline.ml: Ir List Memsync Option Profiler Regions Runtime Selection Unroll

@@ -1,0 +1,1 @@
+lib/tlscore/pipeline.mli: Ir Memsync Profiler Regions Runtime Selection

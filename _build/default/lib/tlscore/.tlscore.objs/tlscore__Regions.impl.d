@@ -1,0 +1,1 @@
+lib/tlscore/regions.ml: Dataflow Edit Hashtbl Ir List Option Printf Profiler

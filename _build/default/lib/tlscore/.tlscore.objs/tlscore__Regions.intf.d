@@ -1,0 +1,1 @@
+lib/tlscore/regions.mli: Ir Profiler

@@ -1,0 +1,1 @@
+lib/tlscore/selection.ml: Dataflow Float Ir List Profiler Regions String

@@ -1,0 +1,1 @@
+lib/tlscore/selection.mli: Ir Profiler

@@ -1,0 +1,1 @@
+lib/tlscore/unroll.ml: Dataflow Hashtbl Ir List Printf Profiler

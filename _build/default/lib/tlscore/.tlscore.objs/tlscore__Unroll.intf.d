@@ -1,0 +1,1 @@
+lib/tlscore/unroll.mli: Ir Profiler

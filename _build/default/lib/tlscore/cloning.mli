@@ -1,0 +1,26 @@
+(** Procedure cloning along the call paths of synchronized accesses
+    (paper §2.3, "Cloning").
+
+    Synchronization must only execute when a marked load/store is reached
+    through its profiled call path; this pass clones each procedure on such
+    a path and redirects exactly the call sites on the path to the clones.
+    Clones are shared between accesses with a common call-path prefix (a
+    trie of contexts), so the code expansion stays negligible. *)
+
+type result = {
+  (* Where each requested access ended up after cloning: the function that
+     now contains it and the (possibly fresh) instruction id. *)
+  resolve : Profiler.Profile.access -> string * Ir.Instr.iid;
+  clones_created : int;
+  instrs_added : int;       (* static instructions added by cloning *)
+}
+
+(** [apply prog ~region_func accesses] clones along every non-empty context
+    among [accesses].  Contexts are call-site instruction ids as recorded
+    by the profiler, rooted at the parallelized loop in [region_func].
+    @raise Failure if a context names an instruction that is not a call. *)
+val apply :
+  Ir.Prog.t ->
+  region_func:string ->
+  accesses:Profiler.Profile.access list ->
+  result

@@ -1,0 +1,52 @@
+type group = {
+  g_loads : Profiler.Profile.access list;
+  g_stores : Profiler.Profile.access list;
+}
+
+(* A vertex is an access plus its role; the same iid never plays both roles
+   (loads and stores are distinct instructions), but contexts distinguish
+   vertices with equal iids anyway. *)
+type vertex = Load_v of Profiler.Profile.access | Store_v of Profiler.Profile.access
+
+let groups (deps : Profiler.Profile.dep list) : group list =
+  let vertex_ids = Hashtbl.create 64 in
+  let vertices = ref [] in
+  let intern v =
+    match Hashtbl.find_opt vertex_ids v with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length vertex_ids in
+      Hashtbl.replace vertex_ids v i;
+      vertices := v :: !vertices;
+      i
+  in
+  let edges =
+    List.map
+      (fun (d : Profiler.Profile.dep) ->
+        ( intern (Store_v d.Profiler.Profile.producer),
+          intern (Load_v d.Profiler.Profile.consumer) ))
+      deps
+  in
+  let n = Hashtbl.length vertex_ids in
+  if n = 0 then []
+  else begin
+    let uf = Support.Union_find.create n in
+    List.iter (fun (a, b) -> ignore (Support.Union_find.union uf a b)) edges;
+    let vertex_arr = Array.make n (Load_v { Profiler.Profile.a_iid = -1; a_ctx = [] }) in
+    List.iter (fun v -> vertex_arr.(Hashtbl.find vertex_ids v) <- v) !vertices;
+    Support.Union_find.classes uf
+    |> List.map (fun members ->
+           let loads, stores =
+             List.fold_left
+               (fun (loads, stores) idx ->
+                 match vertex_arr.(idx) with
+                 | Load_v a -> (a :: loads, stores)
+                 | Store_v a -> (loads, a :: stores))
+               ([], []) members
+           in
+           {
+             g_loads = List.sort compare loads;
+             g_stores = List.sort compare stores;
+           })
+    |> List.sort compare
+  end

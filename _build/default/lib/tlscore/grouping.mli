@@ -1,0 +1,17 @@
+(** Grouping of synchronized accesses (paper §2.3, "Identifying frequently
+    occurring dependences").
+
+    Builds the dependence graph whose vertices are (instruction id, call
+    stack) accesses and whose edges are the frequent dependences, and
+    returns its connected components.  Each component becomes one
+    synchronization group, communicated over one forwarding channel. *)
+
+type group = {
+  g_loads : Profiler.Profile.access list;
+  g_stores : Profiler.Profile.access list;
+}
+
+(** Connected components of the frequent-dependence graph.  Accesses are
+    classified by the role they play in the dependences (producer = store,
+    consumer = load).  Deterministic order. *)
+val groups : Profiler.Profile.dep list -> group list

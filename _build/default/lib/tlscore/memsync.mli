@@ -1,0 +1,51 @@
+(** Memory-resident value synchronization (paper §2.2–2.3) — the core pass.
+
+    Given the dependence profile of a region, this pass:
+    + keeps only dependences occurring in at least [threshold] of epochs;
+    + groups the involved accesses (connected components, {!Grouping});
+    + clones procedures along the call paths of grouped accesses
+      ({!Cloning});
+    + before every grouped load, inserts [Wait_mem] and turns the load into
+      a [Sync_load] on the group's channel (the consumer-side
+      check/select of Figure 3(b) is implemented by the simulated
+      hardware);
+    + after every grouped store, inserts [Signal_mem] forwarding
+      (address, current value) — the producer-side signal address buffer
+      catches a later same-address store;
+    + releases consumers on paths that never produce: static-address
+      groups get guarded [Signal_mem_if_unsent] at the may-store-later
+      frontier (the value is still forwardable there); pointer-varying
+      groups get [Signal_null_if_unsent] at the loop latches, elided when
+      a forward must-execute dataflow proves every path stores.
+
+    Channel ids come from the program-global allocator, so the simulator
+    can tell a region's own channels from a nested region's. *)
+
+type stats = {
+  ms_groups : int;
+  ms_static_groups : int;         (* groups with a single static address:
+                                     signal placement decided by the
+                                     may-store-later dataflow *)
+  ms_sync_loads : int;
+  ms_sync_stores : int;           (* unconditional producer signals *)
+  ms_guarded_signals : int;       (* if-unsent signals at dataflow
+                                     frontiers (paths that may not store) *)
+  ms_clones : int;
+  ms_instrs_added : int;          (* static instrs added by cloning *)
+  ms_null_signals : int;          (* latch null-signals (pointer groups) *)
+  ms_elided_nulls : int;          (* groups proven to always produce *)
+}
+
+(** Apply the pass; updates [region.mem_groups] in place.  A region with no
+    frequent dependences is left untouched (zero stats).
+    @param eager_signals when [false], static-address groups are signaled
+    only at the loop latches instead of at the earliest point the
+    may-store-later dataflow allows — the ablation quantifying the paper's
+    "forward the value early" claim (default [true]). *)
+val apply :
+  ?eager_signals:bool ->
+  Ir.Prog.t ->
+  Ir.Region.t ->
+  Profiler.Profile.dep_profile ->
+  threshold:float ->
+  stats

@@ -1,0 +1,99 @@
+type memory_sync =
+  | No_memory_sync
+  | Profiled of { dep_input : int array; threshold : float }
+
+type compiled = {
+  prog : Ir.Prog.t;
+  code : Runtime.Code.t;
+  selected : Profiler.Profile.loop_key list;
+  loop_profile : Profiler.Profile.t;
+  dep_profiles : (Profiler.Profile.loop_key * Profiler.Profile.dep_profile) list;
+  mem_stats : (Profiler.Profile.loop_key * Memsync.stats) list;
+  scalar_infos : (Profiler.Profile.loop_key * Regions.scalar_info list) list;
+  unroll_factors : (Profiler.Profile.loop_key * int) list;
+}
+
+let original ~source = Ir.Lower.compile_source source
+
+let compile ?thresholds ?selection ?(unroll = true) ?(optimize = false)
+    ?(eager_signals = true) ~source ~profile_input ~memory_sync () =
+  (* Profile the untransformed program. *)
+  let reference = Ir.Lower.compile_source source in
+  if optimize then ignore (Ir.Opt.run reference);
+  let loop_profile =
+    Profiler.Runner.run reference ~input:profile_input ~watch:[]
+  in
+  let selected =
+    match selection with
+    | Some keys -> keys
+    | None -> Selection.select ?thresholds reference loop_profile
+  in
+  (* Small-loop unrolling (paper §3.1), applied identically to the
+     reference (so dependence profiling sees unrolled epochs) and to the
+     program being transformed — lowering and unrolling are deterministic,
+     so instruction ids agree between the two compiles. *)
+  let unroll_factors =
+    List.map
+      (fun key ->
+        ( key,
+          if unroll then Unroll.suggested_factor loop_profile key else 1 ))
+      selected
+  in
+  let apply_unrolling target =
+    List.iter
+      (fun (key, factor) ->
+        if factor > 1 then ignore (Unroll.apply target key ~factor))
+      unroll_factors
+  in
+  apply_unrolling reference;
+  let dep_profiles =
+    match memory_sync with
+    | No_memory_sync -> []
+    | Profiled { dep_input; _ } ->
+      if selected = [] then []
+      else begin
+        let p =
+          Profiler.Runner.run reference ~input:dep_input ~watch:selected
+        in
+        List.filter_map
+          (fun key ->
+            Option.map
+              (fun dp -> (key, dp))
+              (Profiler.Profile.dep_profile p key))
+          selected
+      end
+  in
+  (* Transform a fresh compile of the same source. *)
+  let prog = Ir.Lower.compile_source source in
+  if optimize then ignore (Ir.Opt.run prog);
+  apply_unrolling prog;
+  let regions_and_infos =
+    List.map (fun key -> (key, Regions.create prog key)) selected
+  in
+  let scalar_infos =
+    List.map (fun (key, (_, infos)) -> (key, infos)) regions_and_infos
+  in
+  let mem_stats =
+    match memory_sync with
+    | No_memory_sync -> []
+    | Profiled { threshold; _ } ->
+      List.filter_map
+        (fun (key, (region, _)) ->
+          match List.assoc_opt key dep_profiles with
+          | Some dp ->
+            Some (key, Memsync.apply ~eager_signals prog region dp ~threshold)
+          | None -> None)
+        regions_and_infos
+  in
+  Ir.Verify.check_exn prog;
+  let code = Runtime.Code.of_prog prog in
+  {
+    prog;
+    code;
+    selected;
+    loop_profile;
+    dep_profiles;
+    mem_stats;
+    scalar_infos;
+    unroll_factors;
+  }

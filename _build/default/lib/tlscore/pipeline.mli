@@ -1,0 +1,53 @@
+(** End-to-end compilation pipeline (paper §3.1):
+
+    source → lower → loop-profile → select regions → scalar sync
+    → (optionally) dependence-profile → memory sync → executable snapshot.
+
+    Profiling and transformation use separate compiles of the same source;
+    lowering is deterministic, so instruction ids and labels agree between
+    them (mirroring the paper's use of profiles gathered on one binary to
+    transform another build of the same program). *)
+
+type memory_sync =
+  | No_memory_sync
+  (* Profile dependences on this input, synchronize deps above threshold. *)
+  | Profiled of { dep_input : int array; threshold : float }
+
+type compiled = {
+  prog : Ir.Prog.t;
+  code : Runtime.Code.t;
+  selected : Profiler.Profile.loop_key list;
+  loop_profile : Profiler.Profile.t;
+  dep_profiles : (Profiler.Profile.loop_key * Profiler.Profile.dep_profile) list;
+  mem_stats : (Profiler.Profile.loop_key * Memsync.stats) list;
+  scalar_infos : (Profiler.Profile.loop_key * Regions.scalar_info list) list;
+  unroll_factors : (Profiler.Profile.loop_key * int) list;
+      (* factor applied per selected loop (1 = left alone) *)
+}
+
+(** Compile one configuration.
+    @param profile_input drives region selection (the paper's automatically
+    gathered loop profile).
+    @param selection overrides the heuristics (used by tests).
+    @param unroll applies the paper's small-loop unrolling (default true);
+    dependence profiling then runs on the unrolled program, so epochs and
+    frequencies refer to unrolled iterations.
+    @param optimize runs the scalar optimizer (fold/copy-prop/DCE) on both
+    compiles before any profiling or transformation (default false, so the
+    calibrated workload timings are those reported in EXPERIMENTS.md).
+    @param eager_signals see {!Memsync.apply} (ablation knob).
+    The resulting program is always checked by {!Ir.Verify}. *)
+val compile :
+  ?thresholds:Selection.thresholds ->
+  ?selection:Profiler.Profile.loop_key list ->
+  ?unroll:bool ->
+  ?optimize:bool ->
+  ?eager_signals:bool ->
+  source:string ->
+  profile_input:int array ->
+  memory_sync:memory_sync ->
+  unit ->
+  compiled
+
+(** The untransformed program of the same source (sequential reference). *)
+val original : source:string -> Ir.Prog.t

@@ -1,0 +1,42 @@
+(** Region creation and scalar synchronization (the baseline the paper
+    builds on, from Zhai et al. [32]).
+
+    For each selected loop this pass:
+    - identifies the {e communicating scalars}: registers live into the
+      loop header that are also defined inside the loop;
+    - allocates one forwarding channel per scalar;
+    - inserts a [Wait_scalar] at the top of the header (the epoch entry);
+    - inserts [Signal_scalar]s using an eager placement: directly after the
+      last definition when the definition site provably executes exactly
+      once per iteration and dominates every latch (this is the
+      "instruction scheduling to shrink the critical forwarding path" of
+      [32], restricted to the placement decision), and otherwise
+      conservatively at every latch. *)
+
+(** How the signal for a carried scalar was placed:
+    - [Hoisted]: the value is recomputed at the top of the epoch from the
+      waited value (induction-variable style: the single definition uses
+      only the scalar itself and loop invariants) and signaled immediately —
+      the shortest possible critical forwarding path;
+    - [Eager]: signal directly after the last definition (single defining
+      block that executes exactly once per iteration);
+    - [At_latch]: conservative signal at every latch. *)
+type placement = Hoisted | Eager | At_latch
+
+type scalar_info = {
+  si_reg : Ir.Instr.reg;
+  si_channel : Ir.Instr.channel;
+  si_placement : placement;
+}
+
+(** Create the region for a profiled loop, insert scalar synchronization,
+    and register the region with the program.
+    @raise Failure if the loop cannot be found. *)
+val create : Ir.Prog.t -> Profiler.Profile.loop_key -> Ir.Region.t * scalar_info list
+
+(** Non-mutating check used by region selection: is the loop serialized by
+    a carried scalar whose signal cannot be hoisted to the epoch top?
+    Such loops gain nothing even under ideal memory-value prediction, so
+    the paper's selection criterion would skip them.
+    @raise Failure if the loop cannot be found. *)
+val scalar_serialized : Ir.Prog.t -> Profiler.Profile.loop_key -> bool

@@ -1,0 +1,40 @@
+(** Region selection (paper §3.1, "Deciding Where to Parallelize").
+
+    A loop qualifies as a candidate if, in the loop profile:
+    - it covers at least 0.1% of total execution,
+    - it averages at least 1.5 epochs (iterations) per instance, and
+    - it averages at least 15 instructions per epoch.
+
+    Among candidates, loops are chosen greedily by estimated benefit
+    (coverage x achievable overlap on 4 processors), skipping any loop that
+    statically overlaps an already-chosen loop of the same function — the
+    paper's requirement that selected regions not be nested within each
+    other. *)
+
+type thresholds = {
+  min_coverage : float;        (* fraction, default 0.001 *)
+  min_epochs_per_instance : float;  (* default 1.5 *)
+  min_instrs_per_epoch : float;     (* default 15. *)
+  num_procs : int;             (* default 4 *)
+}
+
+val default_thresholds : thresholds
+
+type candidate = {
+  key : Profiler.Profile.loop_key;
+  coverage : float;
+  epochs_per_instance : float;
+  instrs_per_epoch : float;
+  benefit : float;
+}
+
+(** All loops that pass the three filters, best benefit first. *)
+val candidates :
+  ?thresholds:thresholds -> Ir.Prog.t -> Profiler.Profile.t -> candidate list
+
+(** The greedy non-overlapping choice. *)
+val select :
+  ?thresholds:thresholds ->
+  Ir.Prog.t ->
+  Profiler.Profile.t ->
+  Profiler.Profile.loop_key list

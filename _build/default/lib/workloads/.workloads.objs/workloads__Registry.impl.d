@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List String W_bzip2 W_crafty W_gap W_gcc W_go W_gzip_comp W_gzip_decomp W_ijpeg W_m88ksim W_mcf W_parser W_perlbmk W_twolf W_vpr Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_go.ml: Workload

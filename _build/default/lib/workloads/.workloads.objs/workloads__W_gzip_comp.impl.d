@@ -1,0 +1,1 @@
+lib/workloads/w_gzip_comp.ml: Array Workload

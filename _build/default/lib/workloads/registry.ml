@@ -1,0 +1,23 @@
+let all : Workload.t list =
+  [
+    W_go.workload;
+    W_m88ksim.workload;
+    W_ijpeg.workload;
+    W_gzip_comp.workload;
+    W_gzip_decomp.workload;
+    W_vpr.workload;
+    W_gcc.workload;
+    W_mcf.workload;
+    W_crafty.workload;
+    W_parser.workload;
+    W_perlbmk.workload;
+    W_gap.workload;
+    W_bzip2.comp;
+    W_bzip2.decomp;
+    W_twolf.workload;
+  ]
+
+let find name =
+  List.find_opt (fun (w : Workload.t) -> String.equal w.Workload.name name) all
+
+let names = List.map (fun (w : Workload.t) -> w.Workload.name) all

@@ -1,0 +1,8 @@
+(** The fifteen benchmarks of the paper's evaluation (Table 2 order). *)
+
+val all : Workload.t list
+
+(** Lookup by short name. *)
+val find : string -> Workload.t option
+
+val names : string list

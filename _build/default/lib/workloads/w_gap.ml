@@ -1,0 +1,73 @@
+(* 254.gap — computer algebra: a workspace bump allocator whose size is
+   only known at the END of each epoch, read again at the START of the
+   next: an inherently serial chain through memory (paper Table 2: region
+   "speedup" 0.92 — a slight loss; gap is nevertheless in the set whose
+   FAILED SPECULATION compiler sync removes, Figure 10).
+
+   Each epoch allocates a result cell after computing how much space its
+   term expansion needs: [heap_top] is loaded early but advanced late.
+   Without sync the early load of the next epoch always violates; with
+   compiler sync the load waits for the (late) signal — serialized, but
+   cheaper than the squash storm. *)
+
+let source =
+  {|
+int heap[16384];
+int heap_top = 0;
+int term_count = 0;
+int out_sig = 0;
+
+int workspace_base() {
+  return heap_top;
+}
+
+void finish_alloc(int base, int size) {
+  heap_top = base + size;
+  term_count = term_count + 1;
+}
+
+void main() {
+  int t;
+  int n;
+  int size;
+  int base;
+  int j;
+  int v;
+  n = inlen();
+  // Term-expansion loop: the speculative region.  The workspace base is
+  // read at the very top of the epoch; the term is expanded INTO the
+  // workspace while its size grows data-dependently; the bump pointer is
+  // only advanced at the very end, once the size is known.
+  for (t = 0; t < 650; t = t + 1) {
+    base = workspace_base();
+    size = 4;
+    v = in(t % n);
+    for (j = 0; j < 13 + (v % 11); j = j + 1) {
+      size = size + ((v >> (j % 7)) ^ (size << 1)) % 5;
+      if (j == 7) {
+        size = size + term_count % 2;
+      }
+      heap[(base + size) % 16384] = (t << 8) + j;
+      v = v * 3 + 1;
+    }
+    finish_alloc(base, size % 48 + 4);
+    out_sig = out_sig ^ (base + size);
+  }
+  print(heap_top);
+  print(term_count);
+  print(out_sig);
+}
+|}
+
+let workload : Workload.t =
+  {
+    name = "gap";
+    paper_name = "254.gap";
+    source;
+    train_input = Workload.input_vector ~seed:2424 ~n:44 ~bound:100000;
+    ref_input = Workload.input_vector ~seed:2525 ~n:60 ~bound:100000;
+    notes =
+      "bump allocator advanced by a size computed late in each epoch and \
+       needed early in the next: serial memory chain; sync trades squash \
+       storms for stalls (slight net loss vs sequential)";
+  }

@@ -1,0 +1,94 @@
+(* 176.gcc — compiler: a transformation pass over a worklist of
+   "instructions", with moderate-frequency dependences through shared
+   symbol-table state accessed via helpers.
+
+   Coverage is low (~18%): most time goes to sequential bookkeeping scans.
+   The pseudo-register counter is read+bumped through a helper on roughly
+   a third of epochs, early in the epoch, and a fold-count global late on
+   a smaller fraction.  Compiler synchronization forwards the counter
+   early and wins modestly (gcc is in the paper's improves-with-C set,
+   region speedup ~1.18). *)
+
+let source =
+  {|
+int insns[2048];
+int next_pseudo = 100;
+int fold_count = 0;
+int out_sig = 0;
+int scratch[512];
+
+int new_pseudo() {
+  int r;
+  r = next_pseudo;
+  next_pseudo = next_pseudo + 1;
+  return r;
+}
+
+int simplify(int op, int salt) {
+  int j;
+  int acc;
+  acc = op;
+  for (j = 0; j < 10 + salt % 19; j = j + 1) {
+    acc = acc + ((op >> (j % 6)) ^ (acc << 1)) % 127;
+  }
+  return acc;
+}
+
+// Tight sequential scan, below the epoch-size floor.
+int live_scan(int from) {
+  int j;
+  int acc;
+  acc = 0;
+  for (j = 0; j < 600; j = j + 1) {
+    acc = acc + insns[(from + j) % 2048];
+  }
+  return acc;
+}
+
+void main() {
+  int i;
+  int w;
+  int n;
+  int op;
+  int v;
+  int sink;
+  n = inlen();
+  for (i = 0; i < 2048; i = i + 1) {
+    insns[i] = in(i % n) * 31 + i % 7;
+  }
+  // Transformation worklist: the speculative region.
+  for (w = 0; w < 500; w = w + 1) {
+    op = insns[(w * 3) % 2048];
+    v = simplify(op, op % 23);
+    if (op % 3 == 0) {
+      scratch[(new_pseudo() % 64) * 8] = v;
+    }
+    if (v % 8 == 0) {
+      fold_count = fold_count + 1;
+    }
+    out_sig = out_sig ^ (v & 1023);
+  }
+  // Sequential bookkeeping dominates program time.
+  sink = 0;
+  for (i = 0; i < 160; i = i + 1) {
+    sink = sink + live_scan(i * 5);
+  }
+  print(next_pseudo);
+  print(fold_count);
+  print(out_sig);
+  print(sink);
+}
+|}
+
+let workload : Workload.t =
+  {
+    name = "gcc";
+    paper_name = "176.gcc";
+    source;
+    train_input = Workload.input_vector ~seed:1616 ~n:40 ~bound:3001;
+    ref_input = Workload.input_vector ~seed:1717 ~n:56 ~bound:3001;
+    notes =
+      "low coverage; pseudo-register counter bumped through a cloned \
+       helper on ~1/3 of epochs plus occasional fold counter: compiler \
+       sync removes the violation trickle";
+  }

@@ -1,0 +1,96 @@
+(* 099.go — game-playing program: a candidate-move evaluation loop over a
+   board, with occasional updates to shared game state.
+
+   Dependence character: epochs are mostly independent board evaluations;
+   a global best-move record is updated on a minority of epochs (a max
+   reduction), and a "ko state" global on a small fraction.  Unsynchronized
+   these cause a steady trickle of violations; the compiler can synchronize
+   them (frequency above the 5% threshold).  Coverage is low (~25%): most
+   time is spent in tight sequential scanning loops whose epochs are too
+   small to parallelize (paper Table 2: 22% coverage). *)
+
+let source =
+  {|
+int board[1024];
+int best_score = -100000;
+int best_move = -1;
+int ko_state = 0;
+int eval_count = 0;
+
+// Tight sequential scan: epochs far below the 15-instruction floor.
+int scan(int from, int len) {
+  int j;
+  int acc;
+  acc = 0;
+  for (j = from; j < from + len; j = j + 1) {
+    acc = acc + board[j % 1024];
+  }
+  return acc;
+}
+
+// Trip count varies with the data: epoch lengths fluctuate, so the
+// late-late dependences through record_best do violate under speculation.
+int influence(int move, int salt) {
+  int j;
+  int acc;
+  int cell;
+  acc = salt;
+  for (j = 0; j < 8 + salt % 23; j = j + 1) {
+    cell = board[(move * 7 + j * 31) % 1024];
+    acc = acc + ((cell ^ (acc << 1)) % 173) + ((acc >> 4) & 63);
+    acc = acc + cell % 19;
+  }
+  return acc;
+}
+
+void record_best(int score, int move) {
+  if (score > best_score) {
+    best_score = score;
+    best_move = move;
+  }
+  eval_count = eval_count + 1;
+}
+
+void main() {
+  int i;
+  int m;
+  int n;
+  int score;
+  int sink;
+  n = inlen();
+  for (i = 0; i < 1024; i = i + 1) {
+    board[i] = (in(i % n) * 13 + i) % 361;
+  }
+  sink = 0;
+  // Candidate-move loop (the speculative region).
+  for (m = 0; m < 600; m = m + 1) {
+    score = influence(m, in(m % n));
+    if (m % 11 == 0) {
+      ko_state = ko_state ^ score;
+    }
+    record_best(score % 5000, m);
+  }
+  // Sequential bulk: board re-scans dominate program time.
+  for (i = 0; i < 150; i = i + 1) {
+    sink = sink + scan(i * 3, 600);
+  }
+  print(best_score);
+  print(best_move);
+  print(ko_state);
+  print(eval_count);
+  print(sink);
+}
+|}
+
+let workload : Workload.t =
+  {
+    name = "go";
+    paper_name = "099.go";
+    source;
+    train_input = Workload.input_vector ~seed:3303 ~n:40 ~bound:997;
+    ref_input = Workload.input_vector ~seed:4404 ~n:56 ~bound:997;
+    notes =
+      "low-coverage region; max-reduction and ko-state globals updated on a \
+       fraction of epochs cause a trickle of violations that compiler sync \
+       removes";
+  }

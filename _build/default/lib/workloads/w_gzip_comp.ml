@@ -1,0 +1,130 @@
+(* 164.gzip (compress) — hash-chain string matching: frequent,
+   control-sensitive dependences that make speculative parallelization a
+   LOSS (paper Table 2: region "speedup" 0.69/0.72), and the one benchmark
+   whose results depend on the profiling input (Figure 8's T vs C split).
+
+   Two different store sites update the hash heads: the "literal" path and
+   the "match" path.  Which one is hot depends on the input's match
+   threshold (the first input word).  The train input drives the literal
+   path, the ref input the match path, so a train-profiled compile
+   synchronizes the wrong store site: the frequent store at run time is
+   not in the group and keeps violating through the signal address
+   buffer's detection.  Profiling on ref synchronizes the right site. *)
+
+let source =
+  {|
+int head[16];   // two hot buckets, one per cache line
+int chain[1024];
+int data[1024];
+int match_count = 0;
+int lit_count = 0;
+int last_len = 0;
+int sig[256];
+
+int hash_of(int v) {
+  if (v % 8 < 7) {
+    return 0;
+  }
+  return 8;
+}
+
+void insert_literal(int h, int pos) {
+  chain[pos] = head[h];
+  head[h] = pos;
+  lit_count = lit_count + 1;
+}
+
+void insert_match(int h, int pos) {
+  chain[pos] = head[h];
+  head[h] = pos + 1024;
+  match_count = match_count + 1;
+}
+
+int try_match(int pos, int prev) {
+  int j;
+  int len;
+  len = 0;
+  for (j = 0; j < 12 + (data[pos] % 9); j = j + 1) {
+    if (data[(pos + j) % 1024] == data[(prev + j) % 1024]) {
+      len = len + 1;
+    }
+  }
+  return len;
+}
+
+// Sequential output encoding: serialized by its accumulator.
+int encode_pass(int seed) {
+  int j;
+  int acc;
+  acc = seed;
+  for (j = 0; j < 1024; j = j + 1) {
+    acc = acc + ((data[j] << (acc & 3)) ^ (acc >> 1)) % 509;
+  }
+  return acc;
+}
+
+void main() {
+  int pos;
+  int n;
+  int h;
+  int prev;
+  int len;
+  int threshold;
+  int i;
+  n = inlen();
+  threshold = in(0);
+  for (i = 0; i < 1024; i = i + 1) {
+    data[i] = in((i * 3 + 1) % n) % 5;   // small alphabet: real match lengths
+  }
+  // Compression loop: the speculative region.
+  for (pos = 0; pos < 700; pos = pos + 1) {
+    h = hash_of(data[pos % 1024]);
+    prev = head[h] % 1024;
+    len = try_match(pos % 1024, prev);
+    len = len + (last_len >> 3);
+    if (len > threshold) {
+      insert_match(h, pos % 1024);
+    } else {
+      insert_literal(h, pos % 1024);
+    }
+    sig[pos % 256] = sig[pos % 256] ^ (len + h);
+    last_len = len;
+  }
+  print(match_count);
+  print(lit_count);
+  h = 0;
+  for (i = 0; i < 256; i = i + 1) { h = h ^ sig[i]; }
+  print(h);
+  // Sequential output encoding dominates program time.
+  len = 0;
+  for (i = 0; i < 160; i = i + 1) {
+    len = len + encode_pass(i);
+  }
+  print(len & 65535);
+}
+|}
+
+(* Train: high threshold -> the literal path dominates.
+   Ref: low threshold -> the match path fires on most positions. *)
+let train_input =
+  let v = Workload.input_vector ~seed:9909 ~n:44 ~bound:251 in
+  v.(0) <- 9;
+  v
+
+let ref_input =
+  let v = Workload.input_vector ~seed:1010 ~n:60 ~bound:251 in
+  v.(0) <- 2;
+  v
+
+let workload : Workload.t =
+  {
+    name = "gzip_comp";
+    paper_name = "164.gzip (compress)";
+    source;
+    train_input;
+    ref_input;
+    notes =
+      "hash-head deps nearly every epoch, produced late: TLS loses; the \
+       hot store site flips between train and ref inputs, so the T \
+       (train-profiled) build synchronizes the wrong site";
+  }

@@ -1,0 +1,93 @@
+(* 124.m88ksim — CPU simulator whose violations are caused by FALSE
+   SHARING, not true dependences (paper §4.2).
+
+   The per-unit retirement counters and the pipeline-mode flag live in the
+   SAME cache line.  Every epoch reads the mode flag early (the flag is
+   never written inside the region, so there is no word-level RAW at all)
+   and bumps its unit's counter late.  At line granularity the late
+   counter stores conflict with the early flag loads of younger epochs:
+   violations on nearly every epoch.  The word-level dependence profile is
+   empty, so compiler synchronization has NOTHING to synchronize and
+   leaves the violations in place; the hardware table tracks violations at
+   the same line granularity as the caches and fixes them (paper: m88ksim
+   is the clearest hardware-beats-compiler case). *)
+
+let source =
+  {|
+int unit_stats[7];
+int pipeline_mode = 3;     // shares the cache line with unit_stats
+int icache[2048];
+int trace[512];
+int total_retired = 0;
+
+int decode_and_execute(int word, int mode, int salt) {
+  int j;
+  int acc;
+  acc = word + mode;
+  for (j = 0; j < 9 + salt % 17; j = j + 1) {
+    acc = acc + ((acc << 2) ^ (word >> (j % 5))) % 211;
+    acc = acc & 1048575;
+  }
+  return acc;
+}
+
+// Sequential trace post-processing: serialized by its accumulator.
+int postprocess(int seed) {
+  int j;
+  int acc;
+  acc = seed;
+  for (j = 0; j < 512; j = j + 1) {
+    acc = acc + (trace[j % 512] ^ (acc >> 2));
+  }
+  return acc;
+}
+
+void main() {
+  int pc;
+  int n;
+  int word;
+  int unit;
+  int result;
+  int mode;
+  int i;
+  n = inlen();
+  for (i = 0; i < 2048; i = i + 1) {
+    icache[i] = in(i % n) * 97 + i;
+  }
+  // Simulated instruction loop (the speculative region): fetch+decode,
+  // read the mode flag mid-epoch, execute, bump the unit counter late.
+  for (pc = 0; pc < 800; pc = pc + 1) {
+    word = icache[(pc * 5) % 2048];
+    result = decode_and_execute(word, 0, word % 29);
+    mode = pipeline_mode;
+    result = decode_and_execute(result, mode, (word >> 3) % 29);
+    unit = (pc * 3) % 4;
+    unit_stats[unit] = unit_stats[unit] + (result & 15);
+    trace[pc % 512] = result & 255;
+  }
+  total_retired = unit_stats[0] + unit_stats[1] + unit_stats[2] + unit_stats[3];
+  i = 0;
+  for (pc = 0; pc < 512; pc = pc + 1) { i = i ^ trace[pc]; }
+  // Sequential trace post-processing.
+  mode = 0;
+  for (pc = 0; pc < 40; pc = pc + 1) {
+    mode = mode + postprocess(pc);
+  }
+  print(total_retired);
+  print(i);
+  print(mode & 65535);
+}
+|}
+
+let workload : Workload.t =
+  {
+    name = "m88ksim";
+    paper_name = "124.m88ksim";
+    source;
+    train_input = Workload.input_vector ~seed:5505 ~n:44 ~bound:4096;
+    ref_input = Workload.input_vector ~seed:6606 ~n:60 ~bound:4096;
+    notes =
+      "pure false sharing: mode flag and unit counters in one cache line; \
+       no word-level RAW exists, so the compiler has nothing to \
+       synchronize; hardware line-granularity sync wins";
+  }

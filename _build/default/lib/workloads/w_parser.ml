@@ -1,0 +1,113 @@
+(* 197.parser — the paper's motivating example (Figure 4): a loop that
+   allocates and frees linked-list elements through a global free list.
+
+   Dependence character engineered here:
+   - every epoch reads and writes the memory-resident globals [free_list]
+     and [nfree] through helper procedures (so the accesses only become
+     synchronizable after procedure cloning);
+   - the values are produced near the start of each epoch, followed by a
+     large independent evaluation, so compiler-forwarded values arrive
+     long before the consumer needs them: compiler sync should recover
+     most of the parallelism (paper: region speedup ~2.1, among the best
+     compiler-sync results);
+   - without synchronization the dependences violate nearly every epoch. *)
+
+let source =
+  {|
+struct tok { int kind; int weight; tok* next; }
+
+tok pool[512];
+tok* free_list;
+int nfree = 0;
+int results[256];
+int link_count = 0;
+
+void free_tok(tok* t) {
+  t->next = free_list;
+  free_list = t;
+  nfree = nfree + 1;
+}
+
+tok* alloc_tok() {
+  tok* t;
+  t = free_list;
+  free_list = t->next;
+  nfree = nfree - 1;
+  return t;
+}
+
+// Independent per-sentence evaluation: the bulk of each epoch.
+int evaluate(int kind, int weight, int salt) {
+  int j;
+  int acc;
+  int link;
+  acc = kind * 131 + weight;
+  link = salt;
+  for (j = 0; j < 24; j = j + 1) {
+    link = (link * 29 + acc) % 16381;
+    acc = acc + ((link >> 3) ^ (acc << 1)) % 257;
+    if (acc > 60000) { acc = acc - 50000; }
+  }
+  return acc;
+}
+
+// Sequential dictionary maintenance: serialized by its accumulator.
+int dict_scan(int seed) {
+  int j;
+  int acc;
+  acc = seed;
+  for (j = 0; j < 512; j = j + 1) {
+    acc = acc + (pool[j].kind * 3 + pool[j].weight ^ (acc >> 2));
+  }
+  return acc;
+}
+
+void main() {
+  int i;
+  int s;
+  int n;
+  int r;
+  tok* t;
+  n = inlen();
+  // Build the free list (small sequential setup).
+  for (i = 0; i < 512; i = i + 1) {
+    pool[i].kind = i % 7;
+    pool[i].weight = i % 13;
+    free_tok(&pool[i]);
+  }
+  // The parallelized parsing loop: alloc early, free early, evaluate long.
+  for (s = 0; s < 900; s = s + 1) {
+    t = alloc_tok();
+    t->kind = in(s % n) % 11;
+    t->weight = (in((s + 3) % n) + s) % 17;
+    if (t->weight % 4 != 0) {
+      free_tok(t);
+    } else {
+      link_count = link_count + 1;
+    }
+    r = evaluate(t->kind, t->weight, s);
+    results[s % 256] = results[s % 256] ^ r;
+  }
+  r = 0;
+  for (i = 0; i < 256; i = i + 1) { r = r ^ results[i]; }
+  print(r);
+  // Sequential dictionary maintenance dominates the rest.
+  for (i = 0; i < 160; i = i + 1) { r = r + dict_scan(i); }
+  print(r & 65535);
+  print(nfree);
+  print(link_count);
+}
+|}
+
+let workload : Workload.t =
+  {
+    name = "parser";
+    paper_name = "197.parser";
+    source;
+    train_input = Workload.input_vector ~seed:1101 ~n:48 ~bound:223;
+    ref_input = Workload.input_vector ~seed:2202 ~n:64 ~bound:223;
+    notes =
+      "global free list read+written every epoch through cloned helpers; \
+       values produced early, consumed at the next epoch's start; compiler \
+       forwarding recovers parallelism";
+  }

@@ -1,0 +1,76 @@
+(* 300.twolf — standard-cell placement: the paper's over-synchronization
+   example ("software-inserted synchronization can be conservative — it
+   synchronizes dependences which may or may not actually happen at
+   runtime...  the synchronization code just adds extra overhead — this is
+   the cause of the small performance degradation in TWOLF", §4.2).
+
+   The global displacement record is STORED at the very top of each epoch
+   and LOADED at the very bottom: the profile reports a 100%-frequency
+   dependence, but at run time the consumer's late load always happens
+   after the producer's early store, so it essentially never violates.
+   Plain speculation (U) already gets the full speedup; compiler sync can
+   only add wait/signal overhead. *)
+
+let source =
+  {|
+int cell_x[1024];
+int new_x[1024];
+int sig[256];   // one slot per cache line (stride 8)
+int disp_record = 0;
+
+void note_move(int d) {
+  disp_record = (d * 31) & 8191;
+}
+
+int wire_len(int cell, int salt) {
+  int j;
+  int acc;
+  acc = salt;
+  for (j = 0; j < 16; j = j + 1) {
+    acc = acc + (cell_x[(cell + j * 3) % 1024] ^ (acc << 1)) % 151;
+  }
+  return acc;
+}
+
+void main() {
+  int m;
+  int n;
+  int len;
+  int i;
+  int d;
+  n = inlen();
+  for (i = 0; i < 1024; i = i + 1) {
+    cell_x[i] = in(i % n) % 907;
+  }
+  // Move-evaluation loop: the speculative region.
+  for (m = 0; m < 620; m = m + 1) {
+    if (m % 2 == 0) {
+      note_move(m * 7);
+    }
+    len = wire_len((m * 5) % 1024, in(m % n) % 29);
+    new_x[(m * 9) % 1024] = len % 907;
+    d = 0;
+    if (m % 4 == 3) {
+      d = disp_record;
+    }
+    sig[(m % 32) * 8] = sig[(m % 32) * 8] ^ ((len + d) & 4095);
+  }
+  d = 0;
+  for (i = 0; i < 32; i = i + 1) { d = d ^ sig[i * 8]; }
+  print(disp_record);
+  print(d);
+}
+|}
+
+let workload : Workload.t =
+  {
+    name = "twolf";
+    paper_name = "300.twolf";
+    source;
+    train_input = Workload.input_vector ~seed:3030 ~n:44 ~bound:100003;
+    ref_input = Workload.input_vector ~seed:3131 ~n:60 ~bound:100003;
+    notes =
+      "100%-frequency profiled dependence that never violates at runtime \
+       (store at epoch top, load at epoch bottom): compiler sync is pure \
+       overhead, the paper's over-synchronization case";
+  }

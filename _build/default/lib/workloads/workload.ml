@@ -1,0 +1,21 @@
+(* A benchmark: one mini-C program standing in for a paper benchmark, with
+   distinct train/ref inputs (the paper profiles on train and reports on
+   ref, Figure 8).
+
+   Each workload's doc comment states which SPEC benchmark it models and
+   which dependence character it was engineered to reproduce; the harness
+   only relies on [name], [source], and the two inputs. *)
+
+type t = {
+  name : string;                (* short name used in tables, e.g. "parser" *)
+  paper_name : string;          (* the SPEC benchmark it stands in for *)
+  source : string;              (* mini-C program text *)
+  train_input : int array;
+  ref_input : int array;
+  notes : string;               (* dependence character *)
+}
+
+(* Deterministic input vector: [n] values in [0, bound). *)
+let input_vector ~seed ~n ~bound =
+  let rng = Support.Rng.of_int seed in
+  Array.init n (fun _ -> Support.Rng.int rng bound)

@@ -1,0 +1,246 @@
+(* Dataflow tests: dominance, natural loops, liveness, the generic solver.
+   CFGs are built directly through the Func API so shapes are exact. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Build a function from a shape: for each block, (instrs, terminator). *)
+let build_func shapes =
+  let f = Ir.Func.create "t" [] in
+  List.iter (fun _ -> ignore (Ir.Func.add_block f)) shapes;
+  List.iteri
+    (fun l (instrs, term) ->
+      let b = Ir.Func.block f l in
+      b.Ir.Func.instrs <- instrs;
+      b.Ir.Func.term <- term)
+    shapes;
+  f
+
+let mk_instr =
+  let next = ref 1000 in
+  fun kind ->
+    incr next;
+    { Ir.Instr.iid = !next; kind }
+
+(* A diamond: 0 -> 1,2 -> 3. *)
+let diamond () =
+  build_func
+    [
+      ([], Ir.Instr.Br (Ir.Instr.Imm 1, 1, 2));
+      ([], Ir.Instr.Jmp 3);
+      ([], Ir.Instr.Jmp 3);
+      ([], Ir.Instr.Ret None);
+    ]
+
+(* A loop: 0 -> 1(header) -> 2(body) -> 1, 1 -> 3(exit). *)
+let simple_loop () =
+  build_func
+    [
+      ([], Ir.Instr.Jmp 1);
+      ([], Ir.Instr.Br (Ir.Instr.Imm 1, 2, 3));
+      ([], Ir.Instr.Jmp 1);
+      ([], Ir.Instr.Ret None);
+    ]
+
+(* Nested: 0 -> 1(outer hdr) -> 2(inner hdr) -> 3(inner body) -> 2,
+   2 -> 4(outer latch) -> 1, 1 -> 5 exit. *)
+let nested_loops () =
+  build_func
+    [
+      ([], Ir.Instr.Jmp 1);
+      ([], Ir.Instr.Br (Ir.Instr.Imm 1, 2, 5));
+      ([], Ir.Instr.Br (Ir.Instr.Imm 1, 3, 4));
+      ([], Ir.Instr.Jmp 2);
+      ([], Ir.Instr.Jmp 1);
+      ([], Ir.Instr.Ret None);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Dominance                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let dom_diamond () =
+  let f = diamond () in
+  let d = Dataflow.Dominance.compute f in
+  check_bool "0 dom 3" true (Dataflow.Dominance.dominates d 0 3);
+  check_bool "1 !dom 3" false (Dataflow.Dominance.dominates d 1 3);
+  check_bool "self" true (Dataflow.Dominance.dominates d 2 2);
+  Alcotest.(check (option int)) "idom 3" (Some 0) (Dataflow.Dominance.idom d 3);
+  Alcotest.(check (option int)) "idom 0" None (Dataflow.Dominance.idom d 0)
+
+let dom_loop () =
+  let f = simple_loop () in
+  let d = Dataflow.Dominance.compute f in
+  check_bool "header dominates body" true (Dataflow.Dominance.dominates d 1 2);
+  check_bool "header dominates exit" true (Dataflow.Dominance.dominates d 1 3);
+  check_bool "body !dom header" false (Dataflow.Dominance.dominates d 2 1)
+
+let dom_unreachable () =
+  let f =
+    build_func
+      [ ([], Ir.Instr.Ret None); ([], Ir.Instr.Jmp 0) (* unreachable *) ]
+  in
+  let d = Dataflow.Dominance.compute f in
+  check_bool "entry reachable" true (Dataflow.Dominance.reachable d 0);
+  check_bool "dead block" false (Dataflow.Dominance.reachable d 1)
+
+(* ------------------------------------------------------------------ *)
+(* Loops                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let loops_simple () =
+  let f = simple_loop () in
+  match Dataflow.Loops.find f with
+  | [ l ] ->
+    check_int "header" 1 l.Dataflow.Loops.header;
+    Alcotest.(check (list int)) "body" [ 1; 2 ] l.Dataflow.Loops.body;
+    Alcotest.(check (list int)) "latches" [ 2 ] l.Dataflow.Loops.back_edges;
+    check_int "depth" 1 l.Dataflow.Loops.depth;
+    Alcotest.(check (list (pair int int))) "exits" [ (1, 3) ]
+      (Dataflow.Loops.exit_edges f l)
+  | ls -> Alcotest.fail (Printf.sprintf "expected 1 loop, got %d" (List.length ls))
+
+let loops_nested () =
+  let f = nested_loops () in
+  let ls = Dataflow.Loops.find f in
+  check_int "two loops" 2 (List.length ls);
+  let outer = Option.get (Dataflow.Loops.loop_of ls 1) in
+  let inner = Option.get (Dataflow.Loops.loop_of ls 2) in
+  check_int "outer depth" 1 outer.Dataflow.Loops.depth;
+  check_int "inner depth" 2 inner.Dataflow.Loops.depth;
+  Alcotest.(check (option int)) "inner parent" (Some 1) inner.Dataflow.Loops.parent;
+  Alcotest.(check (option int)) "outer parent" None outer.Dataflow.Loops.parent;
+  check_bool "inner body inside outer" true
+    (List.for_all
+       (fun b -> List.mem b outer.Dataflow.Loops.body)
+       inner.Dataflow.Loops.body)
+
+let loops_none () =
+  let f = diamond () in
+  check_int "no loops" 0 (List.length (Dataflow.Loops.find f))
+
+let loops_self () =
+  let f =
+    build_func [ ([], Ir.Instr.Jmp 1); ([], Ir.Instr.Br (Ir.Instr.Imm 1, 1, 2)); ([], Ir.Instr.Ret None) ]
+  in
+  match Dataflow.Loops.find f with
+  | [ l ] ->
+    check_int "self header" 1 l.Dataflow.Loops.header;
+    Alcotest.(check (list int)) "self body" [ 1 ] l.Dataflow.Loops.body
+  | _ -> Alcotest.fail "expected one self loop"
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let liveness_basic () =
+  (* r0 set in block 0, used in block 1; r1 defined and used only in 1. *)
+  let f =
+    build_func
+      [
+        ( [ mk_instr (Ir.Instr.Mov (0, Ir.Instr.Imm 1)) ],
+          Ir.Instr.Jmp 1 );
+        ( [
+            mk_instr (Ir.Instr.Bin (Ir.Instr.Add, 1, Ir.Instr.Reg 0, Ir.Instr.Imm 2));
+            mk_instr (Ir.Instr.Print (Ir.Instr.Reg 1));
+          ],
+          Ir.Instr.Ret None );
+      ]
+  in
+  let live = Dataflow.Liveness.compute f in
+  Alcotest.(check (list int)) "live into 1" [ 0 ] (Dataflow.Liveness.live_in live 1);
+  Alcotest.(check (list int)) "live out of 0" [ 0 ] (Dataflow.Liveness.live_out live 0);
+  Alcotest.(check (list int)) "nothing live into 0" [] (Dataflow.Liveness.live_in live 0)
+
+let liveness_loop_carried () =
+  (* Loop: header block 1 uses r0 (condition); body defines r0.  r0 is
+     live into the header — the "communicating scalar" pattern. *)
+  let f =
+    build_func
+      [
+        ([ mk_instr (Ir.Instr.Mov (0, Ir.Instr.Imm 0)) ], Ir.Instr.Jmp 1);
+        ([], Ir.Instr.Br (Ir.Instr.Reg 0, 3, 2));
+        ( [ mk_instr (Ir.Instr.Bin (Ir.Instr.Add, 0, Ir.Instr.Reg 0, Ir.Instr.Imm 1)) ],
+          Ir.Instr.Jmp 1 );
+        ([], Ir.Instr.Ret None);
+      ]
+  in
+  let live = Dataflow.Liveness.compute f in
+  check_bool "carried" true (Dataflow.Liveness.is_live_in live 1 0);
+  Alcotest.(check (list int)) "defs in loop" [ 0 ]
+    (Dataflow.Liveness.defs_in_blocks f [ 1; 2 ])
+
+let liveness_dead_def () =
+  let f =
+    build_func
+      [
+        ( [
+            mk_instr (Ir.Instr.Mov (0, Ir.Instr.Imm 1));
+            mk_instr (Ir.Instr.Mov (1, Ir.Instr.Imm 2));
+            mk_instr (Ir.Instr.Print (Ir.Instr.Reg 1));
+          ],
+          Ir.Instr.Ret None );
+      ]
+  in
+  let live = Dataflow.Liveness.compute f in
+  Alcotest.(check (list int)) "no inputs" [] (Dataflow.Liveness.live_in live 0)
+
+(* ------------------------------------------------------------------ *)
+(* Generic solver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Reach_domain = struct
+  type fact = int list  (* sorted block labels that can reach here *)
+
+  let equal = ( = )
+  let bottom = []
+  let boundary = []
+  let join a b = List.sort_uniq compare (a @ b)
+end
+
+module Reach = Dataflow.Solver.Make (Reach_domain)
+
+let solver_forward_reaching () =
+  (* Which blocks can reach each block (including itself), diamond shape. *)
+  let f = diamond () in
+  let transfer l fact = List.sort_uniq compare (l :: fact) in
+  let inputs, outputs = Reach.solve ~direction:Dataflow.Solver.Forward ~transfer f in
+  Alcotest.(check (list int)) "into 3" [ 0; 1; 2 ] inputs.(3);
+  Alcotest.(check (list int)) "out of 3" [ 0; 1; 2; 3 ] outputs.(3);
+  Alcotest.(check (list int)) "into 1" [ 0 ] inputs.(1)
+
+let solver_fixpoint_loop () =
+  (* On a loop the solver must still terminate and include loop blocks. *)
+  let f = simple_loop () in
+  let transfer l fact = List.sort_uniq compare (l :: fact) in
+  let _, outputs = Reach.solve ~direction:Dataflow.Solver.Forward ~transfer f in
+  Alcotest.(check (list int)) "loop closure" [ 0; 1; 2 ] outputs.(2)
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ( "dominance",
+        [
+          Alcotest.test_case "diamond" `Quick dom_diamond;
+          Alcotest.test_case "loop" `Quick dom_loop;
+          Alcotest.test_case "unreachable" `Quick dom_unreachable;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "simple" `Quick loops_simple;
+          Alcotest.test_case "nested" `Quick loops_nested;
+          Alcotest.test_case "none" `Quick loops_none;
+          Alcotest.test_case "self loop" `Quick loops_self;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "basic" `Quick liveness_basic;
+          Alcotest.test_case "loop carried" `Quick liveness_loop_carried;
+          Alcotest.test_case "dead def" `Quick liveness_dead_def;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "forward reaching" `Quick solver_forward_reaching;
+          Alcotest.test_case "loop fixpoint" `Quick solver_fixpoint_loop;
+        ] );
+    ]

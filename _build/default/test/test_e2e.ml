@@ -1,0 +1,198 @@
+(* End-to-end tests over the benchmark suite: every workload, under every
+   simulator configuration, must produce exactly the sequential output —
+   the fundamental TLS correctness invariant — and the headline paper
+   shapes must hold. *)
+
+let check_bool = Alcotest.(check bool)
+
+let seq_output (w : Workloads.Workload.t) input =
+  let prog = Ir.Lower.compile_source w.Workloads.Workload.source in
+  let code = Runtime.Code.of_prog prog in
+  let mem = Runtime.Memory.create () in
+  Runtime.Thread.run_sequential code ~input mem
+
+let compile_modes (w : Workloads.Workload.t) =
+  let src = w.Workloads.Workload.source in
+  let train = w.Workloads.Workload.train_input in
+  let refi = w.Workloads.Workload.ref_input in
+  let u =
+    Tlscore.Pipeline.compile ~source:src ~profile_input:train
+      ~memory_sync:Tlscore.Pipeline.No_memory_sync ()
+  in
+  let c =
+    Tlscore.Pipeline.compile ~selection:u.Tlscore.Pipeline.selected ~source:src
+      ~profile_input:train
+      ~memory_sync:(Tlscore.Pipeline.Profiled { dep_input = refi; threshold = 0.05 })
+      ()
+  in
+  (u, c)
+
+(* One correctness test per workload: U/C/H/B outputs == sequential. *)
+let workload_correct (w : Workloads.Workload.t) () =
+  let input = w.Workloads.Workload.ref_input in
+  let expected = seq_output w input in
+  let u, c = compile_modes w in
+  List.iter
+    (fun (name, cfg, (compiled : Tlscore.Pipeline.compiled)) ->
+      let r = Tls.Sim.run cfg compiled.Tlscore.Pipeline.code ~input () in
+      check_bool
+        (w.Workloads.Workload.name ^ " " ^ name ^ " output matches")
+        true
+        (r.Tls.Simstats.output = expected))
+    [
+      ("U", Tls.Config.u_mode, u);
+      ("C", Tls.Config.c_mode, c);
+      ("H", Tls.Config.h_mode, u);
+      ("B", Tls.Config.b_mode, c);
+    ]
+
+(* Train-input correctness too (different control paths). *)
+let workload_correct_train (w : Workloads.Workload.t) () =
+  let input = w.Workloads.Workload.train_input in
+  let expected = seq_output w input in
+  let u, c = compile_modes w in
+  List.iter
+    (fun (name, cfg, (compiled : Tlscore.Pipeline.compiled)) ->
+      let r = Tls.Sim.run cfg compiled.Tlscore.Pipeline.code ~input () in
+      check_bool
+        (w.Workloads.Workload.name ^ " " ^ name ^ " train output matches")
+        true
+        (r.Tls.Simstats.output = expected))
+    [ ("U", Tls.Config.u_mode, u); ("C", Tls.Config.c_mode, c) ]
+
+(* Headline shapes from the paper, as coarse assertions. *)
+
+let region_speedup (w : Workloads.Workload.t) cfg compiled =
+  let input = w.Workloads.Workload.ref_input in
+  let u, _ = compiled in
+  let prog = Ir.Lower.compile_source w.Workloads.Workload.source in
+  let seq =
+    Tls.Sim.run_sequential Tls.Config.default
+      (Runtime.Code.of_prog prog)
+      ~input
+      ~track:u.Tlscore.Pipeline.code.Runtime.Code.regions
+  in
+  let seq_region =
+    List.fold_left (fun a (_, c) -> a + c) 0 seq.Tls.Simstats.sq_region_cycles
+  in
+  let target =
+    match cfg with
+    | `U -> (Tls.Config.u_mode, fst compiled)
+    | `C -> (Tls.Config.c_mode, snd compiled)
+    | `H -> (Tls.Config.h_mode, fst compiled)
+  in
+  let cfg, (comp : Tlscore.Pipeline.compiled) = target in
+  let r = Tls.Sim.run cfg comp.Tlscore.Pipeline.code ~input () in
+  float_of_int seq_region /. float_of_int r.Tls.Simstats.region_cycles
+
+let shape_parser_compiler_wins () =
+  let w = Option.get (Workloads.Registry.find "parser") in
+  let compiled = compile_modes w in
+  let u = region_speedup w `U compiled in
+  let c = region_speedup w `C compiled in
+  let h = region_speedup w `H compiled in
+  check_bool "C speeds parser up" true (c > 1.5);
+  check_bool "C beats U" true (c > u +. 0.5);
+  check_bool "C beats H" true (c > h +. 0.5)
+
+let shape_m88ksim_hardware_wins () =
+  let w = Option.get (Workloads.Registry.find "m88ksim") in
+  let compiled = compile_modes w in
+  let c = region_speedup w `C compiled in
+  let h = region_speedup w `H compiled in
+  check_bool "H beats C on false sharing" true (h > c +. 0.3)
+
+let shape_ijpeg_independent () =
+  let w = Option.get (Workloads.Registry.find "ijpeg") in
+  let compiled = compile_modes w in
+  let u = region_speedup w `U compiled in
+  check_bool "near-full speedup" true (u > 3.0)
+
+let shape_gzip_decomp_forwarding () =
+  let w = Option.get (Workloads.Registry.find "gzip_decomp") in
+  let compiled = compile_modes w in
+  let c = region_speedup w `C compiled in
+  let h = region_speedup w `H compiled in
+  check_bool "compiler forwards earlier than hardware" true (c > h +. 0.5)
+
+let shape_bzip2_decomp_no_failures () =
+  let w = Option.get (Workloads.Registry.find "bzip2_decomp") in
+  let input = w.Workloads.Workload.ref_input in
+  let u, _ = compile_modes w in
+  let r = Tls.Sim.run Tls.Config.u_mode u.Tlscore.Pipeline.code ~input () in
+  check_bool "no violations at all" true (r.Tls.Simstats.violations = 0)
+
+(* Signal address buffer stays small (paper §2.2: never above 10). *)
+let signal_buffer_small () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Workloads.Registry.find name) in
+      let input = w.Workloads.Workload.ref_input in
+      let _, c = compile_modes w in
+      let r = Tls.Sim.run Tls.Config.c_mode c.Tlscore.Pipeline.code ~input () in
+      check_bool (name ^ " buffer <= 10") true
+        (r.Tls.Simstats.max_signal_buffer <= 10))
+    [ "parser"; "gzip_decomp"; "mcf" ]
+
+(* Harness sanity: bar segments decompose the normalized time, coverage is
+   a fraction, speedups are consistent between figures. *)
+let harness_consistency () =
+  let w = Option.get (Workloads.Registry.find "ijpeg") in
+  let ctx = Harness.Context.make w in
+  let r = Harness.Context.run ctx Tls.Config.u_mode ctx.Harness.Context.u () in
+  let total, busy, sync, fail, other = Harness.Context.region_bar ctx r in
+  check_bool "segments sum to total" true
+    (abs_float (total -. (busy +. sync +. fail +. other)) < 0.5);
+  let cov = Harness.Context.coverage ctx in
+  check_bool "coverage in (0,1]" true (cov > 0.0 && cov <= 1.0);
+  let rs = Harness.Context.region_speedup ctx r in
+  check_bool "region speedup consistent with bar" true
+    (abs_float ((100.0 /. total) -. rs) < 0.05);
+  let ps = Harness.Context.program_speedup ctx r in
+  check_bool "program speedup below region speedup at partial coverage" true
+    (ps <= rs +. 0.05);
+  check_bool "sequential regions unchanged" true
+    (abs_float (Harness.Context.seq_region_speedup ctx r -. 1.0) < 0.02)
+
+(* Property: parameterized workload stays correct across random inputs. *)
+let random_input_invariant =
+  QCheck.Test.make ~name:"parser correct on random inputs" ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let base = Option.get (Workloads.Registry.find "parser") in
+      let input = Array.init 32 (fun i -> (seed * 131 + i * 29) mod 223) in
+      let w = { base with Workloads.Workload.ref_input = input } in
+      let expected = seq_output w input in
+      let u, c = compile_modes w in
+      let ru = Tls.Sim.run Tls.Config.u_mode u.Tlscore.Pipeline.code ~input () in
+      let rc = Tls.Sim.run Tls.Config.c_mode c.Tlscore.Pipeline.code ~input () in
+      ru.Tls.Simstats.output = expected && rc.Tls.Simstats.output = expected)
+
+let () =
+  let correctness =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        Alcotest.test_case (w.Workloads.Workload.name ^ " ref") `Slow
+          (workload_correct w))
+      Workloads.Registry.all
+    @ List.map
+        (fun (w : Workloads.Workload.t) ->
+          Alcotest.test_case (w.Workloads.Workload.name ^ " train") `Slow
+            (workload_correct_train w))
+        Workloads.Registry.all
+  in
+  Alcotest.run "e2e"
+    [
+      ("correctness", correctness);
+      ( "paper shapes",
+        [
+          Alcotest.test_case "parser: compiler wins" `Slow shape_parser_compiler_wins;
+          Alcotest.test_case "m88ksim: hardware wins" `Slow shape_m88ksim_hardware_wins;
+          Alcotest.test_case "ijpeg: independent" `Slow shape_ijpeg_independent;
+          Alcotest.test_case "gzip_decomp: early forwarding" `Slow shape_gzip_decomp_forwarding;
+          Alcotest.test_case "bzip2_decomp: no failures" `Slow shape_bzip2_decomp_no_failures;
+          Alcotest.test_case "signal buffer small" `Slow signal_buffer_small;
+          Alcotest.test_case "harness consistency" `Slow harness_consistency;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest random_input_invariant ]);
+    ]

@@ -1,0 +1,224 @@
+(* Frontend tests: lexer, parser, type checker. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let toks src =
+  List.map (fun (s : Lang.Token.spanned) -> s.Lang.Token.tok) (Lang.Lexer.tokenize src)
+
+let lex_simple () =
+  check_bool "tokens" true
+    (toks "int x = 42;"
+    = [ Lang.Token.Kw_int; Lang.Token.Ident "x"; Lang.Token.Assign;
+        Lang.Token.Int_lit 42; Lang.Token.Semi; Lang.Token.Eof ])
+
+let lex_operators () =
+  check_bool "ops" true
+    (toks "a->b == c && d << 2 >= e != f"
+    = Lang.Token.[ Ident "a"; Arrow; Ident "b"; Eq_eq; Ident "c"; Amp_amp;
+                   Ident "d"; Shl; Int_lit 2; Ge; Ident "e"; Bang_eq;
+                   Ident "f"; Eof ])
+
+let lex_comments () =
+  check_bool "line comment" true (toks "x // hi\n y" = Lang.Token.[ Ident "x"; Ident "y"; Eof ]);
+  check_bool "block comment" true (toks "x /* a\nb */ y" = Lang.Token.[ Ident "x"; Ident "y"; Eof ])
+
+let lex_hex () =
+  check_bool "hex" true (toks "0x10" = Lang.Token.[ Int_lit 16; Eof ])
+
+let lex_positions () =
+  match Lang.Lexer.tokenize "a\n  b" with
+  | [ a; b; _eof ] ->
+    check_int "a line" 1 a.Lang.Token.pos.Lang.Token.line;
+    check_int "b line" 2 b.Lang.Token.pos.Lang.Token.line;
+    check_int "b col" 3 b.Lang.Token.pos.Lang.Token.col
+  | _ -> Alcotest.fail "unexpected token count"
+
+let lex_errors () =
+  (try
+     ignore (Lang.Lexer.tokenize "a $ b");
+     Alcotest.fail "expected lex error"
+   with Lang.Lexer.Error (_, _) -> ());
+  try
+    ignore (Lang.Lexer.tokenize "/* unterminated");
+    Alcotest.fail "expected lex error"
+  with Lang.Lexer.Error (msg, _) ->
+    check_bool "message" true
+      (String.length msg > 0 && String.sub msg 0 12 = "unterminated")
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok src =
+  try
+    ignore (Lang.Parser.parse_program src);
+    true
+  with Lang.Parser.Error _ -> false
+
+let rec expr_to_string (e : Lang.Ast.expr) =
+  match e.Lang.Ast.desc with
+  | Lang.Ast.Int n -> string_of_int n
+  | Lang.Ast.Null -> "null"
+  | Lang.Ast.Var v -> v
+  | Lang.Ast.Binop (op, a, b) ->
+    let ops =
+      match op with
+      | Lang.Ast.Add -> "+" | Lang.Ast.Sub -> "-" | Lang.Ast.Mul -> "*"
+      | Lang.Ast.Div -> "/" | Lang.Ast.Rem -> "%" | Lang.Ast.Band -> "&"
+      | Lang.Ast.Bor -> "|" | Lang.Ast.Bxor -> "^" | Lang.Ast.Shl -> "<<"
+      | Lang.Ast.Shr -> ">>" | Lang.Ast.Eq -> "==" | Lang.Ast.Ne -> "!="
+      | Lang.Ast.Lt -> "<" | Lang.Ast.Le -> "<=" | Lang.Ast.Gt -> ">"
+      | Lang.Ast.Ge -> ">=" | Lang.Ast.Land -> "&&" | Lang.Ast.Lor -> "||"
+    in
+    Printf.sprintf "(%s%s%s)" (expr_to_string a) ops (expr_to_string b)
+  | Lang.Ast.Unop (Lang.Ast.Neg, a) -> Printf.sprintf "(-%s)" (expr_to_string a)
+  | Lang.Ast.Unop (Lang.Ast.Not, a) -> Printf.sprintf "(!%s)" (expr_to_string a)
+  | Lang.Ast.Deref a -> Printf.sprintf "(*%s)" (expr_to_string a)
+  | Lang.Ast.Field (a, f) -> Printf.sprintf "(%s->%s)" (expr_to_string a) f
+  | Lang.Ast.Direct_field (a, f) -> Printf.sprintf "(%s.%s)" (expr_to_string a) f
+  | Lang.Ast.Index (a, i) ->
+    Printf.sprintf "(%s[%s])" (expr_to_string a) (expr_to_string i)
+  | Lang.Ast.Addr_of a -> Printf.sprintf "(&%s)" (expr_to_string a)
+  | Lang.Ast.Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat "," (List.map expr_to_string args))
+
+let parse_expr_str src = expr_to_string (Lang.Parser.parse_expr src)
+
+let parser_precedence () =
+  Alcotest.(check string) "mul before add" "(a+(b*c))" (parse_expr_str "a + b * c");
+  Alcotest.(check string) "shift vs cmp" "((a<<2)<b)" (parse_expr_str "a << 2 < b");
+  Alcotest.(check string) "and/or" "(a||(b&&c))" (parse_expr_str "a || b && c");
+  Alcotest.(check string) "bitops" "((a|(b^c))|(d&e))" (parse_expr_str "a | b ^ c | d & e");
+  Alcotest.(check string) "unary" "((-a)+(!b))" (parse_expr_str "-a + !b");
+  Alcotest.(check string) "parens" "((a+b)*c)" (parse_expr_str "(a + b) * c")
+
+let parser_postfix () =
+  Alcotest.(check string) "chain" "(((p->next)->data)[(i+1)])"
+    (parse_expr_str "p->next->data[i + 1]");
+  Alcotest.(check string) "addr of field" "(&(p->f))" (parse_expr_str "&p->f");
+  Alcotest.(check string) "deref index" "((*p)[0])" (parse_expr_str "(*p)[0]")
+
+let parser_program_shapes () =
+  check_bool "struct + func" true
+    (parse_ok "struct s { int a; s* b; } void main() { }");
+  check_bool "globals" true
+    (parse_ok "int g; int arr[10]; int init = -5; void main() {}");
+  check_bool "control" true
+    (parse_ok
+       "void main() { int i; for (i = 0; i < 3; i = i + 1) { if (i == 1) \
+        continue; if (i == 2) break; } while (i > 0) i = i - 1; do { i = 1; \
+        } while (i < 0); }");
+  check_bool "missing semi" false (parse_ok "void main() { int x }");
+  check_bool "bad top level" false (parse_ok "42;")
+
+let parser_dangling_else () =
+  (* else binds to the nearest if *)
+  let p =
+    Lang.Parser.parse_program
+      "void main() { int a; if (1) if (0) a = 1; else a = 2; }"
+  in
+  match (List.hd (List.rev p.Lang.Ast.funcs)).Lang.Ast.body with
+  | [ _decl; { Lang.Ast.sdesc = Lang.Ast.If (_, [ inner ], []); _ } ] -> begin
+    match inner.Lang.Ast.sdesc with
+    | Lang.Ast.If (_, _, [ _ ]) -> ()
+    | _ -> Alcotest.fail "inner if lacks else"
+  end
+  | _ -> Alcotest.fail "unexpected shape"
+
+(* ------------------------------------------------------------------ *)
+(* Sema                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let checks src =
+  try
+    ignore (Lang.Sema.check_source src);
+    Ok ()
+  with
+  | Lang.Sema.Error (msg, _) -> Error msg
+  | Lang.Parser.Error (msg, _) -> Error ("parse: " ^ msg)
+
+let expect_ok name src =
+  match checks src with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (name ^ ": unexpected error " ^ m)
+
+let expect_err name src =
+  match checks src with
+  | Ok () -> Alcotest.fail (name ^ ": expected a type error")
+  | Error _ -> ()
+
+let sema_accepts () =
+  expect_ok "pointers"
+    "struct n { int v; n* next; } n pool[4]; n* head; void main() { n* p; p \
+     = &pool[0]; p->next = head; head = p; p->v = head->v + 1; }";
+  expect_ok "null compare"
+    "int* p; void main() { if (p == null) { p = null; } }";
+  expect_ok "array decay"
+    "int a[8]; int f(int* p) { return *p + p[1]; } void main() { int x; x = \
+     f(a); x = f(&a[2]); }";
+  expect_ok "builtins"
+    "void main() { int i; i = inlen(); print(in(i - 1)); }";
+  expect_ok "direct field"
+    "struct s { int a; int b; } s g; s arr[3]; void main() { g.a = 1; \
+     arr[2].b = g.a; }"
+
+let sema_rejects () =
+  expect_err "unknown var" "void main() { x = 1; }";
+  expect_err "undeclared fn" "void main() { f(); }";
+  expect_err "arg count" "int f(int a) { return a; } void main() { f(); }";
+  expect_err "arg type"
+    "int f(int* p) { return *p; } void main() { f(3); }";
+  expect_err "deref int" "void main() { int x; x = *x; }";
+  expect_err "arrow on int" "void main() { int x; x = x->f; }";
+  expect_err "unknown field"
+    "struct s { int a; } s* p; void main() { p->b = 1; }";
+  expect_err "addr of local" "void main() { int x; int* p; p = &x; }";
+  expect_err "assign struct"
+    "struct s { int a; } s g; s h; void main() { g = h; }";
+  expect_err "return mismatch" "int f() { return; } void main() { }";
+  expect_err "void value" "void g() {} void main() { int x; x = g(); }";
+  expect_err "missing main" "int f() { return 1; }";
+  expect_err "main with args" "void main(int x) { }";
+  expect_err "dup global" "int g; int g; void main() {}";
+  expect_err "dup local" "void main() { int x; int x; }";
+  expect_err "ptr arith两" "int* p; int* q; void main() { p = p + q; }";
+  expect_err "redefine builtin" "void print(int x) {} void main() {}"
+
+let sema_pointer_rules () =
+  expect_ok "ptr arith" "int a[4]; void main() { int* p; p = a + 1; p = p - 1; }";
+  expect_err "ptr plus ptr" "int* p; void main() { p = p + p; }";
+  expect_ok "ptr compare" "int* p; int* q; void main() { if (p == q) {} if (p < q) {} }";
+  expect_err "ptr type mismatch"
+    "struct s { int a; } s* p; int* q; void main() { p = q; }"
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "simple" `Quick lex_simple;
+          Alcotest.test_case "operators" `Quick lex_operators;
+          Alcotest.test_case "comments" `Quick lex_comments;
+          Alcotest.test_case "hex" `Quick lex_hex;
+          Alcotest.test_case "positions" `Quick lex_positions;
+          Alcotest.test_case "errors" `Quick lex_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick parser_precedence;
+          Alcotest.test_case "postfix" `Quick parser_postfix;
+          Alcotest.test_case "program shapes" `Quick parser_program_shapes;
+          Alcotest.test_case "dangling else" `Quick parser_dangling_else;
+        ] );
+      ( "sema",
+        [
+          Alcotest.test_case "accepts" `Quick sema_accepts;
+          Alcotest.test_case "rejects" `Quick sema_rejects;
+          Alcotest.test_case "pointer rules" `Quick sema_pointer_rules;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Runtime tests: memory, code snapshots, and the thread stepper
+   (events, hooks, sequential sync semantics). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let memory_basics () =
+  let m = Runtime.Memory.create () in
+  check_int "default zero" 0 (Runtime.Memory.load m 123);
+  Runtime.Memory.store m 10 7;
+  Runtime.Memory.store m (-5) 9;
+  check_int "written" 7 (Runtime.Memory.load m 10);
+  check_int "negative addr" 9 (Runtime.Memory.load m (-5));
+  Runtime.Memory.store m 10 0;
+  check_int "zero remove" 0 (Runtime.Memory.load m 10);
+  check_int "footprint" 1 (Runtime.Memory.footprint m)
+
+let memory_copy_equal () =
+  let m = Runtime.Memory.create () in
+  Runtime.Memory.store_all m [ (1, 2); (3, 4) ];
+  let c = Runtime.Memory.copy m in
+  check_bool "equal" true (Runtime.Memory.equal m c);
+  Runtime.Memory.store c 1 99;
+  check_bool "independent" false (Runtime.Memory.equal m c);
+  check_int "original intact" 2 (Runtime.Memory.load m 1)
+
+(* ------------------------------------------------------------------ *)
+(* Code snapshots                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let code_snapshot () =
+  let prog =
+    Ir.Lower.compile_source
+      "int g = 3; int f(int a, int b) { return a + b; } void main() { g = \
+       f(g, 2); }"
+  in
+  let code = Runtime.Code.of_prog prog in
+  let f = Runtime.Code.func code "f" in
+  check_int "params" 2 (List.length f.Runtime.Code.cf_params);
+  check_bool "init stores" true
+    (List.mem (Ir.Layout.globals_base, 3) code.Runtime.Code.initial_stores);
+  check_bool "unknown fn" true
+    (match Runtime.Code.func code "nope" with
+    | exception Not_found -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Thread stepping                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let compile src = Runtime.Code.of_prog (Ir.Lower.compile_source src)
+
+let run_seq ?(input = [||]) src =
+  let code = compile src in
+  let mem = Runtime.Memory.create () in
+  (Runtime.Thread.run_sequential code ~input mem, mem)
+
+let thread_output_order () =
+  let out, _ = run_seq "void main() { print(1); print(2); print(3); }" in
+  Alcotest.(check (list int)) "ordered" [ 1; 2; 3 ] out
+
+let thread_final_memory () =
+  let _, mem =
+    run_seq "int a; int b; void main() { a = 5; b = a * 2; }"
+  in
+  let base = Ir.Layout.globals_base in
+  check_int "a" 5 (Runtime.Memory.load mem base);
+  check_int "b" 10 (Runtime.Memory.load mem (base + 1))
+
+let thread_events () =
+  (* Step manually and record the event stream skeleton. *)
+  let code = compile "int f() { return 4; } void main() { print(f()); }" in
+  let t = Runtime.Thread.create code ~func_name:"main" ~input:[||] in
+  let mem = Runtime.Memory.create () in
+  let hooks = Runtime.Thread.sequential_hooks mem in
+  let events = ref [] in
+  let rec loop () =
+    match Runtime.Thread.step t hooks with
+    | Runtime.Thread.Ran ev ->
+      (match ev with
+      | Runtime.Thread.Exec { Ir.Instr.kind = Ir.Instr.Call _; _ } ->
+        events := `Call :: !events
+      | Runtime.Thread.Return _ -> events := `Ret :: !events
+      | Runtime.Thread.Goto _ -> events := `Goto :: !events
+      | Runtime.Thread.Exec _ -> events := `Instr :: !events);
+      loop ()
+    | Runtime.Thread.Finished _ -> ()
+    | Runtime.Thread.Blocked | Runtime.Thread.Suspended ->
+      Alcotest.fail "unexpected blocking"
+  in
+  loop ();
+  let evs = List.rev !events in
+  check_bool "one call, one ret" true
+    (List.length (List.filter (( = ) `Call) evs) = 1
+    && List.length (List.filter (( = ) `Ret) evs) = 1);
+  check_int "depth restored" 0 (List.length t.Runtime.Thread.frames)
+
+let thread_control_suspend () =
+  (* A control hook that refuses every back edge: the thread parks at the
+     terminator without state change. *)
+  let code = compile "void main() { int i; i = 0; while (i < 3) { i = i + 1; } print(i); }" in
+  let t = Runtime.Thread.create code ~func_name:"main" ~input:[||] in
+  let mem = Runtime.Memory.create () in
+  let base = Runtime.Thread.sequential_hooks mem in
+  let refuse = ref false in
+  let hooks =
+    { base with Runtime.Thread.control = (fun _ ~target:_ -> not !refuse) }
+  in
+  (* Run a few steps, then refuse: step must return Suspended forever
+     without advancing. *)
+  for _ = 1 to 5 do
+    ignore (Runtime.Thread.step t hooks)
+  done;
+  refuse := true;
+  let rec until_suspended n =
+    if n = 0 then Alcotest.fail "never suspended"
+    else
+      match Runtime.Thread.step t hooks with
+      | Runtime.Thread.Suspended -> ()
+      | _ -> until_suspended (n - 1)
+  in
+  until_suspended 100;
+  let icount = t.Runtime.Thread.icount in
+  check_bool "suspend again" true (Runtime.Thread.step t hooks = Runtime.Thread.Suspended);
+  check_int "no progress" icount t.Runtime.Thread.icount
+
+let thread_wait_blocks () =
+  (* A Wait_scalar with a hook returning None blocks without advancing;
+     with Some v it writes the register and proceeds. *)
+  let f = Ir.Func.create "main" [] in
+  let entry = Ir.Func.add_block f in
+  let b = Ir.Func.block f entry in
+  b.Ir.Func.instrs <-
+    [
+      { Ir.Instr.iid = 1; kind = Ir.Instr.Wait_scalar (0, 0) };
+      { Ir.Instr.iid = 2; kind = Ir.Instr.Print (Ir.Instr.Reg 0) };
+    ];
+  b.Ir.Func.term <- Ir.Instr.Ret None;
+  f.Ir.Func.nregs <- 1;
+  let layout = Ir.Layout.build (Lang.Sema.check_source "void main() {}") in
+  let prog = Ir.Prog.create layout in
+  Ir.Prog.add_func prog f;
+  let code = Runtime.Code.of_prog prog in
+  let t = Runtime.Thread.create code ~func_name:"main" ~input:[||] in
+  let mem = Runtime.Memory.create () in
+  let base = Runtime.Thread.sequential_hooks mem in
+  let ready = ref None in
+  let hooks = { base with Runtime.Thread.wait_scalar = (fun _ _ _ -> !ready) } in
+  check_bool "blocked" true (Runtime.Thread.step t hooks = Runtime.Thread.Blocked);
+  check_bool "still blocked" true (Runtime.Thread.step t hooks = Runtime.Thread.Blocked);
+  ready := Some 42;
+  (match Runtime.Thread.step t hooks with
+  | Runtime.Thread.Ran (Runtime.Thread.Exec _) -> ()
+  | _ -> Alcotest.fail "expected to run");
+  ignore (Runtime.Thread.step t hooks);
+  Alcotest.(check (list int)) "printed waited value" [ 42 ] (Runtime.Thread.output t)
+
+let thread_sync_noops_sequential () =
+  (* Hand-inserted sync instructions are no-ops under sequential hooks:
+     Wait_scalar keeps the current register, Sync_load degrades to a plain
+     load, signals do nothing. *)
+  let f = Ir.Func.create "main" [] in
+  let entry = Ir.Func.add_block f in
+  let b = Ir.Func.block f entry in
+  let addr = Ir.Instr.Imm 500 in
+  b.Ir.Func.instrs <-
+    [
+      { Ir.Instr.iid = 1; kind = Ir.Instr.Mov (0, Ir.Instr.Imm 5) };
+      { Ir.Instr.iid = 2; kind = Ir.Instr.Store (addr, Ir.Instr.Imm 77) };
+      { Ir.Instr.iid = 3; kind = Ir.Instr.Wait_scalar (0, 0) };
+      { Ir.Instr.iid = 4; kind = Ir.Instr.Wait_mem 1 };
+      { Ir.Instr.iid = 5; kind = Ir.Instr.Sync_load (1, 1, addr) };
+      { Ir.Instr.iid = 6; kind = Ir.Instr.Signal_mem (1, addr) };
+      { Ir.Instr.iid = 7; kind = Ir.Instr.Signal_null_if_unsent 1 };
+      { Ir.Instr.iid = 8; kind = Ir.Instr.Print (Ir.Instr.Reg 0) };
+      { Ir.Instr.iid = 9; kind = Ir.Instr.Print (Ir.Instr.Reg 1) };
+    ];
+  b.Ir.Func.term <- Ir.Instr.Ret None;
+  f.Ir.Func.nregs <- 2;
+  let layout = Ir.Layout.build (Lang.Sema.check_source "void main() {}") in
+  let prog = Ir.Prog.create layout in
+  Ir.Prog.add_func prog f;
+  let code = Runtime.Code.of_prog prog in
+  let mem = Runtime.Memory.create () in
+  let out = Runtime.Thread.run_sequential code ~input:[||] mem in
+  Alcotest.(check (list int)) "waited reg kept, sync load real" [ 5; 77 ] out
+
+let thread_step_budget () =
+  let code = compile "void main() { while (1) { } }" in
+  let mem = Runtime.Memory.create () in
+  match Runtime.Thread.run_sequential ~max_steps:10_000 code ~input:[||] mem with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected step budget failure"
+
+let copy_frame_independent () =
+  let code = compile "void main() { int x; x = 0; print(x); }" in
+  let t = Runtime.Thread.create code ~func_name:"main" ~input:[||] in
+  let f = Runtime.Thread.current_frame t in
+  let c = Runtime.Thread.copy_frame f in
+  c.Runtime.Thread.regs.(0) <- 99;
+  check_int "original register unchanged" 0 f.Runtime.Thread.regs.(0);
+  c.Runtime.Thread.block <- 0;
+  c.Runtime.Thread.pc <- 1;
+  check_int "original pc unchanged" 0 f.Runtime.Thread.pc
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "basics" `Quick memory_basics;
+          Alcotest.test_case "copy/equal" `Quick memory_copy_equal;
+        ] );
+      ("code", [ Alcotest.test_case "snapshot" `Quick code_snapshot ]);
+      ( "thread",
+        [
+          Alcotest.test_case "output order" `Quick thread_output_order;
+          Alcotest.test_case "final memory" `Quick thread_final_memory;
+          Alcotest.test_case "events" `Quick thread_events;
+          Alcotest.test_case "control suspend" `Quick thread_control_suspend;
+          Alcotest.test_case "wait blocks" `Quick thread_wait_blocks;
+          Alcotest.test_case "sync no-ops" `Quick thread_sync_noops_sequential;
+          Alcotest.test_case "step budget" `Quick thread_step_budget;
+          Alcotest.test_case "copy frame" `Quick copy_frame_independent;
+        ] );
+    ]

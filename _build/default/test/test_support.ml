@@ -1,0 +1,211 @@
+(* Tests for the support substrate: union-find, RNG, stats, tables. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Union-find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let uf_singletons () =
+  let uf = Support.Union_find.create 5 in
+  check_int "classes" 5 (Support.Union_find.class_count uf);
+  for i = 0 to 4 do
+    check_int "self root" i (Support.Union_find.find uf i)
+  done
+
+let uf_union_chain () =
+  let uf = Support.Union_find.create 6 in
+  ignore (Support.Union_find.union uf 0 1);
+  ignore (Support.Union_find.union uf 1 2);
+  ignore (Support.Union_find.union uf 4 5);
+  check_bool "0~2" true (Support.Union_find.same uf 0 2);
+  check_bool "0!~4" false (Support.Union_find.same uf 0 4);
+  check_int "classes" 3 (Support.Union_find.class_count uf)
+
+let uf_classes_sorted () =
+  let uf = Support.Union_find.create 4 in
+  ignore (Support.Union_find.union uf 3 1);
+  let classes = Support.Union_find.classes uf in
+  check_int "three classes" 3 (List.length classes);
+  check_bool "1 and 3 together" true
+    (List.exists (fun c -> c = [ 1; 3 ]) classes)
+
+let uf_idempotent_union () =
+  let uf = Support.Union_find.create 3 in
+  let r1 = Support.Union_find.union uf 0 1 in
+  let r2 = Support.Union_find.union uf 0 1 in
+  check_int "same root" r1 r2;
+  check_int "classes" 2 (Support.Union_find.class_count uf)
+
+let uf_out_of_range () =
+  let uf = Support.Union_find.create 2 in
+  Alcotest.check_raises "negative" (Invalid_argument "Union_find: key out of range")
+    (fun () -> ignore (Support.Union_find.find uf (-1)));
+  Alcotest.check_raises "too large" (Invalid_argument "Union_find: key out of range")
+    (fun () -> ignore (Support.Union_find.find uf 2))
+
+(* Property: union is equivalence closure — same iff connected in the
+   union graph (checked against a naive reference). *)
+let uf_matches_reference =
+  QCheck.Test.make ~name:"union_find matches naive reference" ~count:200
+    QCheck.(pair (int_range 1 20) (small_list (pair small_nat small_nat)))
+    (fun (n, edges) ->
+      let edges = List.map (fun (a, b) -> (a mod n, b mod n)) edges in
+      let uf = Support.Union_find.create n in
+      List.iter (fun (a, b) -> ignore (Support.Union_find.union uf a b)) edges;
+      (* Naive: repeated relabeling. *)
+      let label = Array.init n Fun.id in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (a, b) ->
+            let m = min label.(a) label.(b) in
+            if label.(a) <> m || label.(b) <> m then begin
+              label.(a) <- m;
+              label.(b) <- m;
+              changed := true
+            end)
+          edges
+      done;
+      (* Propagate to closure. *)
+      let rec root i = if label.(i) = i then i else root label.(i) in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j ->
+              Support.Union_find.same uf i j = (root i = root j))
+            (List.init n Fun.id))
+        (List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* RNG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng_deterministic () =
+  let a = Support.Rng.of_int 42 and b = Support.Rng.of_int 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Support.Rng.int a 1000) (Support.Rng.int b 1000)
+  done
+
+let rng_bounds () =
+  let rng = Support.Rng.of_int 7 in
+  for _ = 1 to 1000 do
+    let v = Support.Rng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Support.Rng.range rng 5 9 in
+    check_bool "range incl" true (v >= 5 && v <= 9)
+  done
+
+let rng_split_independent () =
+  let a = Support.Rng.of_int 1 in
+  let b = Support.Rng.split a in
+  let xs = List.init 20 (fun _ -> Support.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Support.Rng.int b 1000) in
+  check_bool "streams differ" true (xs <> ys)
+
+let rng_shuffle_permutation () =
+  let rng = Support.Rng.of_int 3 in
+  let arr = Array.init 50 Fun.id in
+  Support.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let rng_bad_bound () =
+  let rng = Support.Rng.of_int 0 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Support.Rng.int rng 0))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let stats_mean () =
+  check_float "mean" 2.5 (Support.Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "empty" 0.0 (Support.Stats.mean [])
+
+let stats_geomean () =
+  check_float "geomean" 2.0 (Support.Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (Support.Stats.geomean [ 1.0; 0.0 ]))
+
+let stats_percent_ratio () =
+  check_float "percent" 50.0 (Support.Stats.percent 1.0 2.0);
+  check_float "percent div0" 0.0 (Support.Stats.percent 1.0 0.0);
+  check_float "ratio" 0.5 (Support.Stats.ratio 1.0 2.0)
+
+let stats_histogram () =
+  let h = Support.Stats.histogram [ 0; 10; 20 ] [ 0; 5; 10; 19; 25; -3 ] in
+  Alcotest.(check (list int)) "bins" [ 2; 2; 1 ] h;
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Stats.histogram: bins must increase") (fun () ->
+      ignore (Support.Stats.histogram [ 5; 5 ] []))
+
+let stats_round () =
+  check_float "round" 1.23 (Support.Stats.round_to 2 1.2345)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let table_render () =
+  let out =
+    Support.Table.render ~header:[ "a"; "bb" ] [ [ "xx"; "1" ]; [ "y"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check_int "four lines" 4 (List.length lines);
+  (* All lines equal width. *)
+  match lines with
+  | first :: rest ->
+    List.iter
+      (fun l -> check_int "width" (String.length first) (String.length l))
+      rest
+  | [] -> Alcotest.fail "no output"
+
+let table_bad_rows () =
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Table.render: row width mismatch") (fun () ->
+      ignore (Support.Table.render ~header:[ "a" ] [ [ "x"; "y" ] ]))
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "union_find",
+        [
+          Alcotest.test_case "singletons" `Quick uf_singletons;
+          Alcotest.test_case "union chain" `Quick uf_union_chain;
+          Alcotest.test_case "classes sorted" `Quick uf_classes_sorted;
+          Alcotest.test_case "idempotent union" `Quick uf_idempotent_union;
+          Alcotest.test_case "out of range" `Quick uf_out_of_range;
+          QCheck_alcotest.to_alcotest uf_matches_reference;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "bounds" `Quick rng_bounds;
+          Alcotest.test_case "split independent" `Quick rng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick rng_shuffle_permutation;
+          Alcotest.test_case "bad bound" `Quick rng_bad_bound;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick stats_mean;
+          Alcotest.test_case "geomean" `Quick stats_geomean;
+          Alcotest.test_case "percent/ratio" `Quick stats_percent_ratio;
+          Alcotest.test_case "histogram" `Quick stats_histogram;
+          Alcotest.test_case "round" `Quick stats_round;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick table_render;
+          Alcotest.test_case "bad rows" `Quick table_bad_rows;
+        ] );
+    ]

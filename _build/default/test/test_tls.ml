@@ -1,0 +1,631 @@
+(* Simulator tests: caches, hardware tables, value predictor, oracle, and
+   the TLS engine itself — including the paper's §2.2 forwarding
+   correctness cases, exercised end-to-end through crafted programs. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cache_hits_misses () =
+  let c = Tls.Cache.create ~sets:4 ~ways:2 in
+  check_bool "cold miss" false (Tls.Cache.access c 0);
+  check_bool "hit" true (Tls.Cache.access c 0);
+  check_bool "same set other tag" false (Tls.Cache.access c 4);
+  check_bool "both resident" true (Tls.Cache.access c 0);
+  check_bool "both resident 2" true (Tls.Cache.access c 4);
+  check_int "hits" 3 (Tls.Cache.hits c);
+  check_int "misses" 2 (Tls.Cache.misses c)
+
+let cache_lru_eviction () =
+  let c = Tls.Cache.create ~sets:1 ~ways:2 in
+  ignore (Tls.Cache.access c 0);
+  ignore (Tls.Cache.access c 1);
+  ignore (Tls.Cache.access c 0);          (* 1 is now LRU *)
+  ignore (Tls.Cache.access c 2);          (* evicts 1 *)
+  check_bool "0 still in" true (Tls.Cache.probe c 0);
+  check_bool "1 evicted" false (Tls.Cache.probe c 1);
+  check_bool "2 in" true (Tls.Cache.probe c 2)
+
+let cache_bad_geometry () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Cache.create: sets must be a positive power of two")
+    (fun () -> ignore (Tls.Cache.create ~sets:3 ~ways:1))
+
+(* Reference-model property: a tiny direct-mapped cache behaves exactly
+   like a naive model. *)
+let cache_matches_reference =
+  QCheck.Test.make ~name:"direct-mapped cache matches naive model" ~count:200
+    QCheck.(small_list (int_range 0 31))
+    (fun lines ->
+      let c = Tls.Cache.create ~sets:4 ~ways:1 in
+      let model = Array.make 4 (-1) in
+      List.for_all
+        (fun line ->
+          let set = line land 3 in
+          let expect_hit = model.(set) = line in
+          model.(set) <- line;
+          Tls.Cache.access c line = expect_hit)
+        lines)
+
+(* ------------------------------------------------------------------ *)
+(* Memory system                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let memsys_latencies () =
+  let cfg = Tls.Config.default in
+  let m = Tls.Memsys.create cfg in
+  (* Cold: L1 miss + L2 miss -> memory. *)
+  let cold = Tls.Memsys.access m ~proc:0 ~addr:4096 in
+  check_int "cold" (cfg.Tls.Config.l1_hit + cfg.Tls.Config.l2_hit + cfg.Tls.Config.mem_lat) cold;
+  (* Hot: L1 hit. *)
+  check_int "hot" cfg.Tls.Config.l1_hit (Tls.Memsys.access m ~proc:0 ~addr:4097);
+  (* Other processor: misses its own L1, hits shared L2. *)
+  check_int "cross-proc L2"
+    (cfg.Tls.Config.l1_hit + cfg.Tls.Config.l2_hit)
+    (Tls.Memsys.access m ~proc:1 ~addr:4096)
+
+let memsys_line_of () =
+  let m = Tls.Memsys.create Tls.Config.default in
+  check_int "same line" (Tls.Memsys.line_of m 8) (Tls.Memsys.line_of m 15);
+  check_bool "next line" true (Tls.Memsys.line_of m 16 <> Tls.Memsys.line_of m 15);
+  check_bool "negative stable" true
+    (Tls.Memsys.line_of m (-1) <> Tls.Memsys.line_of m 0)
+
+(* ------------------------------------------------------------------ *)
+(* Hardware sync table                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let hwsync_basic () =
+  let t = Tls.Hwsync.create ~size:2 ~reset_interval:1000 in
+  check_bool "not marked" false (Tls.Hwsync.marked t 1);
+  Tls.Hwsync.record_violation t 1;
+  check_bool "marked" true (Tls.Hwsync.marked t 1)
+
+let hwsync_lru_capacity () =
+  let t = Tls.Hwsync.create ~size:2 ~reset_interval:1000 in
+  Tls.Hwsync.record_violation t 1;
+  Tls.Hwsync.record_violation t 2;
+  Tls.Hwsync.record_violation t 1;   (* refresh 1; 2 becomes LRU *)
+  Tls.Hwsync.record_violation t 3;   (* evicts 2 *)
+  check_bool "1 kept" true (Tls.Hwsync.marked t 1);
+  check_bool "2 evicted" false (Tls.Hwsync.marked t 2);
+  check_bool "3 in" true (Tls.Hwsync.marked t 3)
+
+let hwsync_periodic_reset () =
+  let t = Tls.Hwsync.create ~size:4 ~reset_interval:100 in
+  Tls.Hwsync.record_violation t 7;
+  Tls.Hwsync.tick t ~now:50;
+  check_bool "kept before interval" true (Tls.Hwsync.marked t 7);
+  Tls.Hwsync.tick t ~now:150;
+  check_bool "cleared" false (Tls.Hwsync.marked t 7);
+  check_int "reset count" 1 (Tls.Hwsync.resets t)
+
+(* ------------------------------------------------------------------ *)
+(* Value predictor                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let vpred_confidence_build () =
+  let p = Tls.Vpred.create ~stride:false in
+  check_bool "cold no prediction" true (Tls.Vpred.predict p 1 ~confidence:2 = None);
+  Tls.Vpred.train p 1 ~actual:42;
+  check_bool "confidence 1 insufficient" true (Tls.Vpred.predict p 1 ~confidence:2 = None);
+  Tls.Vpred.train p 1 ~actual:42;
+  check_bool "confident now" true (Tls.Vpred.predict p 1 ~confidence:2 = Some 42)
+
+let vpred_stride_mode () =
+  let p = Tls.Vpred.create ~stride:true in
+  Tls.Vpred.train p 1 ~actual:10;
+  Tls.Vpred.train p 1 ~actual:20;   (* stride 10 learned, confidence reset *)
+  Tls.Vpred.train p 1 ~actual:30;   (* 20+10 matches: confidence up *)
+  Tls.Vpred.train p 1 ~actual:40;
+  check_bool "predicts next stride value" true
+    (Tls.Vpred.predict p 1 ~confidence:2 = Some 50);
+  (* The last-value predictor cannot predict a strided stream. *)
+  let q = Tls.Vpred.create ~stride:false in
+  Tls.Vpred.train q 1 ~actual:10;
+  Tls.Vpred.train q 1 ~actual:20;
+  Tls.Vpred.train q 1 ~actual:30;
+  Tls.Vpred.train q 1 ~actual:40;
+  check_bool "last-value stays unconfident" true
+    (Tls.Vpred.predict q 1 ~confidence:2 = None)
+
+let vpred_mispredict_decay () =
+  let p = Tls.Vpred.create ~stride:false in
+  Tls.Vpred.train p 1 ~actual:5;
+  Tls.Vpred.train p 1 ~actual:5;
+  Tls.Vpred.train p 1 ~actual:5;
+  check_bool "confident" true (Tls.Vpred.predict p 1 ~confidence:2 = Some 5);
+  Tls.Vpred.train p 1 ~actual:9;
+  check_bool "retrained, less confident" true (Tls.Vpred.predict p 1 ~confidence:2 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator: end-to-end on crafted programs                           *)
+(* ------------------------------------------------------------------ *)
+
+let compile_modes src input =
+  let u =
+    Tlscore.Pipeline.compile ~source:src ~profile_input:input
+      ~memory_sync:Tlscore.Pipeline.No_memory_sync ()
+  in
+  let c =
+    Tlscore.Pipeline.compile ~source:src ~profile_input:input
+      ~memory_sync:(Tlscore.Pipeline.Profiled { dep_input = input; threshold = 0.05 })
+      ()
+  in
+  (u, c)
+
+let seq_output src input =
+  let prog = Ir.Lower.compile_source src in
+  let code = Runtime.Code.of_prog prog in
+  let mem = Runtime.Memory.create () in
+  Runtime.Thread.run_sequential code ~input mem
+
+let run_tls cfg (compiled : Tlscore.Pipeline.compiled) input =
+  Tls.Sim.run cfg compiled.Tlscore.Pipeline.code ~input ()
+
+(* Program with a genuinely parallel loop and a frequent serial chain. *)
+let chain_src =
+  "int g;\n\
+   int out[64];\n\
+   int work(int x) { int j; int t; t = x; for (j = 0; j < 10 + x % 7; j = \
+   j + 1) { t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+   void main() {\n\
+  \  int i; int v;\n\
+  \  for (i = 0; i < 40; i = i + 1) {\n\
+  \    v = g;\n\
+  \    out[i % 64] = work(v + i);\n\
+  \    g = v + 1;\n\
+  \  }\n\
+  \  print(g);\n\
+  \  print(out[5]);\n\
+   }"
+
+let sim_outputs_match_sequential () =
+  let input = [||] in
+  let expected = seq_output chain_src input in
+  let u, c = compile_modes chain_src input in
+  List.iter
+    (fun (name, cfg, compiled) ->
+      let r = run_tls cfg compiled input in
+      Alcotest.(check (list int)) (name ^ " output") expected r.Tls.Simstats.output)
+    [
+      ("U", Tls.Config.u_mode, u);
+      ("C", Tls.Config.c_mode, c);
+      ("H", Tls.Config.h_mode, u);
+      ("P", Tls.Config.p_mode, u);
+      ("B", Tls.Config.b_mode, c);
+    ]
+
+let sim_final_memory_matches () =
+  let input = [||] in
+  let prog = Ir.Lower.compile_source chain_src in
+  let code = Runtime.Code.of_prog prog in
+  let mem = Runtime.Memory.create () in
+  ignore (Runtime.Thread.run_sequential code ~input mem);
+  let u, _ = compile_modes chain_src input in
+  let r = run_tls Tls.Config.u_mode u input in
+  check_bool "final memory equals sequential" true
+    (Runtime.Memory.equal mem r.Tls.Simstats.final_memory)
+
+let sim_violations_in_u_not_c () =
+  let input = [||] in
+  let u, c = compile_modes chain_src input in
+  let ru = run_tls Tls.Config.u_mode u input in
+  let rc = run_tls Tls.Config.c_mode c input in
+  check_bool "U violates" true (ru.Tls.Simstats.violations > 0);
+  check_bool "C violates less" true
+    (rc.Tls.Simstats.violations < ru.Tls.Simstats.violations)
+
+let sim_epochs_committed () =
+  let input = [||] in
+  let u, _ = compile_modes chain_src input in
+  let r = run_tls Tls.Config.u_mode u input in
+  (* 40 loop epochs; the final (exiting) epoch also commits. *)
+  check_bool "all epochs committed" true (r.Tls.Simstats.epochs_committed >= 40)
+
+let sim_hw_sync_reduces_violations () =
+  let input = [||] in
+  let u, _ = compile_modes chain_src input in
+  let ru = run_tls Tls.Config.u_mode u input in
+  let rh = run_tls Tls.Config.h_mode u input in
+  check_bool "H reduces violations" true
+    (rh.Tls.Simstats.violations < ru.Tls.Simstats.violations);
+  check_bool "H marked loads" true (rh.Tls.Simstats.hw_marked_loads > 0)
+
+let sim_sequential_timing_tracks_regions () =
+  let input = [||] in
+  let u, _ = compile_modes chain_src input in
+  let prog = Ir.Lower.compile_source chain_src in
+  let seq =
+    Tls.Sim.run_sequential Tls.Config.default
+      (Runtime.Code.of_prog prog)
+      ~input ~track:u.Tlscore.Pipeline.code.Runtime.Code.regions
+  in
+  check_bool "region cycles positive" true
+    (List.exists (fun (_, c) -> c > 0) seq.Tls.Simstats.sq_region_cycles);
+  check_bool "region below total" true
+    (List.fold_left (fun a (_, c) -> a + c) 0 seq.Tls.Simstats.sq_region_cycles
+    < seq.Tls.Simstats.sq_cycles)
+
+(* §2.2 forwarding correctness: pointer-varying groups where the
+   forwarded address sometimes matches, sometimes not, and where the
+   producer re-stores a signaled address. *)
+let aliasing_src =
+  "int slots[32];   // one slot per line would hide the conflicts we want\n\
+   int sel[64];\n\
+   int work(int x) { int j; int t; t = x; for (j = 0; j < 12; j = j + 1) { \
+   t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+   void main() {\n\
+  \  int i; int k; int v;\n\
+  \  for (i = 0; i < 48; i = i + 1) {\n\
+  \    k = sel[i % 64] % 4;\n\
+  \    v = slots[k * 8];\n\
+  \    v = v + work(i);\n\
+  \    slots[k * 8] = v;\n\
+  \    if (i % 5 == 0) { slots[k * 8] = v + 1; }   // re-store after signal\n\
+  \  }\n\
+  \  print(slots[0] + slots[8] + slots[16] + slots[24]);\n\
+   }"
+
+let sim_aliasing_correct () =
+  let input = Array.init 64 (fun i -> i * 7) in
+  let expected = seq_output aliasing_src input in
+  let u, c = compile_modes aliasing_src input in
+  List.iter
+    (fun (name, cfg, compiled) ->
+      let r = run_tls cfg compiled input in
+      Alcotest.(check (list int)) (name ^ " aliasing output") expected
+        r.Tls.Simstats.output)
+    [ ("U", Tls.Config.u_mode, u); ("C", Tls.Config.c_mode, c);
+      ("B", Tls.Config.b_mode, c) ]
+
+(* Conditional production: paths that never store must release consumers
+   via NULL signals. *)
+let null_path_src =
+  "int g;\n\
+   int out[64];\n\
+   int work(int x) { int j; int t; t = x; for (j = 0; j < 10; j = j + 1) { \
+   t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+   void main() {\n\
+  \  int i; int v;\n\
+  \  for (i = 0; i < 40; i = i + 1) {\n\
+  \    v = g;\n\
+  \    out[i % 64] = work(v + i);\n\
+  \    if (i % 3 == 0) { g = v + i; }\n\
+  \  }\n\
+  \  print(g);\n\
+   }"
+
+let sim_null_paths_correct () =
+  let input = [||] in
+  let expected = seq_output null_path_src input in
+  let _, c = compile_modes null_path_src input in
+  let r = run_tls Tls.Config.c_mode c input in
+  Alcotest.(check (list int)) "null-path output" expected r.Tls.Simstats.output
+
+(* Loop exits by break: speculative epochs beyond the exit are discarded. *)
+let break_src =
+  "int a[64];\n\
+   int work(int x) { int j; int t; t = x; for (j = 0; j < 10; j = j + 1) { \
+   t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+   void main() {\n\
+  \  int i; int v;\n\
+  \  for (i = 0; i < 1000; i = i + 1) {\n\
+  \    v = work(i);\n\
+  \    a[i % 64] = v;\n\
+  \    if (v % 97 == 13) { break; }\n\
+  \  }\n\
+  \  print(i);\n\
+   }"
+
+let sim_break_exits () =
+  let input = [||] in
+  let expected = seq_output break_src input in
+  let u, _ = compile_modes break_src input in
+  let r = run_tls Tls.Config.u_mode u input in
+  Alcotest.(check (list int)) "break output" expected r.Tls.Simstats.output;
+  check_bool "wrong-path epochs discarded" true (r.Tls.Simstats.epochs_squashed > 0)
+
+(* Loop exit via return from within the region. *)
+let return_src =
+  "int a[64];\n\
+   int work(int x) { int j; int t; t = x; for (j = 0; j < 10; j = j + 1) { \
+   t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+   int scan() { int i; int v; for (i = 0; i < 1000; i = i + 1) { v = \
+   work(i); a[i % 64] = v; if (v % 89 == 7) { return i; } } return -1; }\n\
+   void main() { print(scan()); }"
+
+let sim_return_exits () =
+  let input = [||] in
+  let expected = seq_output return_src input in
+  let u, _ = compile_modes return_src input in
+  let r = run_tls Tls.Config.u_mode u input in
+  Alcotest.(check (list int)) "return output" expected r.Tls.Simstats.output
+
+(* Nested regions: a region reached inside another region's epoch must
+   execute sequentially and still be correct. *)
+let nested_region_src =
+  "int acc[64];\n\
+   int inner(int base) { int j; int s; s = 0; for (j = 0; j < 20; j = j + \
+   1) { s = s + ((base + j) * 7) % 31; acc[(base + j) % 64] = s; } return \
+   s; }\n\
+   void main() {\n\
+  \  int i; int t;\n\
+  \  t = 0;\n\
+  \  for (i = 0; i < 25; i = i + 1) { acc[i % 64] = inner(i * 3); }\n\
+  \  for (i = 0; i < 64; i = i + 1) { t = t ^ acc[i]; }\n\
+  \  print(t);\n\
+   }"
+
+let sim_nested_regions () =
+  let input = [||] in
+  let expected = seq_output nested_region_src input in
+  let u, _ = compile_modes nested_region_src input in
+  check_bool "both loops selected" true
+    (List.length u.Tlscore.Pipeline.selected >= 1);
+  let r = run_tls Tls.Config.u_mode u input in
+  Alcotest.(check (list int)) "nested output" expected r.Tls.Simstats.output
+
+(* Slot accounting: total slots equal wall cycles x processors x width,
+   and the classified slots never exceed the total. *)
+let sim_slot_accounting () =
+  let input = [||] in
+  let u, _ = compile_modes chain_src input in
+  let r = run_tls Tls.Config.u_mode u input in
+  let cfg = Tls.Config.u_mode in
+  let s = r.Tls.Simstats.slots in
+  check_int "total slots = region cycles x procs x width"
+    (r.Tls.Simstats.region_cycles * cfg.Tls.Config.num_procs
+   * cfg.Tls.Config.issue_width)
+    s.Tls.Simstats.s_total;
+  check_bool "classification within total" true
+    (s.Tls.Simstats.s_busy + s.Tls.Simstats.s_sync + s.Tls.Simstats.s_fail
+    <= s.Tls.Simstats.s_total);
+  check_bool "other non-negative" true (Tls.Simstats.other s >= 0)
+
+(* The simulator is deterministic: identical runs give identical stats. *)
+let sim_deterministic () =
+  let input = [||] in
+  let _, c = compile_modes chain_src input in
+  let a = run_tls Tls.Config.b_mode c input in
+  let b = run_tls Tls.Config.b_mode c input in
+  check_int "same cycles" a.Tls.Simstats.total_cycles b.Tls.Simstats.total_cycles;
+  check_int "same violations" a.Tls.Simstats.violations b.Tls.Simstats.violations;
+  check_int "same busy slots" a.Tls.Simstats.slots.Tls.Simstats.s_busy
+    b.Tls.Simstats.slots.Tls.Simstats.s_busy
+
+(* Word-granularity tracking (the Cintra-Torrellas per-word access bits)
+   eliminates pure false sharing without breaking true-dependence
+   detection. *)
+let false_sharing_src =
+  "int flags[8];   // one cache line: flags[0] read, flags[4] written\n\
+   int out[64];\n\
+   int work(int x) { int j; int t; t = x; for (j = 0; j < 10 + x % 5; j = \
+   j + 1) { t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+   void main() {\n\
+  \  int i; int m;\n\
+  \  for (i = 0; i < 40; i = i + 1) {\n\
+  \    m = flags[0];\n\
+  \    out[i % 64] = work(m + i);\n\
+  \    flags[4] = i;\n\
+  \  }\n\
+  \  print(flags[4]);\n\
+  \  print(out[3]);\n\
+   }"
+
+let sim_word_tracking () =
+  let input = [||] in
+  let expected = seq_output false_sharing_src input in
+  let u, _ = compile_modes false_sharing_src input in
+  let line = run_tls Tls.Config.u_mode u input in
+  let word_cfg =
+    { Tls.Config.u_mode with Tls.Config.word_level_tracking = true }
+  in
+  let word = run_tls word_cfg u input in
+  Alcotest.(check (list int)) "line-tracking output" expected line.Tls.Simstats.output;
+  Alcotest.(check (list int)) "word-tracking output" expected word.Tls.Simstats.output;
+  check_bool "line tracking sees false sharing" true
+    (line.Tls.Simstats.violations > 10);
+  check_int "word tracking sees none" 0 word.Tls.Simstats.violations;
+  (* True dependences must still violate under word tracking. *)
+  let u2, _ = compile_modes chain_src input in
+  let r2 = run_tls { Tls.Config.u_mode with Tls.Config.word_level_tracking = true } u2 input in
+  check_bool "true deps still caught" true (r2.Tls.Simstats.violations > 0);
+  Alcotest.(check (list int)) "true-dep output" (seq_output chain_src input)
+    r2.Tls.Simstats.output
+
+(* Value prediction must stay correct even when the predicted load is
+   followed by the epoch's own store to the same address (regression: the
+   commit-time verification used to be skipped in that case), and even
+   when a wrong prediction sends an epoch down a divergent path. *)
+let sim_value_prediction_correct () =
+  List.iter
+    (fun src ->
+      let input = [||] in
+      let expected = seq_output src input in
+      let u, _ = compile_modes src input in
+      let r = run_tls Tls.Config.p_mode u input in
+      Alcotest.(check (list int)) "P-mode output" expected r.Tls.Simstats.output)
+    [ chain_src; aliasing_src; null_path_src; break_src ]
+
+(* Region corner cases: zero-trip instances, single-iteration instances,
+   and a region inside a function called many times (one TLS activation
+   per call). *)
+let sim_region_corner_cases () =
+  let src =
+    "int a[64];\n\
+     int work(int x) { int j; int t; t = x; for (j = 0; j < 12; j = j + 1) \
+     { t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+     void sweep(int n) { int i; for (i = 0; i < n; i = i + 1) { a[i % 64] \
+     = work(i); } }\n\
+     void main() {\n\
+    \  int r;\n\
+    \  sweep(0);           // zero-trip instance\n\
+    \  sweep(1);           // single epoch\n\
+    \  for (r = 0; r < 5; r = r + 1) { sweep(20 + r); }  // repeated activation\n\
+    \  print(a[3]); print(a[17]);\n\
+     }"
+  in
+  let input = [||] in
+  let expected = seq_output src input in
+  (* Force selection of sweep's loop (the outer r-loop would dominate). *)
+  let prog = Ir.Lower.compile_source src in
+  let key =
+    List.find
+      (fun (k : Profiler.Profile.loop_key) -> k.Profiler.Profile.lk_func = "sweep")
+      (Profiler.Runner.all_loops prog)
+  in
+  let u =
+    Tlscore.Pipeline.compile ~selection:[ key ] ~source:src ~profile_input:input
+      ~memory_sync:Tlscore.Pipeline.No_memory_sync ()
+  in
+  let r = run_tls Tls.Config.u_mode u input in
+  Alcotest.(check (list int)) "corner-case output" expected r.Tls.Simstats.output;
+  (* 7 activations of the region: sweep called 7 times. *)
+  check_int "one TLS activation per call" 7
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 r.Tls.Simstats.region_instances)
+
+(* A consumer whose committed predecessor never signaled is a protocol
+   violation the simulator must report, not hang on. *)
+let sim_deadlock_detection () =
+  let src =
+    "int a[64];\n\
+     int work(int x) { int j; int t; t = x; for (j = 0; j < 12; j = j + 1) \
+     { t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+     void main() { int i; for (i = 0; i < 20; i = i + 1) { a[i % 64] = \
+     work(i); } print(a[5]); }"
+  in
+  let prog0 = Ir.Lower.compile_source src in
+  let key =
+    List.find
+      (fun (k : Profiler.Profile.loop_key) -> k.Profiler.Profile.lk_func = "main")
+      (Profiler.Runner.all_loops prog0)
+  in
+  let u =
+    Tlscore.Pipeline.compile ~selection:[ key ] ~source:src ~profile_input:[||]
+      ~memory_sync:Tlscore.Pipeline.No_memory_sync ()
+  in
+  assert (u.Tlscore.Pipeline.prog.Ir.Prog.regions <> []);
+  (* Sabotage: strip every scalar signal from the program, leaving the
+     waits in place. *)
+  List.iter
+    (fun (_, f) ->
+      Array.iter
+        (fun (b : Ir.Func.block) ->
+          b.Ir.Func.instrs <-
+            List.filter
+              (fun (i : Ir.Instr.t) ->
+                match i.Ir.Instr.kind with
+                | Ir.Instr.Signal_scalar _ -> false
+                | _ -> true)
+              b.Ir.Func.instrs)
+        f.Ir.Func.blocks)
+    u.Tlscore.Pipeline.prog.Ir.Prog.funcs;
+  let code = Runtime.Code.of_prog u.Tlscore.Pipeline.prog in
+  match Tls.Sim.run Tls.Config.u_mode code ~input:[||] () with
+  | exception Tls.Sim.Deadlock _ -> ()
+  | exception Failure _ -> ()   (* cycle-budget backstop also acceptable *)
+  | _ -> Alcotest.fail "expected a deadlock report"
+
+(* ------------------------------------------------------------------ *)
+(* Oracle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_eliminates_failures () =
+  let input = [||] in
+  let u, _ = compile_modes chain_src input in
+  let oracle = Tls.Oracle.record u.Tlscore.Pipeline.code ~input in
+  check_bool "recorded values" true (Tls.Oracle.size oracle > 0);
+  let cfg = { Tls.Config.u_mode with Tls.Config.oracle = Tls.Config.Oracle_all } in
+  let r = Tls.Sim.run cfg u.Tlscore.Pipeline.code ~input ~oracle () in
+  check_int "no violations" 0 r.Tls.Simstats.violations;
+  check_int "no fail slots" 0 r.Tls.Simstats.slots.Tls.Simstats.s_fail;
+  Alcotest.(check (list int)) "oracle output still correct"
+    (seq_output chain_src input) r.Tls.Simstats.output
+
+let oracle_faster_than_u () =
+  let input = [||] in
+  let u, _ = compile_modes chain_src input in
+  let oracle = Tls.Oracle.record u.Tlscore.Pipeline.code ~input in
+  let ru = run_tls Tls.Config.u_mode u input in
+  let cfg = { Tls.Config.u_mode with Tls.Config.oracle = Tls.Config.Oracle_all } in
+  let ro = Tls.Sim.run cfg u.Tlscore.Pipeline.code ~input ~oracle () in
+  check_bool "O faster" true
+    (ro.Tls.Simstats.region_cycles < ru.Tls.Simstats.region_cycles)
+
+(* Property: TLS output equals sequential output across random inputs and
+   modes (the simulator's fundamental invariant). *)
+let tls_equals_sequential_prop =
+  QCheck.Test.make ~name:"TLS == sequential across inputs/modes" ~count:12
+    QCheck.(pair (int_range 0 1000) (int_range 0 3))
+    (fun (seed, mode) ->
+      let input = Array.init 16 (fun i -> (seed * 31 + i * 17) mod 211) in
+      let expected = seq_output aliasing_src input in
+      let u, c = compile_modes aliasing_src input in
+      let cfg, compiled =
+        match mode with
+        | 0 -> (Tls.Config.u_mode, u)
+        | 1 -> (Tls.Config.c_mode, c)
+        | 2 -> (Tls.Config.h_mode, u)
+        | _ -> (Tls.Config.b_mode, c)
+      in
+      let r = run_tls cfg compiled input in
+      r.Tls.Simstats.output = expected)
+
+let () =
+  Alcotest.run "tls"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hits/misses" `Quick cache_hits_misses;
+          Alcotest.test_case "LRU eviction" `Quick cache_lru_eviction;
+          Alcotest.test_case "bad geometry" `Quick cache_bad_geometry;
+          QCheck_alcotest.to_alcotest cache_matches_reference;
+        ] );
+      ( "memsys",
+        [
+          Alcotest.test_case "latencies" `Quick memsys_latencies;
+          Alcotest.test_case "line mapping" `Quick memsys_line_of;
+        ] );
+      ( "hwsync",
+        [
+          Alcotest.test_case "basic" `Quick hwsync_basic;
+          Alcotest.test_case "LRU capacity" `Quick hwsync_lru_capacity;
+          Alcotest.test_case "periodic reset" `Quick hwsync_periodic_reset;
+        ] );
+      ( "vpred",
+        [
+          Alcotest.test_case "confidence" `Quick vpred_confidence_build;
+          Alcotest.test_case "mispredict decay" `Quick vpred_mispredict_decay;
+          Alcotest.test_case "stride mode" `Quick vpred_stride_mode;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "outputs match sequential" `Quick sim_outputs_match_sequential;
+          Alcotest.test_case "final memory" `Quick sim_final_memory_matches;
+          Alcotest.test_case "violations U vs C" `Quick sim_violations_in_u_not_c;
+          Alcotest.test_case "epochs committed" `Quick sim_epochs_committed;
+          Alcotest.test_case "hw sync works" `Quick sim_hw_sync_reduces_violations;
+          Alcotest.test_case "seq timing regions" `Quick sim_sequential_timing_tracks_regions;
+          Alcotest.test_case "aliasing correct" `Quick sim_aliasing_correct;
+          Alcotest.test_case "null paths" `Quick sim_null_paths_correct;
+          Alcotest.test_case "break exit" `Quick sim_break_exits;
+          Alcotest.test_case "return exit" `Quick sim_return_exits;
+          Alcotest.test_case "nested regions" `Quick sim_nested_regions;
+          Alcotest.test_case "value prediction correct" `Quick sim_value_prediction_correct;
+          Alcotest.test_case "word-level tracking" `Quick sim_word_tracking;
+          Alcotest.test_case "slot accounting" `Quick sim_slot_accounting;
+          Alcotest.test_case "deterministic" `Quick sim_deterministic;
+          Alcotest.test_case "region corner cases" `Quick sim_region_corner_cases;
+          Alcotest.test_case "deadlock detection" `Quick sim_deadlock_detection;
+          QCheck_alcotest.to_alcotest tls_equals_sequential_prop;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "eliminates failures" `Quick oracle_eliminates_failures;
+          Alcotest.test_case "faster than U" `Quick oracle_faster_than_u;
+        ] );
+    ]

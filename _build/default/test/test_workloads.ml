@@ -1,0 +1,210 @@
+(* Workload-character tests: each benchmark was engineered to exhibit a
+   specific dependence pattern (its doc comment states which); these tests
+   pin that character at the profile/pass level, so recalibration
+   regressions are caught without running the full simulator. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let compiled = Hashtbl.create 16
+
+(* U and C builds per workload, computed once per process. *)
+let builds name =
+  match Hashtbl.find_opt compiled name with
+  | Some b -> b
+  | None ->
+    let w = Option.get (Workloads.Registry.find name) in
+    let src = w.Workloads.Workload.source in
+    let train = w.Workloads.Workload.train_input in
+    let refi = w.Workloads.Workload.ref_input in
+    let u =
+      Tlscore.Pipeline.compile ~source:src ~profile_input:train
+        ~memory_sync:Tlscore.Pipeline.No_memory_sync ()
+    in
+    let c =
+      Tlscore.Pipeline.compile ~selection:u.Tlscore.Pipeline.selected
+        ~source:src ~profile_input:train
+        ~memory_sync:
+          (Tlscore.Pipeline.Profiled { dep_input = refi; threshold = 0.05 })
+        ()
+    in
+    let b = (w, u, c) in
+    Hashtbl.replace compiled name b;
+    b
+
+let total_groups (c : Tlscore.Pipeline.compiled) =
+  List.fold_left
+    (fun acc (_, s) -> acc + s.Tlscore.Memsync.ms_groups)
+    0 c.Tlscore.Pipeline.mem_stats
+
+let total_clones (c : Tlscore.Pipeline.compiled) =
+  List.fold_left
+    (fun acc (_, s) -> acc + s.Tlscore.Memsync.ms_clones)
+    0 c.Tlscore.Pipeline.mem_stats
+
+let all_deps (c : Tlscore.Pipeline.compiled) =
+  List.concat_map
+    (fun (_, dp) -> Profiler.Profile.frequent_deps dp ~threshold:0.05)
+    c.Tlscore.Pipeline.dep_profiles
+
+(* Every workload: parses, checks, selects at least one region, and the
+   transformed program passes IR verification (done by the pipeline). *)
+let basics name () =
+  let _, u, c = builds name in
+  check_bool "at least one region" true (u.Tlscore.Pipeline.selected <> []);
+  check_bool "same regions in U and C" true
+    (u.Tlscore.Pipeline.selected = c.Tlscore.Pipeline.selected)
+
+let parser_character () =
+  let _, _, c = builds "parser" in
+  (* The free-list dependences flow through the helper procedures: the
+     profile names them with non-empty call stacks, so cloning happens. *)
+  check_bool "deps through call stacks" true
+    (List.exists
+       (fun (d : Profiler.Profile.dep) ->
+         d.Profiler.Profile.producer.Profiler.Profile.a_ctx <> [])
+       (all_deps c));
+  check_bool "procedures cloned" true (total_clones c >= 2);
+  check_bool "multiple groups (free_list, nfree, node fields)" true
+    (total_groups c >= 3)
+
+let m88ksim_character () =
+  let _, _, c = builds "m88ksim" in
+  (* Pure false sharing: the only word-level dependence is the harmless
+     distance-4 counter recurrence; the violating flag load has none. *)
+  let deps = all_deps c in
+  check_bool "only the counter group" true (total_groups c <= 1);
+  List.iter
+    (fun (_, dp) ->
+      List.iter
+        (fun (dist, _) ->
+          check_bool "no short-distance deps" true (dist >= 4))
+        (Profiler.Profile.distance_histogram dp))
+    c.Tlscore.Pipeline.dep_profiles;
+  ignore deps
+
+let ijpeg_character () =
+  let _, _, c = builds "ijpeg" in
+  check_int "no frequent dependences at all" 0 (List.length (all_deps c))
+
+let bzip2_decomp_character () =
+  let _, _, c = builds "bzip2_decomp" in
+  check_int "no frequent dependences at all" 0 (List.length (all_deps c))
+
+let gzip_comp_profile_sensitivity () =
+  (* The T (train-profiled) build synchronizes a different store site than
+     the C (ref-profiled) build: the hot path flips with the input. *)
+  let w, u, c = builds "gzip_comp" in
+  let t =
+    Tlscore.Pipeline.compile ~selection:u.Tlscore.Pipeline.selected
+      ~source:w.Workloads.Workload.source
+      ~profile_input:w.Workloads.Workload.train_input
+      ~memory_sync:
+        (Tlscore.Pipeline.Profiled
+           { dep_input = w.Workloads.Workload.train_input; threshold = 0.05 })
+      ()
+  in
+  let store_sets (b : Tlscore.Pipeline.compiled) =
+    List.concat_map
+      (fun (r : Ir.Region.t) ->
+        List.concat_map
+          (fun (mg : Ir.Region.mem_group) -> mg.Ir.Region.mg_stores)
+          r.Ir.Region.mem_groups)
+      b.Tlscore.Pipeline.prog.Ir.Prog.regions
+    |> List.sort_uniq compare
+  in
+  check_bool "different synchronized stores" true (store_sets t <> store_sets c)
+
+let gzip_decomp_character () =
+  let _, _, c = builds "gzip_decomp" in
+  (* The write-position dependence is distance-1, every epoch. *)
+  List.iter
+    (fun (_, (dp : Profiler.Profile.dep_profile)) ->
+      let hist = Profiler.Profile.distance_histogram dp in
+      check_bool "all distance 1" true (List.for_all (fun (d, _) -> d = 1) hist))
+    c.Tlscore.Pipeline.dep_profiles;
+  check_bool "helpers cloned (reserve)" true (total_clones c >= 1)
+
+let mcf_character () =
+  let _, _, c = builds "mcf" in
+  (* The best-record store is conditional: the dataflow placement needs
+     guarded frontier signals. *)
+  check_bool "guarded frontier signals" true
+    (List.exists
+       (fun (_, s) -> s.Tlscore.Memsync.ms_guarded_signals > 0)
+       c.Tlscore.Pipeline.mem_stats)
+
+let gap_character () =
+  let _, _, c = builds "gap" in
+  (* Unconditional bump-pointer chain: nulls elided for at least one
+     group, and all dependences are distance 1. *)
+  List.iter
+    (fun (_, (dp : Profiler.Profile.dep_profile)) ->
+      let hist = Profiler.Profile.distance_histogram dp in
+      check_bool "all distance 1" true (List.for_all (fun (d, _) -> d = 1) hist))
+    c.Tlscore.Pipeline.dep_profiles
+
+let twolf_character () =
+  let _, _, c = builds "twolf" in
+  (* The profiled dependence is real but conditional: frequency sits well
+     below 100% (the consumer reads on 25% of epochs). *)
+  let freqs =
+    List.concat_map
+      (fun (_, (dp : Profiler.Profile.dep_profile)) ->
+        Hashtbl.fold
+          (fun _ count acc ->
+            Support.Stats.percent (float_of_int count)
+              (float_of_int dp.Profiler.Profile.total_epochs)
+            :: acc)
+          dp.Profiler.Profile.dep_epochs [])
+      c.Tlscore.Pipeline.dep_profiles
+  in
+  check_bool "has a 5-30%% dependence" true
+    (List.exists (fun f -> f >= 5.0 && f <= 40.0) freqs)
+
+let crafty_character () =
+  let _, _, c = builds "crafty" in
+  (* The hash-hit counter sits just above the 5% threshold. *)
+  let freqs =
+    List.concat_map
+      (fun (_, (dp : Profiler.Profile.dep_profile)) ->
+        Hashtbl.fold
+          (fun _ count acc ->
+            Support.Stats.percent (float_of_int count)
+              (float_of_int dp.Profiler.Profile.total_epochs)
+            :: acc)
+          dp.Profiler.Profile.dep_epochs [])
+      c.Tlscore.Pipeline.dep_profiles
+  in
+  check_bool "a near-threshold dependence exists" true
+    (List.exists (fun f -> f >= 5.0 && f <= 20.0) freqs)
+
+let perlbmk_character () =
+  let _, _, c = builds "perlbmk" in
+  (* Interpreter variables accessed through cloned helpers. *)
+  check_bool "var helpers cloned" true (total_clones c >= 2)
+
+let () =
+  let per_workload =
+    List.map
+      (fun name -> Alcotest.test_case name `Slow (basics name))
+      Workloads.Registry.names
+  in
+  Alcotest.run "workloads"
+    [
+      ("basics", per_workload);
+      ( "character",
+        [
+          Alcotest.test_case "parser: free list via clones" `Slow parser_character;
+          Alcotest.test_case "m88ksim: false sharing only" `Slow m88ksim_character;
+          Alcotest.test_case "ijpeg: independent" `Slow ijpeg_character;
+          Alcotest.test_case "bzip2_decomp: independent" `Slow bzip2_decomp_character;
+          Alcotest.test_case "gzip_comp: profile-sensitive" `Slow gzip_comp_profile_sensitivity;
+          Alcotest.test_case "gzip_decomp: distance-1 early" `Slow gzip_decomp_character;
+          Alcotest.test_case "mcf: guarded frontier" `Slow mcf_character;
+          Alcotest.test_case "gap: serial chain" `Slow gap_character;
+          Alcotest.test_case "twolf: conditional consumer" `Slow twolf_character;
+          Alcotest.test_case "crafty: near-threshold" `Slow crafty_character;
+          Alcotest.test_case "perlbmk: cloned helpers" `Slow perlbmk_character;
+        ] );
+    ]
