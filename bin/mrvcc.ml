@@ -6,6 +6,8 @@
      mrvcc run prog.c --in 1,2,3           # sequential execution
      mrvcc profile prog.c --in 1,2,3       # loop + dependence profile
      mrvcc compile prog.c --in 1,2,3       # show regions and sync insertion
+     mrvcc lint prog.c --in 1,2,3          # static sync-placement checks
+     mrvcc lint                            # lint every bundled benchmark
      mrvcc simulate prog.c --in 1,2,3 --mode C   # TLS simulation
      mrvcc simulate --bench parser --mode H      # a bundled benchmark *)
 
@@ -182,6 +184,66 @@ let cmd_compile file bench input threshold =
       print_newline ();
       print_string (Ir.Pp.program compiled.Tlscore.Pipeline.prog))
 
+(* Compile with memory sync on [input] and report synclint findings.
+   Returns the finding count. *)
+let lint_one ~label source input threshold =
+  with_errors (fun () ->
+      let compiled =
+        Tlscore.Pipeline.compile ~source ~profile_input:input
+          ~memory_sync:
+            (Tlscore.Pipeline.Profiled { dep_input = input; threshold })
+          ()
+      in
+      let prog = compiled.Tlscore.Pipeline.prog in
+      let findings = compiled.Tlscore.Pipeline.lint_findings in
+      List.iter
+        (fun (fd : Analysis.Synclint.finding) ->
+          let what =
+            match fd.Analysis.Synclint.f_iid with
+            | Some iid -> begin
+              match Ir.Prog.iid_info prog iid with
+              | Some info -> Printf.sprintf "  (%s)" info.Ir.Prog.what
+              | None -> ""
+            end
+            | None -> ""
+          in
+          Printf.printf "%s: %s%s\n" label (Analysis.Synclint.to_string fd)
+            what)
+        findings;
+      if findings = [] then begin
+        let n = List.length prog.Ir.Prog.regions in
+        Printf.printf "%s: clean (%d region%s)\n" label n
+          (if n = 1 then "" else "s")
+      end;
+      List.length findings)
+
+let cmd_lint file bench input threshold =
+  let total =
+    match (bench, file) with
+    | None, None ->
+      (* No program named: lint every bundled benchmark on its reference
+         input. *)
+      List.fold_left
+        (fun acc name ->
+          match Workloads.Registry.find name with
+          | Some w ->
+            acc
+            + lint_one ~label:name w.Workloads.Workload.source
+                w.Workloads.Workload.ref_input threshold
+          | None -> acc)
+        0 Workloads.Registry.names
+    | _ ->
+      let source, input = resolve_program file bench input in
+      let label =
+        match (bench, file) with
+        | Some b, _ -> b
+        | _, Some path -> path
+        | None, None -> "program"
+      in
+      lint_one ~label source input threshold
+  in
+  if total > 0 then exit 1
+
 let config_of_mode = function
   | "U" -> Tls.Config.u_mode
   | "C" -> Tls.Config.c_mode
@@ -253,7 +315,7 @@ let action_arg =
     required
     & pos 0 (some (enum
         [ ("dump-ir", `Dump_ir); ("run", `Run); ("profile", `Profile);
-          ("depgraph", `Depgraph); ("compile", `Compile);
+          ("depgraph", `Depgraph); ("compile", `Compile); ("lint", `Lint);
           ("simulate", `Simulate) ])) None
     & info [] ~docv:"ACTION")
 
@@ -264,6 +326,7 @@ let main action file bench input threshold mode =
   | `Profile -> cmd_profile file bench input threshold
   | `Depgraph -> cmd_depgraph file bench input threshold
   | `Compile -> cmd_compile file bench input threshold
+  | `Lint -> cmd_lint file bench input threshold
   | `Simulate -> cmd_simulate file bench input threshold mode
 
 let cmd =

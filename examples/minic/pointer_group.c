@@ -1,0 +1,28 @@
+// A pointer-varying group: the forwarded slot moves with head, so the
+// compiler places eager signals after each member store and NULL guards
+// at the latches.  Lint checks the guards cover every path.
+int slots[128];
+int head;
+
+int work(int x) {
+  int j;
+  int t;
+  t = x;
+  for (j = 0; j < 9; j = j + 1) {
+    t = t + ((t << 1) ^ j) % 71;
+  }
+  return t;
+}
+
+void main() {
+  int i;
+  int v;
+  for (i = 0; i < 40; i = i + 1) {
+    v = slots[head % 128];
+    slots[(head + i) % 128] = work(v + i);
+    if (i % 2 == 0) {
+      head = head + 1;
+    }
+  }
+  print(head + slots[0]);
+}

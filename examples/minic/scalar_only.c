@@ -1,0 +1,25 @@
+// Only registers carry values between epochs: i and s are locals updated
+// by constant steps, so the region forwards them over scalar channels
+// (hoisted to the epoch header) and needs no memory groups.
+int a[64];
+
+int work(int x) {
+  int j;
+  int t;
+  t = x;
+  for (j = 0; j < 8; j = j + 1) {
+    t = t + ((t << 2) ^ j) % 61;
+  }
+  return t;
+}
+
+void main() {
+  int i;
+  int s;
+  s = 7;
+  for (i = 0; i < 40; i = i + 1) {
+    a[i % 64] = work(s + i);
+    s = s + 3;
+  }
+  print(s + a[5]);
+}

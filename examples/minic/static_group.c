@@ -1,0 +1,27 @@
+// A statically-addressed memory-resident value: every epoch reads the
+// previous epoch's g and writes the next one.  Memsync forwards it over
+// one memory channel (wait at the header, signal at the final store);
+// `mrvcc lint` verifies the placement.
+int g;
+int a[64];
+
+int work(int x) {
+  int j;
+  int t;
+  t = x;
+  for (j = 0; j < 8; j = j + 1) {
+    t = t + ((t << 1) ^ j) % 53;
+  }
+  return t;
+}
+
+void main() {
+  int i;
+  int v;
+  for (i = 0; i < 30; i = i + 1) {
+    v = g;
+    a[i % 64] = work(v + i);
+    g = v + 1;
+  }
+  print(g);
+}

@@ -72,6 +72,13 @@ let compute (f : Ir.Func.t) =
 
 let dominates t a b = Int_set.mem a t.dom.(b)
 
+(* Instruction-point dominance: within one block, program order decides;
+   across blocks, block dominance does.  A point never dominates itself
+   (the strict variant is what sync-placement checks need: the wait must
+   execute before its checked load). *)
+let dominates_point t (la, ia) (lb, ib) =
+  if la = lb then ia < ib else dominates t la lb
+
 let idom t l = t.idoms.(l)
 
 let reachable t l = t.reach.(l)

@@ -10,6 +10,12 @@ val compute : Ir.Func.t -> t
 (** [dominates t a b] — does block [a] dominate block [b]? *)
 val dominates : t -> Ir.Instr.label -> Ir.Instr.label -> bool
 
+(** [dominates_point t (la, ia) (lb, ib)] — does the instruction at
+    position [ia] of block [la] strictly dominate the one at position
+    [ib] of block [lb]?  Within one block, program order decides. *)
+val dominates_point :
+  t -> Ir.Instr.label * int -> Ir.Instr.label * int -> bool
+
 (** Immediate dominator; [None] for the entry and unreachable blocks. *)
 val idom : t -> Ir.Instr.label -> Ir.Instr.label option
 

@@ -119,6 +119,21 @@ let successors = function
   | Br (_, a, b) -> if a = b then [ a ] else [ a; b ]
   | Ret _ -> []
 
+let channel_of (i : t) : channel option =
+  match i.kind with
+  | Wait_scalar (ch, _)
+  | Signal_scalar (ch, _)
+  | Wait_mem ch
+  | Sync_load (ch, _, _)
+  | Signal_mem (ch, _)
+  | Signal_mem_if_unsent (ch, _)
+  | Signal_null ch
+  | Signal_null_if_unsent ch ->
+    Some ch
+  | Bin _ | Mov _ | Load _ | Store _ | Call _ | Print _ | Input _
+  | Input_len _ ->
+    None
+
 let is_memory_access (i : t) =
   match i.kind with
   | Load _ | Store _ | Sync_load _ -> true

@@ -74,6 +74,13 @@ let field_offset t sname fname =
 
 let global_addr t name = (Hashtbl.find t.globals name).addr
 
+let globals t =
+  List.map
+    (fun name ->
+      let { addr; words } = Hashtbl.find t.globals name in
+      (name, addr, words))
+    t.order
+
 let globals_extent t = t.extent
 
 let initial_stores t = t.inits

@@ -28,6 +28,11 @@ val field_offset : t -> string -> string -> int
     @raise Not_found for unknown globals. *)
 val global_addr : t -> string -> int
 
+(** All globals in declaration order as [(name, addr, words)] — the
+    abstract memory objects of the points-to analysis (an array is one
+    summarized object). *)
+val globals : t -> (string * int * int) list
+
 (** Total extent of the global segment in words (for memory sizing). *)
 val globals_extent : t -> int
 

@@ -20,7 +20,11 @@ let func (f : Func.t) =
         (fun (i : Instr.t) ->
           let where = Printf.sprintf "L%d/i%d" bl i.Instr.iid in
           List.iter (check_reg where) (Instr.defs i);
-          List.iter (check_reg where) (Instr.uses i))
+          List.iter (check_reg where) (Instr.uses i);
+          match Instr.channel_of i with
+          | Some ch when ch < 0 ->
+            err "%s uses negative channel c%d" where ch
+          | _ -> ())
         b.Func.instrs;
       let where = Printf.sprintf "L%d terminator" bl in
       List.iter (check_reg where) (Instr.term_uses b.Func.term);
@@ -45,6 +49,41 @@ let program (p : Prog.t) =
                       callee;
                   ]
           | _ -> ()))
+    p.Prog.funcs;
+  (* Synchronization channels were allocated by the program's channel
+     allocator, and checked loads only exist where the memory-sync pass
+     created a group for them (region metadata is the witness that the
+     pass ran). *)
+  let mem_group_ids =
+    List.concat_map
+      (fun (r : Region.t) ->
+        List.map (fun (g : Region.mem_group) -> g.Region.mg_id) r.Region.mem_groups)
+      p.Prog.regions
+  in
+  List.iter
+    (fun (fname, f) ->
+      Func.iter_instrs f (fun _ i ->
+          match Instr.channel_of i with
+          | Some ch ->
+            if ch >= p.Prog.next_channel then
+              errors :=
+                !errors
+                @ [
+                    Printf.sprintf "%s: i%d uses unallocated channel c%d" fname
+                      i.Instr.iid ch;
+                  ];
+            (match i.Instr.kind with
+            | Instr.Sync_load _ when not (List.mem ch mem_group_ids) ->
+              errors :=
+                !errors
+                @ [
+                    Printf.sprintf
+                      "%s: checked load i%d on channel c%d has no memory-sync \
+                       group"
+                      fname i.Instr.iid ch;
+                  ]
+            | _ -> ())
+          | None -> ()))
     p.Prog.funcs;
   (* Instruction ids unique program-wide. *)
   let seen = Hashtbl.create 1024 in

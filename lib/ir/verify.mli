@@ -2,9 +2,13 @@
 
     Checks per function: register operands and definitions within
     [nregs]; terminator targets within the block array; parameter
-    registers valid.  Per program: call targets resolve (builtins are
-    instructions, so every [Call] must name a defined function);
-    instruction ids unique program-wide. *)
+    registers valid; synchronization channel ids non-negative.  Per
+    program: call targets resolve (builtins are instructions, so every
+    [Call] must name a defined function); instruction ids unique
+    program-wide; every channel id below the program's allocator mark;
+    and checked loads ([Sync_load]) only on channels for which some
+    region carries a memory-sync group — the region metadata witnesses
+    that the memory-sync pass created them. *)
 
 (** [func f] returns the list of violations (empty = well-formed). *)
 val func : Func.t -> string list

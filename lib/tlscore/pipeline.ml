@@ -11,12 +11,14 @@ type compiled = {
   mem_stats : (Profiler.Profile.loop_key * Memsync.stats) list;
   scalar_infos : (Profiler.Profile.loop_key * Regions.scalar_info list) list;
   unroll_factors : (Profiler.Profile.loop_key * int) list;
+  lint_findings : Analysis.Synclint.finding list;
 }
 
 let original ~source = Ir.Lower.compile_source source
 
 let compile ?thresholds ?selection ?(unroll = true) ?(optimize = false)
-    ?(eager_signals = true) ~source ~profile_input ~memory_sync () =
+    ?(eager_signals = true) ?(lint = true) ~source ~profile_input ~memory_sync
+    () =
   (* Profile the untransformed program. *)
   let reference = Ir.Lower.compile_source source in
   if optimize then ignore (Ir.Opt.run reference);
@@ -86,6 +88,9 @@ let compile ?thresholds ?selection ?(unroll = true) ?(optimize = false)
         regions_and_infos
   in
   Ir.Verify.check_exn prog;
+  let lint_findings =
+    if lint then Analysis.Synclint.run_prog ~dep_profiles prog else []
+  in
   let code = Runtime.Code.of_prog prog in
   {
     prog;
@@ -96,4 +101,5 @@ let compile ?thresholds ?selection ?(unroll = true) ?(optimize = false)
     mem_stats;
     scalar_infos;
     unroll_factors;
+    lint_findings;
   }

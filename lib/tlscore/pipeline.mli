@@ -23,6 +23,9 @@ type compiled = {
   scalar_infos : (Profiler.Profile.loop_key * Regions.scalar_info list) list;
   unroll_factors : (Profiler.Profile.loop_key * int) list;
       (* factor applied per selected loop (1 = left alone) *)
+  lint_findings : Analysis.Synclint.finding list;
+      (* synclint report on the transformed program (empty when clean or
+         when [~lint:false]) *)
 }
 
 (** Compile one configuration.
@@ -36,6 +39,9 @@ type compiled = {
     compiles before any profiling or transformation (default false, so the
     calibrated workload timings are those reported in EXPERIMENTS.md).
     @param eager_signals see {!Memsync.apply} (ablation knob).
+    @param lint run {!Analysis.Synclint} on the transformed program and
+    report its findings in [lint_findings] (default true; findings never
+    abort the compile).
     The resulting program is always checked by {!Ir.Verify}. *)
 val compile :
   ?thresholds:Selection.thresholds ->
@@ -43,6 +49,7 @@ val compile :
   ?unroll:bool ->
   ?optimize:bool ->
   ?eager_signals:bool ->
+  ?lint:bool ->
   source:string ->
   profile_input:int array ->
   memory_sync:memory_sync ->

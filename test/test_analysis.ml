@@ -1,0 +1,348 @@
+(* Synclint and points-to tests.
+
+   The positive direction (the pipeline's own transformations lint clean)
+   is covered by the clean-compile cases here and by the @lint expect test
+   over every bundled workload.  The negative direction mutates the
+   post-pass IR — removing waits, dropping or duplicating signals,
+   rewriting channels and addresses — and checks that the right detector
+   fires. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let compile ?(threshold = 0.05) src input =
+  Tlscore.Pipeline.compile ~source:src ~profile_input:input
+    ~memory_sync:(Tlscore.Pipeline.Profiled { dep_input = input; threshold })
+    ()
+
+let has_detector det findings =
+  List.exists
+    (fun (f : Analysis.Synclint.finding) ->
+      String.equal f.Analysis.Synclint.f_detector det)
+    findings
+
+let pp_findings findings =
+  String.concat "; " (List.map Analysis.Synclint.to_string findings)
+
+(* ------------------------------------------------------------------ *)
+(* Points-to                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pointsto_objects_and_alias () =
+  let src =
+    "int g; int a[8];\n\
+     void main() { int i; for (i = 0; i < 8; i = i + 1) { a[i] = g + i; } g \
+     = a[0]; print(g); }"
+  in
+  let prog = Ir.Lower.compile_source src in
+  let pt = Analysis.Pointsto.analyze prog in
+  check_int "two objects" 2 (Analysis.Pointsto.num_objects pt);
+  let ga = Ir.Layout.global_addr prog.Ir.Prog.layout "g" in
+  let aa = Ir.Layout.global_addr prog.Ir.Prog.layout "a" in
+  (* The store to a[i] addresses through a register derived from a's base:
+     its abstraction is exactly {a}. *)
+  let store_addr = ref None in
+  Ir.Func.iter_instrs (Ir.Prog.func prog "main") (fun _ i ->
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Store ((Ir.Instr.Reg _ as op), _) ->
+        store_addr := Some (Analysis.Pointsto.operand_addr pt "main" op)
+      | _ -> ());
+  let store_addr =
+    match !store_addr with
+    | Some x -> x
+    | None -> Alcotest.fail "expected a pointer store in main"
+  in
+  (match store_addr with
+  | Analysis.Pointsto.Objects s -> begin
+    match Analysis.Pointsto.Int_set.elements s with
+    | [ o ] ->
+      Alcotest.(check string)
+        "points only into a" "a"
+        (Analysis.Pointsto.object_name pt o)
+    | os ->
+      Alcotest.fail
+        (Printf.sprintf "expected a single object, got %d" (List.length os))
+  end
+  | _ -> Alcotest.fail "expected an Objects abstraction");
+  check_bool "same exact address aliases" true
+    (Analysis.Pointsto.may_alias pt (Analysis.Pointsto.Exact ga)
+       (Analysis.Pointsto.Exact ga));
+  check_bool "distinct exact addresses do not" false
+    (Analysis.Pointsto.may_alias pt (Analysis.Pointsto.Exact ga)
+       (Analysis.Pointsto.Exact aa));
+  check_bool "a[i] store may alias a[2]" true
+    (Analysis.Pointsto.may_alias pt store_addr
+       (Analysis.Pointsto.Exact (aa + 2)));
+  check_bool "a[i] store cannot alias g" false
+    (Analysis.Pointsto.may_alias pt store_addr (Analysis.Pointsto.Exact ga));
+  check_bool "unknown aliases everything" true
+    (Analysis.Pointsto.may_alias pt Analysis.Pointsto.Unknown
+       (Analysis.Pointsto.Exact ga))
+
+let pointsto_flows_through_calls () =
+  (* The callee stores through its pointer parameter; the argument is
+     derived from a's base, so the store must land (only) in a. *)
+  let src =
+    "int g; int a[8];\n\
+     void put(int* p, int v) { *p = v; }\n\
+     void main() { int i; for (i = 0; i < 8; i = i + 1) { put(&a[i], i); } \
+     print(a[3] + g); }"
+  in
+  let prog = Ir.Lower.compile_source src in
+  let pt = Analysis.Pointsto.analyze prog in
+  let ga = Ir.Layout.global_addr prog.Ir.Prog.layout "g" in
+  let aa = Ir.Layout.global_addr prog.Ir.Prog.layout "a" in
+  let store_addr = ref None in
+  Ir.Func.iter_instrs (Ir.Prog.func prog "put") (fun _ i ->
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Store (op, _) ->
+        store_addr := Some (Analysis.Pointsto.operand_addr pt "put" op)
+      | _ -> ());
+  match !store_addr with
+  | Some abs ->
+    check_bool "callee store may hit a" true
+      (Analysis.Pointsto.may_alias pt abs (Analysis.Pointsto.Exact (aa + 1)));
+    check_bool "callee store cannot hit g" false
+      (Analysis.Pointsto.may_alias pt abs (Analysis.Pointsto.Exact ga))
+  | None -> Alcotest.fail "expected a store in put"
+
+(* ------------------------------------------------------------------ *)
+(* Clean transformed programs                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The static-address memory-sync shape from the memsync tests: one
+   region, one static group on g. *)
+let memsync_src =
+  "int g;\n\
+   int pad0;\n\
+   int work(int x) { int j; int t; t = x; for (j = 0; j < 8; j = j + 1) { \
+   t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+   int a[64];\n\
+   void main() {\n\
+  \  int i; int v;\n\
+  \  for (i = 0; i < 30; i = i + 1) {\n\
+  \    v = g;\n\
+  \    a[i % 64] = work(v + i);\n\
+  \    g = v + 1;\n\
+  \  }\n\
+  \  print(g);\n\
+   }"
+
+(* One region, one static group on g.  Mutation tests below reuse this. *)
+let compiled_region () =
+  let c = compile memsync_src [||] in
+  let prog = c.Tlscore.Pipeline.prog in
+  match prog.Ir.Prog.regions with
+  | [ region ] when region.Ir.Region.mem_groups <> [] -> (c, prog, region)
+  | _ -> Alcotest.fail "setup: expected one region with a memory group"
+
+let lint_clean_on_transformed () =
+  let c, _, _ = compiled_region () in
+  Alcotest.(check (list string))
+    "transformed program lints clean" []
+    (List.map Analysis.Synclint.to_string c.Tlscore.Pipeline.lint_findings)
+
+let lint_clean_on_pointer_group () =
+  (* A pointer-varying group (eager signals, latch nulls) must also lint
+     clean — in particular the repeated eager signals are not flagged. *)
+  let src =
+    "int slots[128]; int head;\n\
+     int work(int x) { int j; int t; t = x; for (j = 0; j < 9; j = j + 1) \
+     { t = t + ((t << 1) ^ j) % 71; } return t; }\n\
+     void main() {\n\
+    \  int i; int v;\n\
+    \  for (i = 0; i < 40; i = i + 1) {\n\
+    \    v = slots[head % 128];\n\
+    \    slots[(head + i) % 128] = work(v + i);\n\
+    \    if (i % 2 == 0) { head = head + 1; }\n\
+    \  }\n\
+    \  print(head + slots[0]);\n\
+     }"
+  in
+  let c = compile src [||] in
+  check_bool
+    (Printf.sprintf "no findings, got: %s"
+       (pp_findings c.Tlscore.Pipeline.lint_findings))
+    true
+    (c.Tlscore.Pipeline.lint_findings = [])
+
+(* ------------------------------------------------------------------ *)
+(* Mutation tests: one per detector                                    *)
+(* ------------------------------------------------------------------ *)
+
+let remove_kinds (f : Ir.Func.t) pred =
+  Array.iter
+    (fun (b : Ir.Func.block) ->
+      b.Ir.Func.instrs <-
+        List.filter
+          (fun (i : Ir.Instr.t) -> not (pred i.Ir.Instr.kind))
+          b.Ir.Func.instrs)
+    f.Ir.Func.blocks
+
+let map_kinds (f : Ir.Func.t) fn =
+  Array.iter
+    (fun (b : Ir.Func.block) ->
+      b.Ir.Func.instrs <-
+        List.map
+          (fun (i : Ir.Instr.t) -> { i with Ir.Instr.kind = fn i.Ir.Instr.kind })
+          b.Ir.Func.instrs)
+    f.Ir.Func.blocks
+
+let expect det prog =
+  let findings = Analysis.Synclint.run_prog prog in
+  check_bool
+    (Printf.sprintf "%s detected, got: %s" det (pp_findings findings))
+    true (has_detector det findings)
+
+let lint_catches_missing_wait () =
+  let _, prog, _ = compiled_region () in
+  remove_kinds (Ir.Prog.func prog "main") (function
+    | Ir.Instr.Wait_mem _ -> true
+    | _ -> false);
+  expect "dominance" prog
+
+let lint_catches_missing_signal () =
+  let _, prog, _ = compiled_region () in
+  remove_kinds (Ir.Prog.func prog "main") (function
+    | Ir.Instr.Signal_mem _ | Ir.Instr.Signal_mem_if_unsent _ -> true
+    | _ -> false);
+  expect "signal-exactness" prog
+
+let lint_catches_double_signal () =
+  let _, prog, _ = compiled_region () in
+  let f = Ir.Prog.func prog "main" in
+  (* Duplicate the first unconditional memory signal in place. *)
+  let duplicated = ref false in
+  Array.iter
+    (fun (b : Ir.Func.block) ->
+      b.Ir.Func.instrs <-
+        List.concat_map
+          (fun (i : Ir.Instr.t) ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Signal_mem _ when not !duplicated ->
+              duplicated := true;
+              [
+                i;
+                {
+                  Ir.Instr.iid =
+                    Ir.Prog.fresh_iid prog ~in_func:"main" ~what:"dup signal";
+                  kind = i.Ir.Instr.kind;
+                };
+              ]
+            | _ -> [ i ])
+          b.Ir.Func.instrs)
+    f.Ir.Func.blocks;
+  check_bool "setup: found a signal to duplicate" true !duplicated;
+  expect "double-signal" prog
+
+let lint_catches_self_deadlock () =
+  let _, prog, region = compiled_region () in
+  let f = Ir.Prog.func prog "main" in
+  let g = List.hd region.Ir.Region.mem_groups in
+  let ch = g.Ir.Region.mg_id in
+  (* The group's forwarded address, from its checked load. *)
+  let addr = ref None in
+  Ir.Func.iter_instrs f (fun _ i ->
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Sync_load (ch', _, a) when ch' = ch -> addr := Some a
+      | _ -> ());
+  let addr = Option.get !addr in
+  (* Signal unconditionally at the very top of the epoch, before the
+     group's wait. *)
+  let b = Ir.Func.block f region.Ir.Region.header in
+  b.Ir.Func.instrs <-
+    {
+      Ir.Instr.iid =
+        Ir.Prog.fresh_iid prog ~in_func:"main" ~what:"early signal";
+      kind = Ir.Instr.Signal_mem (ch, addr);
+    }
+    :: b.Ir.Func.instrs;
+  expect "self-deadlock" prog
+
+let lint_catches_foreign_channel () =
+  let _, prog, _ = compiled_region () in
+  (* Retarget the memory signals to a channel no region owns. *)
+  map_kinds (Ir.Prog.func prog "main") (function
+    | Ir.Instr.Signal_mem (_, a) -> Ir.Instr.Signal_mem (9999, a)
+    | k -> k);
+  expect "foreign-channel" prog
+
+let lint_catches_dead_group () =
+  let _, prog, _ = compiled_region () in
+  (* Redirect the checked load to an unrelated global: the group's store
+     (to g) can no longer feed its load (from pad0). *)
+  let pad = Ir.Layout.global_addr prog.Ir.Prog.layout "pad0" in
+  map_kinds (Ir.Prog.func prog "main") (function
+    | Ir.Instr.Sync_load (ch, d, _) ->
+      Ir.Instr.Sync_load (ch, d, Ir.Instr.Imm pad)
+    | k -> k);
+  expect "dead-sync-group" prog
+
+let lint_flags_profile_under_coverage () =
+  (* h is read every epoch but written only on an input-dependent path the
+     training input never takes: a may inter-epoch RAW the profile never
+     observed. *)
+  let src =
+    "int g; int h; int a[64];\n\
+     int work(int x) { int j; int t; t = x; for (j = 0; j < 8; j = j + 1) \
+     { t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+     void main() {\n\
+    \  int i; int v;\n\
+    \  for (i = 0; i < 30; i = i + 1) {\n\
+    \    v = g;\n\
+    \    a[i % 64] = work(v + i + h);\n\
+    \    g = v + 1;\n\
+    \    if (in(0) == 1) { h = i; }\n\
+    \  }\n\
+    \  print(g + h);\n\
+     }"
+  in
+  let c = compile src [| 0 |] in
+  check_bool
+    (Printf.sprintf "under-coverage flagged, got: %s"
+       (pp_findings c.Tlscore.Pipeline.lint_findings))
+    true
+    (has_detector "profile-under-coverage" c.Tlscore.Pipeline.lint_findings);
+  check_bool "only warnings" true
+    (List.for_all
+       (fun (f : Analysis.Synclint.finding) ->
+         f.Analysis.Synclint.f_severity = Analysis.Synclint.Warning)
+       c.Tlscore.Pipeline.lint_findings);
+  (* Trained on an input that exercises the store, the dependence is
+     either observed or synchronized away: clean. *)
+  let trained = compile src [| 1 |] in
+  check_bool
+    (Printf.sprintf "clean when trained, got: %s"
+       (pp_findings trained.Tlscore.Pipeline.lint_findings))
+    true
+    (trained.Tlscore.Pipeline.lint_findings = [])
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "pointsto",
+        [
+          Alcotest.test_case "objects and alias" `Quick
+            pointsto_objects_and_alias;
+          Alcotest.test_case "flows through calls" `Quick
+            pointsto_flows_through_calls;
+        ] );
+      ( "synclint clean",
+        [
+          Alcotest.test_case "static group" `Quick lint_clean_on_transformed;
+          Alcotest.test_case "pointer group" `Quick lint_clean_on_pointer_group;
+        ] );
+      ( "synclint detectors",
+        [
+          Alcotest.test_case "dominance" `Quick lint_catches_missing_wait;
+          Alcotest.test_case "signal exactness" `Quick
+            lint_catches_missing_signal;
+          Alcotest.test_case "double signal" `Quick lint_catches_double_signal;
+          Alcotest.test_case "self deadlock" `Quick lint_catches_self_deadlock;
+          Alcotest.test_case "foreign channel" `Quick
+            lint_catches_foreign_channel;
+          Alcotest.test_case "dead sync group" `Quick lint_catches_dead_group;
+          Alcotest.test_case "profile under-coverage" `Quick
+            lint_flags_profile_under_coverage;
+        ] );
+    ]

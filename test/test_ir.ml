@@ -317,6 +317,85 @@ let verify_catches_bad_label () =
   (Ir.Func.block f entry).Ir.Func.term <- Ir.Instr.Jmp 9;
   check_bool "invalid label reported" true (Ir.Verify.func f <> [])
 
+let has_violation sub errs =
+  let contains s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.exists contains errs
+
+let verify_catches_negative_channel () =
+  let f = Ir.Func.create "broken" [] in
+  let entry = Ir.Func.add_block f in
+  (Ir.Func.block f entry).Ir.Func.instrs <-
+    [ { Ir.Instr.iid = 0; kind = Ir.Instr.Wait_mem (-1) } ];
+  check_bool "negative channel reported" true
+    (has_violation "uses negative channel c-1" (Ir.Verify.func f))
+
+let verify_catches_unallocated_channel () =
+  let prog = Ir.Lower.compile_source "void main() { print(1); }" in
+  let f = Ir.Prog.func prog "main" in
+  (* No channels were ever allocated, so c5 is out of range. *)
+  let b = Ir.Func.block f 0 in
+  b.Ir.Func.instrs <-
+    {
+      Ir.Instr.iid = Ir.Prog.fresh_iid prog ~in_func:"main" ~what:"sig";
+      kind = Ir.Instr.Signal_scalar (5, Ir.Instr.Imm 1);
+    }
+    :: b.Ir.Func.instrs;
+  check_bool "unallocated channel reported" true
+    (has_violation "uses unallocated channel c5" (Ir.Verify.program prog))
+
+let verify_catches_groupless_sync_load () =
+  let prog = Ir.Lower.compile_source "int g; void main() { print(g); }" in
+  let f = Ir.Prog.func prog "main" in
+  (* An allocated channel, but no region declares a memory group for it. *)
+  let ch = Ir.Prog.fresh_channel prog in
+  Array.iter
+    (fun (b : Ir.Func.block) ->
+      b.Ir.Func.instrs <-
+        List.map
+          (fun (i : Ir.Instr.t) ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Load (d, a) ->
+              { i with Ir.Instr.kind = Ir.Instr.Sync_load (ch, d, a) }
+            | _ -> i)
+          b.Ir.Func.instrs)
+    f.Ir.Func.blocks;
+  check_bool "groupless checked load reported" true
+    (has_violation "has no memory-sync group" (Ir.Verify.program prog))
+
+let verify_catches_dangling_call () =
+  let prog = Ir.Lower.compile_source "void main() { print(1); }" in
+  let f = Ir.Prog.func prog "main" in
+  let b = Ir.Func.block f 0 in
+  b.Ir.Func.instrs <-
+    b.Ir.Func.instrs
+    @ [
+        {
+          Ir.Instr.iid = Ir.Prog.fresh_iid prog ~in_func:"main" ~what:"call";
+          kind = Ir.Instr.Call (None, "nowhere", []);
+        };
+      ];
+  check_bool "dangling call reported" true
+    (has_violation "call to undefined function nowhere"
+       (Ir.Verify.program prog))
+
+let verify_catches_duplicate_iid () =
+  let prog =
+    Ir.Lower.compile_source "int g; void main() { g = 1; g = 2; print(g); }"
+  in
+  let f = Ir.Prog.func prog "main" in
+  Array.iter
+    (fun (b : Ir.Func.block) ->
+      b.Ir.Func.instrs <-
+        List.map (fun (i : Ir.Instr.t) -> { i with Ir.Instr.iid = 0 })
+          b.Ir.Func.instrs)
+    f.Ir.Func.blocks;
+  check_bool "duplicate iid reported" true
+    (has_violation "duplicate instruction id" (Ir.Verify.program prog))
+
 let verify_accepts_lowered () =
   let prog =
     Ir.Lower.compile_source
@@ -353,6 +432,14 @@ let () =
         [
           Alcotest.test_case "bad register" `Quick verify_catches_bad_register;
           Alcotest.test_case "bad label" `Quick verify_catches_bad_label;
+          Alcotest.test_case "negative channel" `Quick
+            verify_catches_negative_channel;
+          Alcotest.test_case "unallocated channel" `Quick
+            verify_catches_unallocated_channel;
+          Alcotest.test_case "groupless sync load" `Quick
+            verify_catches_groupless_sync_load;
+          Alcotest.test_case "dangling call" `Quick verify_catches_dangling_call;
+          Alcotest.test_case "duplicate iid" `Quick verify_catches_duplicate_iid;
           Alcotest.test_case "accepts lowered" `Quick verify_accepts_lowered;
         ] );
       ( "metadata",
