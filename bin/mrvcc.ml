@@ -9,7 +9,15 @@
      mrvcc lint prog.c --in 1,2,3          # static sync-placement checks
      mrvcc lint                            # lint every bundled benchmark
      mrvcc simulate prog.c --in 1,2,3 --mode C   # TLS simulation
-     mrvcc simulate --bench parser --mode H      # a bundled benchmark *)
+     mrvcc simulate --bench parser --mode H      # a bundled benchmark
+     mrvcc simulate --bench parser --mutate drop-wait  # fault injection
+     mrvcc chaos --bench all                     # full resilience matrix
+     mrvcc chaos --fuzz 20 --seed 7              # chaos-fuzz generated programs
+
+   Exit codes: 0 success; 1 findings / failed cells / output mismatch;
+   2 usage error; 3 simulator deadlock; 4 simulator stuck (watchdog or
+   protocol check); 5 cycle/step budget exhausted; 6 malformed sequential
+   execution. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -65,6 +73,54 @@ let with_errors f =
     Printf.eprintf "type error at %d:%d: %s\n" pos.Lang.Token.line
       pos.Lang.Token.col msg;
     exit 1
+
+(* Map the typed runtime/simulator errors to distinct exit codes with
+   one-line messages, so scripts can tell a hang from a protocol bug. *)
+let guarded f =
+  try f () with
+  | Tls.Sim.Deadlock msg ->
+    Printf.eprintf "deadlock: %s\n" msg;
+    exit 3
+  | Tls.Sim.Stuck d ->
+    Printf.eprintf "stuck: %s\n" (Tls.Sim.describe_stuck d);
+    exit 4
+  | Tls.Sim.Cycle_limit { max_cycles; cycle; where } ->
+    Printf.eprintf "cycle budget exhausted: %s hit %d cycles (limit %d)\n"
+      where cycle max_cycles;
+    exit 5
+  | Runtime.Thread.Step_limit { max_steps; icount } ->
+    Printf.eprintf
+      "step budget exhausted: %d instructions executed (limit %d)\n" icount
+      max_steps;
+    exit 5
+  | Profiler.Runner.Step_limit { max_steps; icount } ->
+    Printf.eprintf
+      "profiling step budget exhausted: %d instructions executed (limit %d)\n"
+      icount max_steps;
+    exit 5
+  | Runtime.Thread.Unexpected_stop { reason; icount } ->
+    Printf.eprintf "sequential thread %s after %d instructions\n" reason icount;
+    exit 6
+  | Profiler.Runner.Unexpected_stop { reason; icount } ->
+    Printf.eprintf "profiled thread %s after %d instructions\n" reason icount;
+    exit 6
+
+(* Resolve a --mutate argument to an IR fault kind. *)
+let mutation_of_name name =
+  match List.assoc_opt name Faults.Irfault.kinds with
+  | Some k -> k
+  | None ->
+    Printf.eprintf "unknown mutation %s (have: %s)\n" name
+      (String.concat ", " (List.map fst Faults.Irfault.kinds));
+    exit 2
+
+let apply_mutation kind prog =
+  match Faults.Irfault.apply kind prog with
+  | Some applied -> applied.Faults.Irfault.prog
+  | None ->
+    Printf.eprintf "mutation %s not applicable to this program\n"
+      (Faults.Irfault.kind_name kind);
+    exit 2
 
 let cmd_dump_ir file bench input =
   let source, _ = resolve_program file bench input in
@@ -186,16 +242,27 @@ let cmd_compile file bench input threshold =
 
 (* Compile with memory sync on [input] and report synclint findings.
    Returns the finding count. *)
-let lint_one ~label source input threshold =
+let lint_one ?mutate ~label source input threshold =
   with_errors (fun () ->
       let compiled =
-        Tlscore.Pipeline.compile ~source ~profile_input:input
+        Tlscore.Pipeline.compile ~lint:(mutate = None) ~source
+          ~profile_input:input
           ~memory_sync:
             (Tlscore.Pipeline.Profiled { dep_input = input; threshold })
           ()
       in
-      let prog = compiled.Tlscore.Pipeline.prog in
-      let findings = compiled.Tlscore.Pipeline.lint_findings in
+      let prog, findings =
+        match mutate with
+        | None ->
+          (compiled.Tlscore.Pipeline.prog, compiled.Tlscore.Pipeline.lint_findings)
+        | Some kind ->
+          (* Lint the mutated program: the clone keeps iids and labels, so
+             the dependence profiles still apply. *)
+          let prog = apply_mutation kind compiled.Tlscore.Pipeline.prog in
+          ( prog,
+            Analysis.Synclint.run_prog
+              ~dep_profiles:compiled.Tlscore.Pipeline.dep_profiles prog )
+      in
       List.iter
         (fun (fd : Analysis.Synclint.finding) ->
           let what =
@@ -217,7 +284,8 @@ let lint_one ~label source input threshold =
       end;
       List.length findings)
 
-let cmd_lint file bench input threshold =
+let cmd_lint file bench input threshold mutate =
+  let mutate = Option.map mutation_of_name mutate in
   let total =
     match (bench, file) with
     | None, None ->
@@ -228,7 +296,7 @@ let cmd_lint file bench input threshold =
           match Workloads.Registry.find name with
           | Some w ->
             acc
-            + lint_one ~label:name w.Workloads.Workload.source
+            + lint_one ?mutate ~label:name w.Workloads.Workload.source
                 w.Workloads.Workload.ref_input threshold
           | None -> acc)
         0 Workloads.Registry.names
@@ -240,7 +308,7 @@ let cmd_lint file bench input threshold =
         | _, Some path -> path
         | None, None -> "program"
       in
-      lint_one ~label source input threshold
+      lint_one ?mutate ~label source input threshold
   in
   if total > 0 then exit 1
 
@@ -254,7 +322,7 @@ let config_of_mode = function
     Printf.eprintf "unknown mode %s (have U, C, H, P, B)\n" m;
     exit 2
 
-let cmd_simulate file bench input threshold mode =
+let cmd_simulate file bench input threshold mode mutate =
   let source, input = resolve_program file bench input in
   with_errors (fun () ->
       let memory_sync =
@@ -265,13 +333,23 @@ let cmd_simulate file bench input threshold mode =
       let compiled =
         Tlscore.Pipeline.compile ~source ~profile_input:input ~memory_sync ()
       in
+      let code =
+        match mutate with
+        | None -> compiled.Tlscore.Pipeline.code
+        | Some name ->
+          let kind = mutation_of_name name in
+          Printf.printf "injected IR fault: %s\n" (Faults.Irfault.kind_name kind);
+          Runtime.Code.of_prog
+            (apply_mutation kind compiled.Tlscore.Pipeline.prog)
+      in
       let cfg = config_of_mode mode in
-      let r = Tls.Sim.run cfg compiled.Tlscore.Pipeline.code ~input () in
+      let r = guarded (fun () -> Tls.Sim.run cfg code ~input ()) in
       let reference = Tlscore.Pipeline.original ~source in
       let seq =
-        Tls.Sim.run_sequential cfg
-          (Runtime.Code.of_prog reference)
-          ~input ~track:compiled.Tlscore.Pipeline.code.Runtime.Code.regions
+        guarded (fun () ->
+            Tls.Sim.run_sequential cfg
+              (Runtime.Code.of_prog reference)
+              ~input ~track:compiled.Tlscore.Pipeline.code.Runtime.Code.regions)
       in
       Printf.printf "mode %s\n" mode;
       Printf.printf "sequential cycles:   %d\n" seq.Tls.Simstats.sq_cycles;
@@ -294,6 +372,60 @@ let cmd_simulate file bench input threshold mode =
         exit 1
       end)
 
+(* ------------------------------------------------------------------ *)
+(* chaos: the fault x workload x mode resilience matrix                 *)
+(* ------------------------------------------------------------------ *)
+
+let program_of_workload (w : Workloads.Workload.t) =
+  {
+    Faults.Chaos.p_name = w.Workloads.Workload.name;
+    p_source = w.Workloads.Workload.source;
+    p_train = w.Workloads.Workload.train_input;
+    p_ref = w.Workloads.Workload.ref_input;
+    p_select_main = false;
+  }
+
+let chaos_programs bench fuzz seed =
+  let named =
+    match bench with
+    | None -> []
+    | Some "all" ->
+      List.filter_map Workloads.Registry.find Workloads.Registry.names
+      |> List.map program_of_workload
+    | Some names ->
+      String.split_on_char ',' names
+      |> List.map (fun name ->
+             match Workloads.Registry.find (String.trim name) with
+             | Some w -> program_of_workload w
+             | None ->
+               Printf.eprintf "unknown benchmark %s (have: all, %s)\n" name
+                 (String.concat ", " Workloads.Registry.names);
+               exit 2)
+  in
+  named @ Faults.Chaos.fuzz_programs ~count:fuzz ~seed
+
+let chaos_modes s =
+  String.split_on_char ',' s
+  |> List.map (fun m ->
+         let m = String.trim m in
+         (m, config_of_mode m))
+
+let cmd_chaos bench modes fuzz seed =
+  let programs = chaos_programs bench fuzz seed in
+  if programs = [] then begin
+    prerr_endline "nothing to run: pass --bench all, --bench NAME[,NAME...], and/or --fuzz N";
+    exit 2
+  end;
+  let modes = chaos_modes modes in
+  with_errors (fun () ->
+      let cells =
+        Faults.Chaos.run_matrix ~log:print_endline ~modes
+          ~faults:Faults.Fault.catalog programs
+      in
+      print_newline ();
+      print_string (Faults.Chaos.render_table cells);
+      if Faults.Chaos.count_failed cells > 0 then exit 1)
+
 open Cmdliner
 
 let file_arg =
@@ -310,24 +442,34 @@ let threshold_arg =
 
 let mode_arg = Arg.(value & opt string "C" & info [ "mode" ] ~docv:"U|C|H|P|B")
 
+let mutate_arg =
+  Arg.(value & opt (some string) None & info [ "mutate" ] ~docv:"FAULT")
+
+let modes_arg =
+  Arg.(value & opt string "U,C,H,B" & info [ "modes" ] ~docv:"M,M,...")
+
+let fuzz_arg = Arg.(value & opt int 0 & info [ "fuzz" ] ~docv:"COUNT")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
+
 let action_arg =
   Arg.(
     required
     & pos 0 (some (enum
         [ ("dump-ir", `Dump_ir); ("run", `Run); ("profile", `Profile);
           ("depgraph", `Depgraph); ("compile", `Compile); ("lint", `Lint);
-          ("simulate", `Simulate) ])) None
+          ("simulate", `Simulate); ("chaos", `Chaos) ])) None
     & info [] ~docv:"ACTION")
 
-let main action file bench input threshold mode =
+let main action file bench input threshold mode mutate modes fuzz seed =
   match action with
   | `Dump_ir -> cmd_dump_ir file bench input
   | `Run -> cmd_run file bench input
   | `Profile -> cmd_profile file bench input threshold
   | `Depgraph -> cmd_depgraph file bench input threshold
   | `Compile -> cmd_compile file bench input threshold
-  | `Lint -> cmd_lint file bench input threshold
-  | `Simulate -> cmd_simulate file bench input threshold mode
+  | `Lint -> cmd_lint file bench input threshold mutate
+  | `Simulate -> cmd_simulate file bench input threshold mode mutate
+  | `Chaos -> cmd_chaos bench modes fuzz seed
 
 let cmd =
   let doc = "mini-C TLS compiler and simulator driver" in
@@ -335,6 +477,7 @@ let cmd =
     (Cmd.info "mrvcc" ~doc)
     Term.(
       const main $ action_arg $ file_arg $ bench_arg $ input_arg
-      $ threshold_arg $ mode_arg)
+      $ threshold_arg $ mode_arg $ mutate_arg $ modes_arg $ fuzz_arg
+      $ seed_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,309 @@
+type program = {
+  p_name : string;
+  p_source : string;
+  p_train : int array;
+  p_ref : int array;
+  p_select_main : bool;
+}
+
+type outcome =
+  | Passed
+  | Absorbed
+  | Detected of string
+  | Skipped
+  | Failed of string
+
+type cell = {
+  c_program : string;
+  c_mode : string;
+  c_fault : string;
+  c_class : Fault.classification option;
+  c_outcome : outcome;
+}
+
+let default_modes =
+  [
+    ("U", Tls.Config.u_mode);
+    ("C", Tls.Config.c_mode);
+    ("H", Tls.Config.h_mode);
+    ("B", Tls.Config.b_mode);
+  ]
+
+let seq_output source input =
+  let prog = Tlscore.Pipeline.original ~source in
+  let code = Runtime.Code.of_prog prog in
+  let mem = Runtime.Memory.create () in
+  Runtime.Thread.run_sequential code ~input mem
+
+let compile ?profile_fault p =
+  let selection =
+    if not p.p_select_main then None
+    else
+      let prog = Tlscore.Pipeline.original ~source:p.p_source in
+      Some
+        (List.filter
+           (fun k -> String.equal k.Profiler.Profile.lk_func "main")
+           (Profiler.Runner.all_loops prog))
+  in
+  Tlscore.Pipeline.compile ?selection ?profile_fault ~lint:false
+    ~source:p.p_source ~profile_input:p.p_train
+    ~memory_sync:
+      (Tlscore.Pipeline.Profiled { dep_input = p.p_train; threshold = 0.05 })
+    ()
+
+(* Whether a fault's injection sites are even reachable under [cfg]:
+   profile distortions and the signal-path simulator faults only matter
+   when the simulator honors compiler-inserted memory synchronization. *)
+let fault_applies cfg (spec : Fault.spec) =
+  let stall = cfg.Tls.Config.stall_compiler_sync in
+  match spec.Fault.plan with
+  | Fault.No_fault | Fault.Ir_fault _ -> true
+  | Fault.Profile_fault _ | Fault.Stale_train -> stall
+  | Fault.Sim_fault (Tls.Config.Spurious_violation _) -> true
+  | Fault.Sim_fault _ -> stall
+
+type run_kind = Baseline | Faulty of Fault.classification
+
+(* Run one simulation and classify it.  The classification is empirical:
+   a detectable fault that completes with the right output was
+   legitimately absorbed (discarded epoch, unexercised site); what it can
+   never do is produce wrong output or hang. *)
+let evaluate ~kind ~expected ?(armed = fun _ -> true) run =
+  match run () with
+  | r ->
+    if not (armed r) then Skipped
+    else if r.Tls.Simstats.output = expected then
+      match kind with Baseline -> Passed | Faulty _ -> Absorbed
+    else Failed "output differs from sequential reference"
+  | exception Tls.Sim.Deadlock msg -> (
+    match kind with
+    | Faulty Fault.Detectable -> Detected ("deadlock: " ^ msg)
+    | _ -> Failed ("unexpected deadlock: " ^ msg))
+  | exception Tls.Sim.Stuck d -> (
+    let msg = Tls.Sim.describe_stuck d in
+    match kind with
+    | Faulty Fault.Detectable -> Detected msg
+    | _ -> Failed ("unexpected stuck: " ^ msg))
+  | exception Tls.Sim.Cycle_limit { cycle; _ } ->
+    Failed
+      (Printf.sprintf "hang: cycle budget hit at cycle %d (watchdog missed it)"
+         cycle)
+  | exception e -> Failed (Printexc.to_string e)
+
+let run_program ?(log = fun _ -> ()) ?watchdog ~modes ~faults p =
+  let tune cfg =
+    match watchdog with
+    | None -> cfg
+    | Some w -> { cfg with Tls.Config.watchdog_window = w }
+  in
+  let seq_train = seq_output p.p_source p.p_train in
+  let seq_ref = lazy (seq_output p.p_source p.p_ref) in
+  let base = compile p in
+  (* Shared across modes: profile-fault recompiles and IR mutations are
+     mode-independent, so build each at most once per program. *)
+  let profile_compiles : (string, (Tlscore.Pipeline.compiled, string) result) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let compile_faulty name pf =
+    match Hashtbl.find_opt profile_compiles name with
+    | Some r -> r
+    | None ->
+      let r =
+        try Ok (compile ~profile_fault:(Proffault.apply pf) p)
+        with e -> Error ("compile: " ^ Printexc.to_string e)
+      in
+      Hashtbl.replace profile_compiles name r;
+      r
+  in
+  let ir_mutants : (string, Runtime.Code.t option) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let mutate name kind =
+    match Hashtbl.find_opt ir_mutants name with
+    | Some r -> r
+    | None ->
+      let r =
+        match Irfault.apply kind base.Tlscore.Pipeline.prog with
+        | None -> None
+        | Some a -> Some (Runtime.Code.of_prog a.Irfault.prog)
+      in
+      Hashtbl.replace ir_mutants name r;
+      r
+  in
+  let cell ~mode ~fault ~cls outcome =
+    { c_program = p.p_name; c_mode = mode; c_fault = fault; c_class = cls;
+      c_outcome = outcome }
+  in
+  let run_mode (mode_name, cfg0) =
+    let cfg = tune cfg0 in
+    let run_code ?(cfg = cfg) ?(input = p.p_train) code () =
+      Tls.Sim.run cfg code ~input ()
+    in
+    let baseline =
+      cell ~mode:mode_name ~fault:"none" ~cls:None
+        (evaluate ~kind:Baseline ~expected:seq_train
+           (run_code base.Tlscore.Pipeline.code))
+    in
+    let fault_cell (spec : Fault.spec) =
+      let cls = Some spec.Fault.classification in
+      let kind = Faulty spec.Fault.classification in
+      let mk = cell ~mode:mode_name ~fault:spec.Fault.name ~cls in
+      if not (fault_applies cfg spec) then mk Skipped
+      else
+        match spec.Fault.plan with
+        | Fault.No_fault ->
+          mk
+            (evaluate ~kind ~expected:seq_train
+               (run_code base.Tlscore.Pipeline.code))
+        | Fault.Profile_fault pf -> (
+          match compile_faulty spec.Fault.name pf with
+          | Error msg -> mk (Failed msg)
+          | Ok compiled ->
+            mk
+              (evaluate ~kind ~expected:seq_train
+                 (run_code compiled.Tlscore.Pipeline.code)))
+        | Fault.Stale_train ->
+          (* Same artifact, trained on p_train, run on p_ref: the profile
+             is stale by construction. *)
+          mk
+            (evaluate ~kind ~expected:(Lazy.force seq_ref)
+               (run_code ~input:p.p_ref base.Tlscore.Pipeline.code))
+        | Fault.Ir_fault k -> (
+          match mutate spec.Fault.name k with
+          | None -> mk Skipped
+          | Some code -> mk (evaluate ~kind ~expected:seq_train (run_code code)))
+        | Fault.Sim_fault f ->
+          let cfg = { cfg with Tls.Config.sim_faults = [ f ] } in
+          mk
+            (evaluate ~kind ~expected:seq_train
+               ~armed:(fun r -> r.Tls.Simstats.faults_fired > 0)
+               (run_code ~cfg base.Tlscore.Pipeline.code))
+    in
+    baseline :: List.map fault_cell faults
+  in
+  let cells = List.concat_map run_mode modes in
+  let failed =
+    List.length
+      (List.filter (fun c -> match c.c_outcome with Failed _ -> true | _ -> false)
+         cells)
+  in
+  log
+    (Printf.sprintf "%-12s %d cells%s" p.p_name (List.length cells)
+       (if failed = 0 then "" else Printf.sprintf ", %d FAILED" failed));
+  cells
+
+let run_matrix ?log ?watchdog ~modes ~faults programs =
+  List.concat_map (run_program ?log ?watchdog ~modes ~faults) programs
+
+let fuzz_programs ~count ~seed =
+  List.init count (fun i ->
+      let s = seed + i in
+      let source, input = Proggen.generate ~seed:s in
+      {
+        p_name = Printf.sprintf "gen-%d" s;
+        p_source = source;
+        p_train = input;
+        p_ref = input;
+        p_select_main = true;
+      })
+
+let count_failed cells =
+  List.length
+    (List.filter
+       (fun c -> match c.c_outcome with Failed _ -> true | _ -> false)
+       cells)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_letter = function
+  | Passed -> 'P'
+  | Absorbed -> 'A'
+  | Detected _ -> 'D'
+  | Skipped -> 'S'
+  | Failed _ -> 'F'
+
+(* Stable de-duplicated list of keys in first-appearance order. *)
+let ordered key cells =
+  List.rev
+    (List.fold_left
+       (fun acc c ->
+         let k = key c in
+         if List.mem k acc then acc else k :: acc)
+       [] cells)
+
+let render_table cells =
+  let buf = Buffer.create 1024 in
+  let faults = ordered (fun c -> c.c_fault) cells in
+  let modes = ordered (fun c -> c.c_mode) cells in
+  let class_of fault =
+    List.find_map
+      (fun c -> if String.equal c.c_fault fault then Some c.c_class else None)
+      cells
+  in
+  let summarize fault mode =
+    let counts = Hashtbl.create 5 in
+    List.iter
+      (fun c ->
+        if String.equal c.c_fault fault && String.equal c.c_mode mode then begin
+          let l = outcome_letter c.c_outcome in
+          Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l))
+        end)
+      cells;
+    let part l =
+      match Hashtbl.find_opt counts l with
+      | None | Some 0 -> None
+      | Some n -> Some (Printf.sprintf "%d%c" n l)
+    in
+    let parts = List.filter_map part [ 'F'; 'P'; 'A'; 'D'; 'S' ] in
+    if parts = [] then "-" else String.concat " " parts
+  in
+  let rows =
+    List.map
+      (fun fault ->
+        let cls =
+          match class_of fault with
+          | Some (Some c) -> Fault.classification_name c
+          | _ -> "baseline"
+        in
+        fault :: cls :: List.map (summarize fault) modes)
+      faults
+  in
+  let header = "fault" :: "class" :: modes in
+  let table = header :: rows in
+  let ncols = List.length header in
+  let width i =
+    List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 table
+  in
+  let widths = List.init ncols width in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i s ->
+          Buffer.add_string buf s;
+          if i < ncols - 1 then
+            Buffer.add_string buf
+              (String.make (List.nth widths i - String.length s + 2) ' '))
+        row;
+      Buffer.add_char buf '\n')
+    table;
+  let tally letter =
+    List.length
+      (List.filter (fun c -> outcome_letter c.c_outcome = letter) cells)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "cells: %d total | %d passed | %d absorbed | %d detected | %d skipped | %d FAILED\n"
+       (List.length cells) (tally 'P') (tally 'A') (tally 'D') (tally 'S')
+       (tally 'F'));
+  List.iter
+    (fun c ->
+      match c.c_outcome with
+      | Failed msg ->
+        Buffer.add_string buf
+          (Printf.sprintf "FAILED  %s mode=%s fault=%s: %s\n" c.c_program
+             c.c_mode c.c_fault msg)
+      | _ -> ())
+    cells;
+  Buffer.contents buf

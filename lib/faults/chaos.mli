@@ -1,0 +1,69 @@
+(** Differential chaos harness: run a program's fault × mode matrix and
+    classify every cell.
+
+    For each (program, mode, fault) cell the harness runs the TLS
+    simulator and compares against the sequential reference:
+    - [Passed]: the no-fault baseline matched sequential output;
+    - [Absorbed]: a fault was injected and the output still matched —
+      the architecture absorbed it;
+    - [Detected]: a detectable fault ended in {!Tls.Sim.Stuck} or
+      {!Tls.Sim.Deadlock} (the message is kept);
+    - [Skipped]: the fault had no applicable site, never armed, or the
+      mode does not exercise that layer;
+    - [Failed]: wrong output, a typed error from an absorbable fault, or
+      a hang that reached the cycle budget instead of the watchdog.
+
+    A matrix is healthy iff [count_failed] is zero. *)
+
+type program = {
+  p_name : string;
+  p_source : string;
+  p_train : int array;   (* profile input; also the default run input *)
+  p_ref : int array;     (* run input for the stale-train fault *)
+  p_select_main : bool;  (* force-select main's loops (generated programs) *)
+}
+
+type outcome =
+  | Passed
+  | Absorbed
+  | Detected of string
+  | Skipped
+  | Failed of string
+
+type cell = {
+  c_program : string;
+  c_mode : string;
+  c_fault : string;                           (* "none" for the baseline *)
+  c_class : Fault.classification option;      (* None for the baseline *)
+  c_outcome : outcome;
+}
+
+(** U, C, H, B. *)
+val default_modes : (string * Tls.Config.t) list
+
+(** All cells for one program: the baseline plus every fault in [faults],
+    under every mode.  [watchdog] overrides the watchdog window. *)
+val run_program :
+  ?log:(string -> unit) ->
+  ?watchdog:int ->
+  modes:(string * Tls.Config.t) list ->
+  faults:Fault.spec list ->
+  program ->
+  cell list
+
+val run_matrix :
+  ?log:(string -> unit) ->
+  ?watchdog:int ->
+  modes:(string * Tls.Config.t) list ->
+  faults:Fault.spec list ->
+  program list ->
+  cell list
+
+(** [count] generated programs, seeds [seed, seed+count). *)
+val fuzz_programs : count:int -> seed:int -> program list
+
+(** Aggregated fault × mode table (counts over programs) followed by a
+    detail line for every FAILED cell. *)
+val render_table : cell list -> string
+
+val count_failed : cell list -> int

@@ -1,0 +1,93 @@
+type classification = Absorbable | Detectable
+
+type plan =
+  | No_fault
+  | Profile_fault of Proffault.t
+  | Stale_train
+  | Ir_fault of Irfault.kind
+  | Sim_fault of Tls.Config.sim_fault
+
+type spec = {
+  name : string;
+  classification : classification;
+  plan : plan;
+}
+
+let classification_name = function
+  | Absorbable -> "absorbable"
+  | Detectable -> "detectable"
+
+let catalog =
+  [
+    (* Profile layer: the compiler was trained on lies. *)
+    {
+      name = "drop-arcs";
+      classification = Absorbable;
+      plan = Profile_fault (Proffault.Drop_arcs { seed = 11 });
+    };
+    {
+      name = "dup-arcs";
+      classification = Absorbable;
+      plan = Profile_fault (Proffault.Duplicate_arcs { seed = 12 });
+    };
+    {
+      name = "shuffle-arcs";
+      classification = Absorbable;
+      plan = Profile_fault (Proffault.Shuffle_arcs { seed = 13 });
+    };
+    { name = "stale-train"; classification = Absorbable; plan = Stale_train };
+    (* IR layer: the compiler emitted broken synchronization. *)
+    {
+      name = "dup-signal";
+      classification = Absorbable;
+      plan = Ir_fault Irfault.Duplicate_signal;
+    };
+    {
+      name = "foreign-signal";
+      classification = Absorbable;
+      plan = Ir_fault Irfault.Foreign_signal;
+    };
+    {
+      name = "drop-signal";
+      classification = Detectable;
+      plan = Ir_fault Irfault.Drop_signal;
+    };
+    {
+      name = "drop-wait";
+      classification = Detectable;
+      plan = Ir_fault Irfault.Drop_wait;
+    };
+    {
+      name = "retarget-channel";
+      classification = Detectable;
+      plan = Ir_fault Irfault.Retarget_channel;
+    };
+    (* Simulator layer: the machine misbehaved. *)
+    {
+      name = "corrupt-addr";
+      classification = Absorbable;
+      plan = Sim_fault (Tls.Config.Corrupt_addr 2);
+    };
+    {
+      name = "corrupt-value";
+      classification = Absorbable;
+      plan = Sim_fault (Tls.Config.Corrupt_value 2);
+    };
+    {
+      name = "delay-signal";
+      classification = Absorbable;
+      plan = Sim_fault (Tls.Config.Delay_signal { nth = 2; extra = 2000 });
+    };
+    {
+      name = "spurious-violation";
+      classification = Absorbable;
+      plan = Sim_fault (Tls.Config.Spurious_violation 3);
+    };
+    {
+      name = "drop-wakeup";
+      classification = Detectable;
+      plan = Sim_fault (Tls.Config.Drop_wakeup 2);
+    };
+  ]
+
+let find name = List.find_opt (fun s -> String.equal s.name name) catalog

@@ -1,0 +1,33 @@
+(** The fault catalog: every injectable fault with its contract.
+
+    [Absorbable] faults must leave TLS execution sequentially equivalent —
+    the architectural recovery paths (signal address buffer, NULL-signal
+    fallback, violation detection, in-order commit) have to absorb them.
+    [Detectable] faults break the synchronization protocol itself; the
+    system must terminate promptly with a typed diagnostic
+    ({!Tls.Sim.Stuck} or {!Tls.Sim.Deadlock}), never hang to the cycle
+    budget.  A detectable fault that lands on a discarded epoch, or in a
+    mode that does not honor the broken mechanism, is legitimately
+    absorbed instead. *)
+
+type classification = Absorbable | Detectable
+
+type plan =
+  | No_fault
+  | Profile_fault of Proffault.t     (* distort the dependence profile *)
+  | Stale_train                      (* profile on train, run on ref *)
+  | Ir_fault of Irfault.kind         (* mutate the synchronized IR *)
+  | Sim_fault of Tls.Config.sim_fault  (* corrupt the machine itself *)
+
+type spec = {
+  name : string;                     (* CLI / table name *)
+  classification : classification;
+  plan : plan;
+}
+
+val classification_name : classification -> string
+
+(** All faults, profile layer first, then IR, then simulator. *)
+val catalog : spec list
+
+val find : string -> spec option

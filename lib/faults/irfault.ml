@@ -1,0 +1,215 @@
+type kind =
+  | Drop_signal
+  | Drop_wait
+  | Duplicate_signal
+  | Retarget_channel
+  | Foreign_signal
+
+type applied = {
+  prog : Ir.Prog.t;
+  channel : Ir.Instr.channel;
+  scalar : bool;
+}
+
+let kinds =
+  [
+    ("drop-signal", Drop_signal);
+    ("drop-wait", Drop_wait);
+    ("dup-signal", Duplicate_signal);
+    ("retarget-channel", Retarget_channel);
+    ("foreign-signal", Foreign_signal);
+  ]
+
+let kind_name k = fst (List.find (fun (_, k') -> k' = k) kinds)
+
+let is_mem_signal_on ch (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Signal_mem (c, _)
+  | Ir.Instr.Signal_mem_if_unsent (c, _)
+  | Ir.Instr.Signal_null c
+  | Ir.Instr.Signal_null_if_unsent c ->
+    c = ch
+  | _ -> false
+
+let is_scalar_signal_on ch (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Signal_scalar (c, _) -> c = ch
+  | _ -> false
+
+let is_wait_mem_on ch (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Wait_mem c -> c = ch
+  | _ -> false
+
+let exists_instr (prog : Ir.Prog.t) pred =
+  List.exists
+    (fun (_, f) ->
+      Array.exists
+        (fun (b : Ir.Func.block) -> List.exists pred b.Ir.Func.instrs)
+        f.Ir.Func.blocks)
+    prog.Ir.Prog.funcs
+
+let remove_instrs (prog : Ir.Prog.t) pred =
+  List.iter
+    (fun (_, f) ->
+      Array.iter
+        (fun (b : Ir.Func.block) ->
+          b.Ir.Func.instrs <-
+            List.filter (fun i -> not (pred i)) b.Ir.Func.instrs)
+        f.Ir.Func.blocks)
+    prog.Ir.Prog.funcs
+
+(* Channels in deterministic program order. *)
+let mem_channels (prog : Ir.Prog.t) =
+  List.concat_map
+    (fun (r : Ir.Region.t) ->
+      List.map (fun (mg : Ir.Region.mem_group) -> mg.Ir.Region.mg_id)
+        r.Ir.Region.mem_groups)
+    prog.Ir.Prog.regions
+
+let scalar_channels (prog : Ir.Prog.t) =
+  List.concat_map
+    (fun (r : Ir.Region.t) ->
+      List.map (fun (sc : Ir.Region.scalar_channel) -> sc.Ir.Region.sc_id)
+        r.Ir.Region.scalar_channels)
+    prog.Ir.Prog.regions
+
+let first_channel_matching prog channels pred =
+  List.find_opt (fun ch -> exists_instr prog (pred ch)) channels
+
+let apply kind prog0 =
+  let prog = Ir.Prog.clone prog0 in
+  match kind with
+  | Drop_signal -> begin
+    (* Prefer a memory channel; dropping means removing every signal on
+       the channel, NULL forms included, so no path releases the
+       consumer. *)
+    match first_channel_matching prog (mem_channels prog) is_mem_signal_on with
+    | Some ch ->
+      remove_instrs prog (is_mem_signal_on ch);
+      Some { prog; channel = ch; scalar = false }
+    | None -> begin
+      match
+        first_channel_matching prog (scalar_channels prog) is_scalar_signal_on
+      with
+      | Some ch ->
+        remove_instrs prog (is_scalar_signal_on ch);
+        Some { prog; channel = ch; scalar = true }
+      | None -> None
+    end
+  end
+  | Drop_wait -> begin
+    match first_channel_matching prog (mem_channels prog) is_wait_mem_on with
+    | Some ch ->
+      remove_instrs prog (is_wait_mem_on ch);
+      Some { prog; channel = ch; scalar = false }
+    | None -> None
+  end
+  | Duplicate_signal -> begin
+    (* Duplicate the first unconditional Signal_mem, right after itself. *)
+    let found = ref None in
+    List.iter
+      (fun ((fname : string), (f : Ir.Func.t)) ->
+        Array.iter
+          (fun (b : Ir.Func.block) ->
+            if !found = None then
+              match
+                List.find_opt
+                  (fun (i : Ir.Instr.t) ->
+                    match i.Ir.Instr.kind with
+                    | Ir.Instr.Signal_mem _ -> true
+                    | _ -> false)
+                  b.Ir.Func.instrs
+              with
+              | Some i ->
+                let dup =
+                  {
+                    i with
+                    Ir.Instr.iid =
+                      Ir.Prog.fresh_iid prog ~in_func:fname
+                        ~what:"chaos duplicate signal";
+                  }
+                in
+                b.Ir.Func.instrs <-
+                  List.concat_map
+                    (fun j -> if j == i then [ j; dup ] else [ j ])
+                    b.Ir.Func.instrs;
+                found := Some i
+              | None -> ())
+          f.Ir.Func.blocks)
+      prog.Ir.Prog.funcs;
+    match !found with
+    | Some i -> begin
+      match Ir.Instr.channel_of i with
+      | Some ch -> Some { prog; channel = ch; scalar = false }
+      | None -> None
+    end
+    | None -> None
+  end
+  | Retarget_channel -> begin
+    match first_channel_matching prog (mem_channels prog) is_mem_signal_on with
+    | Some victim -> begin
+      match List.find_opt (fun ch -> ch <> victim) (mem_channels prog) with
+      | Some target ->
+        List.iter
+          (fun (_, (f : Ir.Func.t)) ->
+            Array.iter
+              (fun (b : Ir.Func.block) ->
+                b.Ir.Func.instrs <-
+                  List.map
+                    (fun (i : Ir.Instr.t) ->
+                      if is_mem_signal_on victim i then
+                        let kind =
+                          match i.Ir.Instr.kind with
+                          | Ir.Instr.Signal_mem (_, a) ->
+                            Ir.Instr.Signal_mem (target, a)
+                          | Ir.Instr.Signal_mem_if_unsent (_, a) ->
+                            Ir.Instr.Signal_mem_if_unsent (target, a)
+                          | Ir.Instr.Signal_null _ ->
+                            Ir.Instr.Signal_null target
+                          | Ir.Instr.Signal_null_if_unsent _ ->
+                            Ir.Instr.Signal_null_if_unsent target
+                          | k -> k
+                        in
+                        { i with Ir.Instr.kind }
+                      else i)
+                    b.Ir.Func.instrs)
+              f.Ir.Func.blocks)
+          prog.Ir.Prog.funcs;
+        Some { prog; channel = victim; scalar = false }
+      | None -> None
+    end
+    | None -> None
+  end
+  | Foreign_signal -> begin
+    (* Inject a signal the region does not own at the top of its body:
+       another region's channel when one exists, else a fresh id. *)
+    match prog.Ir.Prog.regions with
+    | [] -> None
+    | (r : Ir.Region.t) :: rest ->
+      let foreign =
+        let of_region (r' : Ir.Region.t) =
+          List.map
+            (fun (mg : Ir.Region.mem_group) -> mg.Ir.Region.mg_id)
+            r'.Ir.Region.mem_groups
+          @ List.map
+              (fun (sc : Ir.Region.scalar_channel) -> sc.Ir.Region.sc_id)
+              r'.Ir.Region.scalar_channels
+        in
+        match List.concat_map of_region rest with
+        | ch :: _ -> ch
+        | [] -> Ir.Prog.fresh_channel prog
+      in
+      let f = Ir.Prog.func prog r.Ir.Region.func in
+      let b = f.Ir.Func.blocks.(r.Ir.Region.header) in
+      let inj =
+        {
+          Ir.Instr.iid =
+            Ir.Prog.fresh_iid prog ~in_func:r.Ir.Region.func
+              ~what:"chaos foreign signal";
+          kind = Ir.Instr.Signal_null foreign;
+        }
+      in
+      b.Ir.Func.instrs <- inj :: b.Ir.Func.instrs;
+      Some { prog; channel = foreign; scalar = false }
+  end

@@ -1,0 +1,46 @@
+(** IR-layer faults: structural mutations of a compiled (synchronized)
+    program — the same mutation shapes synclint's static detectors are
+    built around, applied for real so the dynamic outcome can be checked
+    against the static prediction.
+
+    [apply] works on a {!Ir.Prog.clone} of its argument, so the input
+    program is never modified.  Target channels are chosen
+    deterministically (first region, first channel with matching
+    instructions), keeping every run reproducible. *)
+
+type kind =
+  | Drop_signal
+      (** Delete every signal on one channel (memory channels preferred,
+          scalar as fallback).  Detectable: a consumer on the committed
+          path deadlocks once its predecessor commits without signaling. *)
+  | Drop_wait
+      (** Delete every [Wait_mem] on one memory channel, leaving its
+          [Sync_load]s.  Detectable under [Forward_normal] via the
+          simulator's protocol check ({e Stuck}/[Missing_wait]). *)
+  | Duplicate_signal
+      (** Duplicate an unconditional [Signal_mem].  Absorbable: the second
+          signal overwrites the first, violating the consumer if it
+          already used the value. *)
+  | Retarget_channel
+      (** Redirect all signals of one memory channel onto another.
+          Detectable: the original channel's consumer starves. *)
+  | Foreign_signal
+      (** Inject a signal on a channel the region does not own (another
+          region's, or a fresh id).  Absorbable: epochs ignore channels
+          outside their region. *)
+
+(** What a successful application did. *)
+type applied = {
+  prog : Ir.Prog.t;                (* the mutated clone *)
+  channel : Ir.Instr.channel;      (* the channel that was attacked *)
+  scalar : bool;                   (* true if it was a scalar channel *)
+}
+
+(** CLI names, e.g. [("drop-signal", Drop_signal)]. *)
+val kinds : (string * kind) list
+
+val kind_name : kind -> string
+
+(** [None] when the program has no applicable site (e.g. no second memory
+    channel to retarget onto). *)
+val apply : kind -> Ir.Prog.t -> applied option

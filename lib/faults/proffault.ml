@@ -1,0 +1,63 @@
+type t =
+  | Drop_arcs of { seed : int }
+  | Duplicate_arcs of { seed : int }
+  | Shuffle_arcs of { seed : int }
+
+let name = function
+  | Drop_arcs _ -> "drop-arcs"
+  | Duplicate_arcs _ -> "dup-arcs"
+  | Shuffle_arcs _ -> "shuffle-arcs"
+
+let copy (dp : Profiler.Profile.dep_profile) =
+  {
+    Profiler.Profile.total_epochs = dp.Profiler.Profile.total_epochs;
+    dep_epochs = Hashtbl.copy dp.Profiler.Profile.dep_epochs;
+    load_dep_epochs = Hashtbl.copy dp.Profiler.Profile.load_dep_epochs;
+    distances = Hashtbl.copy dp.Profiler.Profile.distances;
+  }
+
+(* Arcs in a stable order: hash-table iteration order must never leak
+   into which arcs a seed selects. *)
+let sorted_arcs (dp : Profiler.Profile.dep_profile) =
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) dp.Profiler.Profile.dep_epochs []
+  |> List.sort compare
+
+let apply t dp =
+  let out = copy dp in
+  let arcs = sorted_arcs dp in
+  (match t with
+  | Drop_arcs { seed } ->
+    let rng = Support.Rng.of_int seed in
+    List.iter
+      (fun (dep, _) ->
+        if Support.Rng.chance rng 1 2 then
+          Hashtbl.remove out.Profiler.Profile.dep_epochs dep)
+      arcs
+  | Duplicate_arcs { seed } ->
+    let rng = Support.Rng.of_int seed in
+    let n = List.length arcs in
+    if n > 0 then begin
+      let arr = Array.of_list arcs in
+      for _ = 1 to min 3 n do
+        let { Profiler.Profile.producer; _ }, _ =
+          arr.(Support.Rng.int rng n)
+        in
+        let { Profiler.Profile.consumer; _ }, _ =
+          arr.(Support.Rng.int rng n)
+        in
+        let dep = { Profiler.Profile.producer; consumer } in
+        if not (Hashtbl.mem out.Profiler.Profile.dep_epochs dep) then
+          (* Maximally frequent, so the sync pass is sure to act on it. *)
+          Hashtbl.replace out.Profiler.Profile.dep_epochs dep
+            (max 1 dp.Profiler.Profile.total_epochs)
+      done
+    end
+  | Shuffle_arcs { seed } ->
+    let rng = Support.Rng.of_int seed in
+    let counts = Array.of_list (List.map snd arcs) in
+    Support.Rng.shuffle rng counts;
+    List.iteri
+      (fun i (dep, _) ->
+        Hashtbl.replace out.Profiler.Profile.dep_epochs dep counts.(i))
+      arcs);
+  out

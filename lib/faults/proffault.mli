@@ -1,0 +1,20 @@
+(** Profile-layer faults: deterministic distortions of a dependence
+    profile before the memory-sync pass consumes it.
+
+    The paper's central robustness claim (§2.2) is that synchronization
+    decisions are only a {e performance} hint — the signal address buffer
+    and violation machinery keep execution correct under any profile.
+    These mutators make that claim testable: every one of them is
+    Absorbable (TLS output must still equal sequential output). *)
+
+type t =
+  | Drop_arcs of { seed : int }       (* forget ~half the arcs *)
+  | Duplicate_arcs of { seed : int }  (* invent frequent cross-paired arcs *)
+  | Shuffle_arcs of { seed : int }    (* permute counts among arcs *)
+
+val name : t -> string
+
+(** Fresh mutated copy; the input profile is not modified.  Arc order is
+    stabilized by sorting, so results depend only on the seed and the
+    profile contents, never on hash-table iteration order. *)
+val apply : t -> Profiler.Profile.dep_profile -> Profiler.Profile.dep_profile

@@ -1,0 +1,63 @@
+let generate ~seed =
+  let rng = Support.Rng.of_int (0x9e3779b9 + seed) in
+  let trips = Support.Rng.range rng 12 40 in
+  let work_len = Support.Rng.range rng 6 18 in
+  let chain_mod = List.nth [ 53; 61; 97 ] (Support.Rng.int rng 3) in
+  let stride = if Support.Rng.chance rng 1 2 then 4 else 8 in
+  let slots = Support.Rng.range rng 2 6 in
+  let cond_period = Support.Rng.range rng 2 5 in
+  let cond_chain = Support.Rng.chance rng 1 2 in
+  let second_chain = Support.Rng.chance rng 1 2 in
+  let call_wrapper = Support.Rng.chance rng 1 2 in
+  let with_break = Support.Rng.chance rng 1 3 in
+  let break_residue = Support.Rng.int rng 251 in
+  let input_len = Support.Rng.range rng 8 16 in
+  let input = Array.init input_len (fun _ -> Support.Rng.int rng 1000) in
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "int A[256];\n";
+  pr "int B[64];\n";
+  pr "int g;\n";
+  pr "int h;\n";
+  pr "int work(int x) {\n";
+  pr "  int j; int t;\n";
+  pr "  t = x;\n";
+  pr "  for (j = 0; j < %d + x %% 7; j = j + 1) {\n" work_len;
+  pr "    t = t + ((t << 1) ^ j) %% %d;\n" chain_mod;
+  pr "  }\n";
+  pr "  return t;\n";
+  pr "}\n";
+  if call_wrapper then begin
+    pr "int step(int x, int y) {\n";
+    pr "  return work(x) + work(y) %% 19;\n";
+    pr "}\n"
+  end;
+  pr "void fill(int n) {\n";
+  pr "  int i;\n";
+  pr "  for (i = 0; i < 64; i = i + 1) {\n";
+  pr "    B[i] = in(i %% n) %% 100 + 1;\n";
+  pr "  }\n";
+  pr "}\n";
+  pr "void main() {\n";
+  pr "  int i; int v; int k; int n;\n";
+  pr "  n = inlen();\n";
+  pr "  fill(n);\n";
+  pr "  for (i = 0; i < %d; i = i + 1) {\n" trips;
+  pr "    v = g;\n";
+  pr "    k = B[i %% 64] %% %d;\n" slots;
+  let call = if call_wrapper then "step(v + i, i)" else "work(v + i)" in
+  pr "    A[k * %d] = A[k * %d] + %s %% 31;\n" stride stride call;
+  if cond_chain then
+    pr "    if (i %% %d == 0) { g = v + i %% 13 + 1; }\n" cond_period
+  else pr "    g = v + i %% 13 + 1;\n";
+  if second_chain then pr "    h = h + A[(i * 7) %% 256];\n";
+  if with_break then
+    pr "    if (work(i) %% 251 == %d) { break; }\n" break_residue;
+  pr "  }\n";
+  pr "  print(g);\n";
+  pr "  print(h);\n";
+  pr "  print(A[0]);\n";
+  pr "  print(A[%d]);\n" stride;
+  pr "  print(B[3]);\n";
+  pr "}\n";
+  (Buffer.contents b, input)

@@ -1,0 +1,12 @@
+(** Deterministic generator of pointer/loop/call-heavy mini-C programs for
+    differential chaos fuzzing.
+
+    Every program has exactly one top-level loop in [main] (the
+    speculative-region candidate, at least 12 iterations) mixing the
+    hazard shapes the paper's machinery must handle: a serial scalar
+    chain through a global, array stores through computed ("pointer")
+    indices that alias across epochs, conditional production, calls with
+    internal loops, and an optional rare [break].  The source and input
+    are pure functions of the seed. *)
+
+val generate : seed:int -> string * int array

@@ -74,5 +74,12 @@ let copy_with_iids ~fresh_iid ~new_name f =
     reg_names = Hashtbl.copy f.reg_names;
   }
 
+let clone f =
+  {
+    f with
+    blocks = Array.map (fun b -> { instrs = b.instrs; term = b.term }) f.blocks;
+    reg_names = Hashtbl.copy f.reg_names;
+  }
+
 let instr_count f =
   Array.fold_left (fun acc b -> acc + List.length b.instrs) 0 f.blocks

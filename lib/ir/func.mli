@@ -46,5 +46,10 @@ val reg_name : t -> Instr.reg -> string
     The copy shares no mutable state with the original. *)
 val copy_with_iids : fresh_iid:(unit -> Instr.iid) -> new_name:string -> t -> t
 
+(** Structural copy that keeps instruction ids.  Blocks are fresh records
+    so mutating the clone's instruction lists leaves the original intact;
+    the (immutable) instructions themselves are shared. *)
+val clone : t -> t
+
 (** Total static instruction count (terminators excluded). *)
 val instr_count : t -> int

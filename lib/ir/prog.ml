@@ -59,5 +59,11 @@ let region_at t fname header =
       String.equal r.Region.func fname && r.Region.header = header)
     t.regions
 
+let clone t =
+  let funcs = List.map (fun (name, f) -> (name, Func.clone f)) t.funcs in
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun (name, f) -> Hashtbl.replace by_name name f) funcs;
+  { t with funcs; by_name; iid_infos = Hashtbl.copy t.iid_infos }
+
 let static_size t =
   List.fold_left (fun acc (_, f) -> acc + Func.instr_count f) 0 t.funcs

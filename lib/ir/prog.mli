@@ -42,5 +42,11 @@ val fresh_channel : t -> Instr.channel
 (** Region whose loop lives at [(func, header)], if any. *)
 val region_at : t -> string -> Instr.label -> Region.t option
 
+(** Copy with independently mutable functions/blocks but the same
+    instruction ids, so profiles and region metadata keyed by iid still
+    apply.  Regions and layout are shared with the original; intended for
+    applying destructive IR mutations without disturbing the source. *)
+val clone : t -> t
+
 (** Total static instructions across all functions. *)
 val static_size : t -> int

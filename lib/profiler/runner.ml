@@ -254,6 +254,10 @@ let all_loops (prog : Ir.Prog.t) =
         (Dataflow.Loops.find f))
     prog.Ir.Prog.funcs
 
+exception Step_limit of { max_steps : int; icount : int }
+
+exception Unexpected_stop of { reason : string; icount : int }
+
 let run ?(max_steps = 200_000_000) (prog : Ir.Prog.t) ~input ~watch =
   let code = Runtime.Code.of_prog prog in
   let func_loops = Hashtbl.create 64 in
@@ -312,7 +316,7 @@ let run ?(max_steps = 200_000_000) (prog : Ir.Prog.t) ~input ~watch =
   let t = Runtime.Thread.create code ~func_name:"main" ~input in
   let rec loop () =
     if t.Runtime.Thread.icount > max_steps then
-      failwith "Profiler.Runner.run: step budget exceeded";
+      raise (Step_limit { max_steps; icount = t.Runtime.Thread.icount });
     match Runtime.Thread.step t hooks with
     | Runtime.Thread.Ran (Runtime.Thread.Exec i) ->
       (match i.Ir.Instr.kind with
@@ -328,7 +332,12 @@ let run ?(max_steps = 200_000_000) (prog : Ir.Prog.t) ~input ~watch =
       handle_frame_pop st t.Runtime.Thread.icount;
       loop ()
     | Runtime.Thread.Blocked | Runtime.Thread.Suspended ->
-      failwith "Profiler.Runner.run: sequential execution blocked"
+      raise
+        (Unexpected_stop
+           {
+             reason = "blocked or suspended during sequential profiling";
+             icount = t.Runtime.Thread.icount;
+           })
     | Runtime.Thread.Finished _ ->
       handle_frame_pop st t.Runtime.Thread.icount
   in

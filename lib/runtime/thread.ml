@@ -240,17 +240,22 @@ let step t hooks : outcome =
 
 let output t = List.rev t.output
 
+exception Step_limit of { max_steps : int; icount : int }
+
+exception Unexpected_stop of { reason : string; icount : int }
+
 let run_sequential ?(max_steps = 100_000_000) code ~input mem =
   Memory.store_all mem code.Code.initial_stores;
   let t = create code ~func_name:"main" ~input in
   let hooks = sequential_hooks mem in
   let rec loop () =
     if t.icount > max_steps then
-      failwith "Thread.run_sequential: step budget exceeded";
+      raise (Step_limit { max_steps; icount = t.icount });
     match step t hooks with
     | Ran _ -> loop ()
-    | Blocked -> failwith "Thread.run_sequential: blocked"
-    | Suspended -> failwith "Thread.run_sequential: suspended"
+    | Blocked -> raise (Unexpected_stop { reason = "blocked"; icount = t.icount })
+    | Suspended ->
+      raise (Unexpected_stop { reason = "suspended"; icount = t.icount })
     | Finished _ -> output t
   in
   loop ()

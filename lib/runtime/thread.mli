@@ -80,7 +80,18 @@ val next_instr : t -> Ir.Instr.t option
 (** Output in print order. *)
 val output : t -> int list
 
+(** Raised by {!run_sequential} when the step budget is exhausted (a
+    non-terminating program, or a budget set too low for the workload). *)
+exception Step_limit of { max_steps : int; icount : int }
+
+(** Raised by {!run_sequential} when the thread blocks or suspends: under
+    pure sequential hooks neither can happen, so this indicates malformed
+    code or hooks (the reason is ["blocked"] or ["suspended"]). *)
+exception Unexpected_stop of { reason : string; icount : int }
+
 (** Run under sequential hooks until finished or [max_steps] is hit;
-    returns the outputs.  @raise Failure on exceeding [max_steps]. *)
+    returns the outputs.
+    @raise Step_limit on exceeding [max_steps].
+    @raise Unexpected_stop if the thread blocks or suspends. *)
 val run_sequential :
   ?max_steps:int -> Code.t -> input:int array -> Memory.t -> int list

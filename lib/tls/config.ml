@@ -7,6 +7,13 @@ type oracle_mode =
 
 type forward_timing = Forward_normal | Forward_perfect | Forward_at_commit
 
+type sim_fault =
+  | Corrupt_addr of int
+  | Corrupt_value of int
+  | Delay_signal of { nth : int; extra : int }
+  | Spurious_violation of int
+  | Drop_wakeup of int
+
 type t = {
   num_procs : int;
   issue_width : int;
@@ -39,6 +46,9 @@ type t = {
   word_level_tracking : bool;
   oracle : oracle_mode;
   forward_timing : forward_timing;
+  sim_faults : sim_fault list;
+  watchdog_window : int;
+  protocol_checks : bool;
 }
 
 let default =
@@ -74,6 +84,9 @@ let default =
     word_level_tracking = false;
     oracle = Oracle_none;
     forward_timing = Forward_normal;
+    sim_faults = [];
+    watchdog_window = 50_000;
+    protocol_checks = true;
   }
 
 let u_mode = { default with stall_compiler_sync = false }

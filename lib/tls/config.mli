@@ -18,6 +18,32 @@ type oracle_mode =
     previous epoch commits. *)
 type forward_timing = Forward_normal | Forward_perfect | Forward_at_commit
 
+(** Simulator-level fault injections (the chaos harness, DESIGN §11).
+    Counting is per-simulation and deterministic: "the [n]th memory
+    signal" means the [n]th dynamic [Signal_mem]/[Signal_mem_if_unsent]
+    whose payload is actually sent, 0-based.
+
+    - [Corrupt_addr n]: the [n]th memory signal forwards a garbage
+      address.  Absorbable — consumers fail the address check, fall back
+      to speculative loads, and violation detection covers them.
+    - [Corrupt_value n]: the value of the [n]th memory signal is detected
+      as corrupt before the address check and the payload degrades to a
+      NULL signal (unblocks the consumer, forwards nothing).  Absorbable.
+    - [Delay_signal { nth; extra }]: delivery of the [nth] memory signal
+      is delayed by [extra] additional cycles.  Absorbable (finite delay).
+    - [Spurious_violation n]: the epoch committing [n]th (0-based) is
+      squashed once just before it would commit.  Absorbable — re-running
+      an epoch must be idempotent.
+    - [Drop_wakeup n]: the [n]th blocking wait on a memory channel never
+      gets woken even though the signal arrives.  Detectable — the
+      watchdog must raise {e Stuck}. *)
+type sim_fault =
+  | Corrupt_addr of int
+  | Corrupt_value of int
+  | Delay_signal of { nth : int; extra : int }
+  | Spurious_violation of int
+  | Drop_wakeup of int
+
 type t = {
   (* Machine (Table 1). *)
   num_procs : int;
@@ -63,6 +89,14 @@ type t = {
          allow: false sharing then never violates (ablation knob) *)
   oracle : oracle_mode;
   forward_timing : forward_timing;
+  (* Robustness harness. *)
+  sim_faults : sim_fault list;     (* injected faults (normally []) *)
+  watchdog_window : int;           (* cycles without graduation or commit
+                                      before the simulator raises Stuck *)
+  protocol_checks : bool;
+      (* dynamic sync-protocol checks, e.g. a Sync_load consuming a
+         channel no Wait_mem ever waited on raises Stuck rather than
+         silently degrading to a speculative load *)
 }
 
 (** The machine of Table 1 with compiler synchronization honored and all

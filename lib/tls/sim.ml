@@ -1,5 +1,59 @@
 exception Deadlock of string
 
+(* Typed snapshot of why the simulator is stuck (DESIGN §11): raised by
+   the progress watchdog instead of spinning to the cycle budget, and by
+   the dynamic sync-protocol check. *)
+type epoch_diag = {
+  ed_index : int;
+  ed_status : string;
+  ed_blocked : bool;
+  ed_wake_at : int;                          (* max_int = polling *)
+  ed_last_block : Ir.Instr.channel option;   (* last channel blocked on *)
+  ed_sent : Ir.Instr.channel list;
+  ed_consumed : Ir.Instr.channel list;
+}
+
+type stuck_reason =
+  | No_progress of { window : int }
+  | Missing_wait of { channel : Ir.Instr.channel; iid : Ir.Instr.iid }
+
+type stuck_diag = {
+  sd_reason : stuck_reason;
+  sd_cycle : int;
+  sd_region : int;
+  sd_func : string;
+  sd_oldest : int;
+  sd_epochs : epoch_diag list;
+}
+
+exception Stuck of stuck_diag
+
+exception Cycle_limit of { max_cycles : int; cycle : int; where : string }
+
+let describe_stuck d =
+  let blocked =
+    List.filter_map
+      (fun ed ->
+        if ed.ed_blocked then
+          Some
+            (Printf.sprintf "epoch %d on channel %s" ed.ed_index
+               (match ed.ed_last_block with
+               | Some ch -> string_of_int ch
+               | None -> "?"))
+        else None)
+      d.sd_epochs
+  in
+  let who = match blocked with [] -> "" | l -> ": " ^ String.concat ", " l in
+  match d.sd_reason with
+  | No_progress { window } ->
+    Printf.sprintf
+      "no graduation or commit for %d cycles in region %d (%s) at cycle %d, oldest epoch %d%s"
+      window d.sd_region d.sd_func d.sd_cycle d.sd_oldest who
+  | Missing_wait { channel; iid } ->
+    Printf.sprintf
+      "sync load %d in region %d (%s) consumed channel %d that no wait ever received (cycle %d)"
+      iid d.sd_region d.sd_func channel d.sd_cycle
+
 module Int_set = Set.Make (Int)
 
 type payload =
@@ -28,6 +82,7 @@ type epoch = {
   mutable stall_until : int;
   mutable blocked : bool;
   mutable wake_at : int;                    (* max_int = poll every cycle *)
+  mutable last_block : Ir.Instr.channel option;  (* diagnostic only *)
   mutable a_busy : int;
   mutable a_sync : int;
   mutable a_other : int;
@@ -87,6 +142,14 @@ type sim = {
   (* Forwarding usefulness per channel, for the filter_useless_sync
      enhancement: how often the forwarded address matched the load. *)
   chan_stats : (Ir.Instr.channel, int * int) Hashtbl.t;  (* matched, seen *)
+  (* Robustness harness (DESIGN §11): watchdog + fault injection. *)
+  mutable last_progress : int;     (* cycle of the last graduation/commit *)
+  mutable f_mem_signals : int;     (* dynamic memory-signal counter *)
+  mutable f_blocked_waits : int;   (* dynamic blocking mem-wait counter *)
+  fired : (Config.sim_fault, unit) Hashtbl.t;      (* faults already armed *)
+  dropped_wakeups : (int * Ir.Instr.channel, unit) Hashtbl.t;
+      (* (epoch index, channel) pairs whose wake-up was dropped; persists
+         across squashes so a restarted epoch stays condemned *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -119,6 +182,53 @@ let active_epochs st =
   in
   collect st.ts_oldest []
 
+let epoch_diag_of e =
+  let channels tbl =
+    Hashtbl.fold (fun ch _ acc -> ch :: acc) tbl [] |> List.sort compare
+  in
+  {
+    ed_index = e.ep_index;
+    ed_status =
+      (match e.status with
+      | Running -> "running"
+      | Done -> "done"
+      | Committed -> "committed"
+      | Discarded -> "discarded");
+    ed_blocked = e.blocked;
+    ed_wake_at = e.wake_at;
+    ed_last_block = e.last_block;
+    ed_sent = channels e.sent;
+    ed_consumed = channels e.consumed;
+  }
+
+let stuck_diag_of sim st reason =
+  {
+    sd_reason = reason;
+    sd_cycle = sim.cycle;
+    sd_region = st.ts_region.Ir.Region.id;
+    sd_func = st.ts_region.Ir.Region.func;
+    sd_oldest = st.ts_oldest;
+    sd_epochs = List.map epoch_diag_of (active_epochs st);
+  }
+
+let mark_fired sim fault = Hashtbl.replace sim.fired fault ()
+
+(* One blocking wait on a memory channel: advance the deterministic wait
+   counter and, if a Drop_wakeup fault targets this wait, condemn the
+   (epoch, channel) pair so the signal's arrival is never delivered. *)
+let note_blocked_wait sim e ch =
+  let n = sim.f_blocked_waits in
+  sim.f_blocked_waits <- n + 1;
+  List.iter
+    (fun fault ->
+      match fault with
+      | Config.Drop_wakeup k when k = n ->
+        mark_fired sim fault;
+        Hashtbl.replace sim.dropped_wakeups (e.ep_index, ch) ();
+        e.wake_at <- max_int
+      | _ -> ())
+    sim.cfg.Config.sim_faults
+
 let fresh_epoch sim st index =
   let frame = Runtime.Thread.copy_frame st.ts_base in
   let thread =
@@ -141,6 +251,7 @@ let fresh_epoch sim st index =
     stall_until = sim.cycle + sim.cfg.Config.spawn_overhead;
     blocked = false;
     wake_at = max_int;
+    last_block = None;
     a_busy = 0;
     a_sync = 0;
     a_other = 0;
@@ -394,11 +505,33 @@ let epoch_signal_mem sim st e ch addr =
         | Some v -> (addr, v)
         | None -> (0, 0)
     in
+    (* Chaos faults keyed on the dynamic memory-signal counter: corrupt
+       the forwarded address (consumers fail the address check and fall
+       back to protected speculation), detect a corrupt value before the
+       address check (payload degrades to NULL), or delay delivery. *)
+    let n = sim.f_mem_signals in
+    sim.f_mem_signals <- n + 1;
+    let addr, value, extra_delay =
+      List.fold_left
+        (fun (a, v, d) fault ->
+          match fault with
+          | Config.Corrupt_addr k when k = n ->
+            mark_fired sim fault;
+            ((-987654321) - k, v, d)
+          | Config.Corrupt_value k when k = n ->
+            mark_fired sim fault;
+            (0, 0, d)
+          | Config.Delay_signal { nth; extra } when nth = n ->
+            mark_fired sim fault;
+            (a, v, d + extra)
+          | _ -> (a, v, d))
+        (addr, value, 0) sim.cfg.Config.sim_faults
+    in
     let had_previous = Hashtbl.mem e.sent ch in
     Hashtbl.replace e.sent ch
       {
         se_payload = P_mem (addr, value);
-        se_avail = sim.cycle + sim.cfg.Config.forward_latency;
+        se_avail = sim.cycle + sim.cfg.Config.forward_latency + extra_delay;
       };
     if addr <> 0 then begin
       Hashtbl.replace e.sig_buffer ch addr;
@@ -465,10 +598,12 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
           | Not_yet avail ->
             e.blocked <- true;
             e.wake_at <- avail;
+            e.last_block <- Some ch;
             None
           | Nothing ->
             e.blocked <- true;
             e.wake_at <- max_int;
+            e.last_block <- Some ch;
             None
         end)
     ;
@@ -484,6 +619,15 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
       (fun _ _ ch ->
         if not (my_channel ch) then true
         else if not sim.cfg.Config.stall_compiler_sync then true
+        else if Hashtbl.mem sim.dropped_wakeups (e.ep_index, ch) then begin
+          (* Drop_wakeup fault: the signal may have arrived, but this
+             epoch's wake-up was lost; it must stay blocked so the
+             watchdog (not the cycle budget) ends the run. *)
+          e.blocked <- true;
+          e.wake_at <- max_int;
+          e.last_block <- Some ch;
+          false
+        end
         else if channel_filtered sim ch then true
         else begin
           match sim.cfg.Config.forward_timing with
@@ -493,6 +637,7 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
             else begin
               e.blocked <- true;
               e.wake_at <- max_int;
+              e.last_block <- Some ch;
               false
             end
           | Config.Forward_normal -> begin
@@ -501,10 +646,14 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
             | Not_yet avail ->
               e.blocked <- true;
               e.wake_at <- avail;
+              e.last_block <- Some ch;
+              note_blocked_wait sim e ch;
               false
             | Nothing ->
               e.blocked <- true;
               e.wake_at <- max_int;
+              e.last_block <- Some ch;
+              note_blocked_wait sim e ch;
               false
           end
         end)
@@ -544,9 +693,28 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
                   sim.extra_latency <- 0;
                   v
                 end
-              | Some _ | None ->
+              | Some _ ->
+                (* NULL signal or non-matching address: violation-protected
+                   fallback, exactly as the paper's NULL signals. *)
                 note_channel_outcome sim ch ~matched:false;
                 speculative_load sim e iid addr
+              | None ->
+                (* Nothing was ever received on this channel, so no
+                   Wait_mem dominated this load — the compiler's sync
+                   protocol is broken (e.g. a dropped wait).  Filtering
+                   legitimately elides waits, so the check only applies
+                   when it is off. *)
+                if
+                  sim.cfg.Config.protocol_checks
+                  && not sim.cfg.Config.filter_useless_sync
+                then
+                  raise
+                    (Stuck
+                       (stuck_diag_of sim st (Missing_wait { channel = ch; iid })))
+                else begin
+                  note_channel_outcome sim ch ~matched:false;
+                  speculative_load sim e iid addr
+                end
           end
         end)
     ;
@@ -647,6 +815,7 @@ let graduate sim st e =
       in
       match Runtime.Thread.step e.ep_thread hooks with
       | Runtime.Thread.Ran ev ->
+        sim.last_progress <- sim.cycle;
         e.a_busy <- e.a_busy + 1;
         decr slots;
         e.attempt_instrs <- e.attempt_instrs + 1;
@@ -725,11 +894,35 @@ let accumulate_attempt sim e =
   sim.slots.Simstats.s_other_stall <-
     sim.slots.Simstats.s_other_stall + e.a_other
 
+(* Spurious_violation fault targeting the next commit, if one is armed and
+   unfired.  Keyed on the global commit counter, which does not advance on
+   a squash, so the single-shot guard is what stops it refiring. *)
+let spurious_violation_fires sim =
+  match
+    List.find_opt
+      (fun fault ->
+        match fault with
+        | Config.Spurious_violation k ->
+          k = sim.committed_epochs && not (Hashtbl.mem sim.fired fault)
+        | _ -> false)
+      sim.cfg.Config.sim_faults
+  with
+  | Some fault ->
+    mark_fired sim fault;
+    true
+  | None -> false
+
 let try_commit sim st =
   if sim.cycle >= st.ts_commit_ready then begin
     match Hashtbl.find_opt st.epochs st.ts_oldest with
     | Some e when e.status = Done ->
-      if
+      if spurious_violation_fires sim then begin
+        (* The hardware squashed a correct epoch: re-running it must be
+           idempotent, so this is absorbable by construction. *)
+        sim.violations <- sim.violations + 1;
+        cascade_squash sim st e.ep_index
+      end
+      else if
         sim.cfg.Config.hw_value_predict
         && not (verify_predictions sim e)
       then begin
@@ -764,6 +957,7 @@ let try_commit sim st =
         drain_thread_output sim e.ep_thread;
         accumulate_attempt sim e;
         e.status <- Committed;
+        sim.last_progress <- sim.cycle;
         sim.committed_epochs <- sim.committed_epochs + 1;
         st.ts_commit_ready <- sim.cycle + sim.cfg.Config.commit_overhead;
         match e.exitk with
@@ -851,6 +1045,16 @@ let fast_forward sim st =
   end
 
 let tls_cycle sim st =
+  (* Progress watchdog: if no instruction graduated and no epoch committed
+     for a whole window, the region is wedged (dropped signal, lost
+     wake-up, ...) — raise a typed diagnostic instead of spinning to the
+     cycle budget.  Legitimate stalls (cache misses, forwarding latency,
+     staggered restarts) are orders of magnitude shorter than the window. *)
+  if sim.cycle - sim.last_progress > sim.cfg.Config.watchdog_window then
+    raise
+      (Stuck
+         (stuck_diag_of sim st
+            (No_progress { window = sim.cfg.Config.watchdog_window })));
   Hwsync.tick sim.hwsync ~now:sim.cycle;
   fast_forward sim st;
   sim.slots.Simstats.s_total <- sim.slots.Simstats.s_total + procs_slots sim;
@@ -1015,6 +1219,7 @@ let enter_tls sim (r : Ir.Region.t) =
     }
   in
   spawn_epochs sim st;
+  sim.last_progress <- sim.cycle;
   sim.mode <- Tls st
 
 let seq_cycle sim hooks =
@@ -1112,13 +1317,20 @@ let create_sim cfg code ~input ~oracle ~tls_enabled =
     ever_marked = Hashtbl.create 64;
     region_wall_by_id = Hashtbl.create 8;
     chan_stats = Hashtbl.create 32;
+    last_progress = 0;
+    f_mem_signals = 0;
+    f_blocked_waits = 0;
+    fired = Hashtbl.create 4;
+    dropped_wakeups = Hashtbl.create 4;
   }
 
 let run ?(max_cycles = 2_000_000_000) cfg code ~input ?oracle () =
   let sim = create_sim cfg code ~input ~oracle ~tls_enabled:true in
   let hooks = seq_hooks sim in
   while not sim.finished do
-    if sim.cycle > max_cycles then failwith "Sim.run: cycle budget exceeded";
+    if sim.cycle > max_cycles then
+      raise
+        (Cycle_limit { max_cycles; cycle = sim.cycle; where = "Sim.run" });
     match sim.mode with
     | Seq -> seq_cycle sim hooks
     | Tls st ->
@@ -1150,6 +1362,7 @@ let run ?(max_cycles = 2_000_000_000) cfg code ~input ?oracle () =
        else float_of_int (Memsys.l1_misses sim.memsys) /. float_of_int l1_accesses);
     hw_marked_loads = Hashtbl.length sim.ever_marked;
     vpred_predictions = Vpred.predictions sim.vpred;
+    faults_fired = Hashtbl.length sim.fired;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1232,7 +1445,9 @@ let run_sequential ?(max_cycles = 2_000_000_000) cfg code ~input ~track =
   in
   while not sim.finished do
     if sim.cycle > max_cycles then
-      failwith "Sim.run_sequential: cycle budget exceeded";
+      raise
+        (Cycle_limit
+           { max_cycles; cycle = sim.cycle; where = "Sim.run_sequential" });
     (* One cycle: up to issue_width graduations, tracking extents. *)
     if sim.seq_stall_until > sim.cycle then begin
       let skip = sim.seq_stall_until - sim.cycle in

@@ -20,11 +20,58 @@
 
 exception Deadlock of string
 
+(** Snapshot of one in-flight epoch at the moment the simulator got stuck. *)
+type epoch_diag = {
+  ed_index : int;
+  ed_status : string;             (* "running" / "done" / ... *)
+  ed_blocked : bool;
+  ed_wake_at : int;               (* max_int = polling with no known wake *)
+  ed_last_block : Ir.Instr.channel option;
+  ed_sent : Ir.Instr.channel list;
+  ed_consumed : Ir.Instr.channel list;
+}
+
+type stuck_reason =
+  | No_progress of { window : int }
+      (** The watchdog: no instruction graduated and no epoch committed
+          for [window] consecutive cycles. *)
+  | Missing_wait of { channel : Ir.Instr.channel; iid : Ir.Instr.iid }
+      (** A [Sync_load] consumed a channel nothing was ever received on,
+          i.e. no dominating [Wait_mem] ran — the dynamic counterpart of
+          synclint's dominance check.  Only raised under [Forward_normal]
+          with filtering off and {!Config.t.protocol_checks} set. *)
+
+(** Why and where a TLS region wedged: the typed diagnostic carried by
+    {!Stuck} (DESIGN §11). *)
+type stuck_diag = {
+  sd_reason : stuck_reason;
+  sd_cycle : int;
+  sd_region : int;                (* region id *)
+  sd_func : string;               (* function owning the region *)
+  sd_oldest : int;                (* oldest (next-to-commit) epoch index *)
+  sd_epochs : epoch_diag list;    (* all in-flight epochs, oldest first *)
+}
+
+(** Raised instead of spinning to the cycle budget when a region stops
+    making progress, and by the dynamic sync-protocol check. *)
+exception Stuck of stuck_diag
+
+(** Raised by {!run} / {!run_sequential} when the explicit cycle budget is
+    exhausted — a genuinely non-terminating program, since protocol
+    failures surface as {!Stuck} or {!Deadlock} long before. *)
+exception Cycle_limit of { max_cycles : int; cycle : int; where : string }
+
+(** One-line rendering of a {!stuck_diag} for CLI error messages. *)
+val describe_stuck : stuck_diag -> string
+
 (** Run a whole program under TLS.
     @param oracle required when [cfg.oracle <> Oracle_none] or
     [cfg.forward_timing = Forward_perfect].
     @raise Deadlock on a synchronization protocol violation (a consumer
-    waits on a channel its completed predecessor never signaled). *)
+    waits on a channel its completed predecessor never signaled).
+    @raise Stuck when a region makes no progress for
+    [cfg.watchdog_window] cycles or a protocol check fails.
+    @raise Cycle_limit when [max_cycles] is exhausted. *)
 val run :
   ?max_cycles:int ->
   Config.t ->

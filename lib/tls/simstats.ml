@@ -53,6 +53,7 @@ type result = {
   l1_miss_rate : float;
   hw_marked_loads : int;          (* distinct loads ever in the hw table *)
   vpred_predictions : int;
+  faults_fired : int;             (* injected faults that actually armed *)
 }
 
 type seq_result = {

@@ -17,8 +17,8 @@ type compiled = {
 let original ~source = Ir.Lower.compile_source source
 
 let compile ?thresholds ?selection ?(unroll = true) ?(optimize = false)
-    ?(eager_signals = true) ?(lint = true) ~source ~profile_input ~memory_sync
-    () =
+    ?(eager_signals = true) ?(lint = true) ?profile_fault ~source
+    ~profile_input ~memory_sync () =
   (* Profile the untransformed program. *)
   let reference = Ir.Lower.compile_source source in
   if optimize then ignore (Ir.Opt.run reference);
@@ -64,6 +64,14 @@ let compile ?thresholds ?selection ?(unroll = true) ?(optimize = false)
               (Profiler.Profile.dep_profile p key))
           selected
       end
+  in
+  (* Chaos hook: distort the dependence profiles the sync passes consume
+     (drop/duplicate/shuffle arcs, stale-train substitution) without
+     touching the reference execution. *)
+  let dep_profiles =
+    match profile_fault with
+    | None -> dep_profiles
+    | Some f -> List.map (fun (key, dp) -> (key, f dp)) dep_profiles
   in
   (* Transform a fresh compile of the same source. *)
   let prog = Ir.Lower.compile_source source in

@@ -42,6 +42,9 @@ type compiled = {
     @param lint run {!Analysis.Synclint} on the transformed program and
     report its findings in [lint_findings] (default true; findings never
     abort the compile).
+    @param profile_fault distorts each collected dependence profile before
+    the memory-sync pass consumes it (the chaos harness's profile-fault
+    layer); the reference execution itself is untouched.
     The resulting program is always checked by {!Ir.Verify}. *)
 val compile :
   ?thresholds:Selection.thresholds ->
@@ -50,6 +53,8 @@ val compile :
   ?optimize:bool ->
   ?eager_signals:bool ->
   ?lint:bool ->
+  ?profile_fault:
+    (Profiler.Profile.dep_profile -> Profiler.Profile.dep_profile) ->
   source:string ->
   profile_input:int array ->
   memory_sync:memory_sync ->

@@ -1,0 +1,21 @@
+// CLI smoke-test fixture: a serial chain through the global g gives the
+// selected loop one static-address memory channel, so dropping its
+// signal deadlocks and dropping its wait trips the protocol check.
+int g;
+int out[64];
+int work(int x) {
+  int j; int t;
+  t = x;
+  for (j = 0; j < 10 + x % 7; j = j + 1) { t = t + ((t << 1) ^ j) % 53; }
+  return t;
+}
+void main() {
+  int i; int v;
+  for (i = 0; i < 40; i = i + 1) {
+    v = g;
+    out[i % 64] = work(v + i);
+    g = v + 1;
+  }
+  print(g);
+  print(out[5]);
+}

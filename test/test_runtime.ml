@@ -193,8 +193,10 @@ let thread_step_budget () =
   let code = compile "void main() { while (1) { } }" in
   let mem = Runtime.Memory.create () in
   match Runtime.Thread.run_sequential ~max_steps:10_000 code ~input:[||] mem with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected step budget failure"
+  | exception Runtime.Thread.Step_limit { max_steps; icount } ->
+    Alcotest.(check int) "budget carried" 10_000 max_steps;
+    Alcotest.(check bool) "icount past budget" true (icount > max_steps)
+  | _ -> Alcotest.fail "expected Step_limit"
 
 let copy_frame_independent () =
   let code = compile "void main() { int x; x = 0; print(x); }" in
