@@ -6,7 +6,9 @@
 
    Part 2 — full regeneration of every table and figure of the paper
    (the same output `bin/experiments` produces), so that
-   `dune exec bench/main.exe` yields the complete evaluation. *)
+   `dune exec bench/main.exe` yields the complete evaluation.  Pass
+   `-- --jobs N` to compute part 2's per-benchmark cells on N domains;
+   the rendered bytes do not depend on N. *)
 
 open Bechamel
 open Toolkit
@@ -100,9 +102,9 @@ let run_microbenchmarks () =
   print_endline (Support.Table.render ~header:[ "kernel"; "time/run" ] rows);
   print_newline ()
 
-let run_experiments () =
+let run_experiments pool =
   let ctxs =
-    List.map
+    pool.Harness.Jobs.map
       (fun (w : Workloads.Workload.t) ->
         Printf.eprintf "[setup] %s\n%!" w.Workloads.Workload.name;
         Harness.Context.make w)
@@ -113,23 +115,33 @@ let run_experiments () =
   List.iter
     (fun (name, f) ->
       Printf.eprintf "[bench] %s\n%!" name;
-      print_endline (f ctxs);
+      print_endline (f pool ctxs);
       print_newline ())
     [
-      ("fig2", Harness.Figures.fig2);
-      ("fig6", Harness.Figures.fig6);
-      ("fig7", Harness.Figures.fig7);
-      ("fig8", Harness.Figures.fig8);
-      ("fig9", Harness.Figures.fig9);
-      ("fig10", Harness.Figures.fig10);
-      ("fig11", Harness.Figures.fig11);
-      ("fig12", Harness.Figures.fig12);
-      ("table2", Harness.Figures.table2);
-      ("prose", Harness.Figures.prose_checks);
-      ("ablations", Harness.Figures.ablations);
-      ("extensions", Harness.Figures.extensions);
+      ("fig2", fun pool ctxs -> Harness.Figures.fig2 ~pool ctxs);
+      ("fig6", fun pool ctxs -> Harness.Figures.fig6 ~pool ctxs);
+      ("fig7", fun pool ctxs -> Harness.Figures.fig7 ~pool ctxs);
+      ("fig8", fun pool ctxs -> Harness.Figures.fig8 ~pool ctxs);
+      ("fig9", fun pool ctxs -> Harness.Figures.fig9 ~pool ctxs);
+      ("fig10", fun pool ctxs -> Harness.Figures.fig10 ~pool ctxs);
+      ("fig11", fun pool ctxs -> Harness.Figures.fig11 ~pool ctxs);
+      ("fig12", fun pool ctxs -> Harness.Figures.fig12 ~pool ctxs);
+      ("table2", fun pool ctxs -> Harness.Figures.table2 ~pool ctxs);
+      ("prose", fun pool ctxs -> Harness.Figures.prose_checks ~pool ctxs);
+      ("ablations", fun pool ctxs -> Harness.Figures.ablations ~pool ctxs);
+      ("extensions", fun pool ctxs -> Harness.Figures.extensions ~pool ctxs);
     ]
+
+(* The Bechamel half needs no CLI, so keep argument handling minimal:
+   `main.exe [--jobs N]`. *)
+let jobs_of_argv () =
+  let rec scan = function
+    | "--jobs" :: n :: _ -> ( try int_of_string n with _ -> 1)
+    | _ :: rest -> scan rest
+    | [] -> 1
+  in
+  scan (Array.to_list Sys.argv)
 
 let () =
   run_microbenchmarks ();
-  run_experiments ()
+  run_experiments (Harness.Jobs.create ~jobs:(jobs_of_argv ()))

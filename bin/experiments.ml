@@ -3,7 +3,8 @@
    Usage:
      experiments                  # everything
      experiments fig8 table2     # selected experiments
-     experiments --bench parser --bench gap fig10   # selected benchmarks *)
+     experiments --bench parser --bench gap fig10   # selected benchmarks
+     experiments --jobs 4        # domain-parallel cells, same bytes *)
 
 let all_experiment_names =
   [
@@ -11,7 +12,8 @@ let all_experiment_names =
     "fig12"; "table2"; "prose"; "ablations"; "extensions";
   ]
 
-let run_experiments benches experiments =
+let run_experiments jobs benches experiments =
+  let pool = Harness.Jobs.create ~jobs in
   let workloads =
     match benches with
     | [] -> Workloads.Registry.all
@@ -32,7 +34,7 @@ let run_experiments benches experiments =
   in
   let ctxs =
     if needs_ctx then begin
-      List.map
+      pool.Harness.Jobs.map
         (fun (w : Workloads.Workload.t) ->
           Printf.eprintf "[setup] %s\n%!" w.Workloads.Workload.name;
           Harness.Context.make w)
@@ -46,18 +48,18 @@ let run_experiments benches experiments =
       let output =
         match name with
         | "table1" -> Harness.Figures.table1 ()
-        | "fig2" -> Harness.Figures.fig2 ctxs
-        | "fig6" -> Harness.Figures.fig6 ctxs
-        | "fig7" -> Harness.Figures.fig7 ctxs
-        | "fig8" -> Harness.Figures.fig8 ctxs
-        | "fig9" -> Harness.Figures.fig9 ctxs
-        | "fig10" -> Harness.Figures.fig10 ctxs
-        | "fig11" -> Harness.Figures.fig11 ctxs
-        | "fig12" -> Harness.Figures.fig12 ctxs
-        | "table2" -> Harness.Figures.table2 ctxs
-        | "prose" -> Harness.Figures.prose_checks ctxs
-        | "ablations" -> Harness.Figures.ablations ctxs
-        | "extensions" -> Harness.Figures.extensions ctxs
+        | "fig2" -> Harness.Figures.fig2 ~pool ctxs
+        | "fig6" -> Harness.Figures.fig6 ~pool ctxs
+        | "fig7" -> Harness.Figures.fig7 ~pool ctxs
+        | "fig8" -> Harness.Figures.fig8 ~pool ctxs
+        | "fig9" -> Harness.Figures.fig9 ~pool ctxs
+        | "fig10" -> Harness.Figures.fig10 ~pool ctxs
+        | "fig11" -> Harness.Figures.fig11 ~pool ctxs
+        | "fig12" -> Harness.Figures.fig12 ~pool ctxs
+        | "table2" -> Harness.Figures.table2 ~pool ctxs
+        | "prose" -> Harness.Figures.prose_checks ~pool ctxs
+        | "ablations" -> Harness.Figures.ablations ~pool ctxs
+        | "extensions" -> Harness.Figures.extensions ~pool ctxs
         | other ->
           Printf.eprintf "unknown experiment %s (have: %s)\n" other
             (String.concat ", " all_experiment_names);
@@ -68,6 +70,13 @@ let run_experiments benches experiments =
     experiments
 
 open Cmdliner
+
+let jobs =
+  let doc =
+    "Worker domains for per-benchmark cells (1 = serial; output is \
+     byte-identical for any value)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let benches =
   let doc = "Restrict to one benchmark (repeatable)." in
@@ -81,6 +90,6 @@ let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const run_experiments $ benches $ experiments)
+    Term.(const run_experiments $ jobs $ benches $ experiments)
 
 let () = exit (Cmd.eval cmd)

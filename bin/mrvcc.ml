@@ -12,7 +12,14 @@
      mrvcc simulate --bench parser --mode H      # a bundled benchmark
      mrvcc simulate --bench parser --mutate drop-wait  # fault injection
      mrvcc chaos --bench all                     # full resilience matrix
+     mrvcc chaos --bench all --jobs 4            # same matrix, 4 domains
      mrvcc chaos --fuzz 20 --seed 7              # chaos-fuzz generated programs
+     mrvcc bench --json --out BENCH_PR3.json     # machine-readable baseline
+     mrvcc bench --bench mcf --json              # one workload, to stdout
+
+   `--jobs N` runs independent matrix cells on N domains; the rendered
+   output is byte-identical to a serial run.  `--max-cycles N` tightens
+   the simulator cycle budget uniformly across every cell.
 
    Exit codes: 0 success; 1 findings / failed cells / output mismatch;
    2 usage error; 3 simulator deadlock; 4 simulator stuck (watchdog or
@@ -322,7 +329,17 @@ let config_of_mode = function
     Printf.eprintf "unknown mode %s (have U, C, H, P, B)\n" m;
     exit 2
 
-let cmd_simulate file bench input threshold mode mutate =
+(* Uniform cycle-budget override (--max-cycles): one knob for every
+   simulation a command runs, so chaos/bench sweeps can be bounded. *)
+let apply_budget max_cycles cfg =
+  match max_cycles with
+  | None -> cfg
+  | Some m when m > 0 -> { cfg with Tls.Config.max_cycles = m }
+  | Some m ->
+    Printf.eprintf "--max-cycles must be positive (got %d)\n" m;
+    exit 2
+
+let cmd_simulate file bench input threshold mode mutate max_cycles =
   let source, input = resolve_program file bench input in
   with_errors (fun () ->
       let memory_sync =
@@ -342,7 +359,7 @@ let cmd_simulate file bench input threshold mode mutate =
           Runtime.Code.of_prog
             (apply_mutation kind compiled.Tlscore.Pipeline.prog)
       in
-      let cfg = config_of_mode mode in
+      let cfg = apply_budget max_cycles (config_of_mode mode) in
       let r = guarded (fun () -> Tls.Sim.run cfg code ~input ()) in
       let reference = Tlscore.Pipeline.original ~source in
       let seq =
@@ -410,21 +427,143 @@ let chaos_modes s =
          let m = String.trim m in
          (m, config_of_mode m))
 
-let cmd_chaos bench modes fuzz seed =
+let cmd_chaos bench modes fuzz seed jobs max_cycles =
   let programs = chaos_programs bench fuzz seed in
   if programs = [] then begin
     prerr_endline "nothing to run: pass --bench all, --bench NAME[,NAME...], and/or --fuzz N";
     exit 2
   end;
-  let modes = chaos_modes modes in
+  let modes =
+    chaos_modes modes
+    |> List.map (fun (m, cfg) -> (m, apply_budget max_cycles cfg))
+  in
+  let pool = Harness.Jobs.create ~jobs in
   with_errors (fun () ->
       let cells =
-        Faults.Chaos.run_matrix ~log:print_endline ~modes
-          ~faults:Faults.Fault.catalog programs
+        Faults.Chaos.run_matrix ~log:print_endline ~map:pool.Harness.Jobs.map
+          ~modes ~faults:Faults.Fault.catalog programs
       in
       print_newline ();
       print_string (Faults.Chaos.render_table cells);
       if Faults.Chaos.count_failed cells > 0 then exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* bench: machine-readable performance baseline                        *)
+(* ------------------------------------------------------------------ *)
+
+let bench_workloads bench =
+  match bench with
+  | None | Some "all" ->
+    List.filter_map Workloads.Registry.find Workloads.Registry.names
+  | Some names ->
+    String.split_on_char ',' names
+    |> List.map (fun name ->
+           match Workloads.Registry.find (String.trim name) with
+           | Some w -> w
+           | None ->
+             Printf.eprintf "unknown benchmark %s (have: all, %s)\n" name
+               (String.concat ", " Workloads.Registry.names);
+             exit 2)
+
+(* Bounded chaos matrix for the serial-vs-parallel timing section: two
+   real workloads plus two fuzz programs, one fault family per run. *)
+let bench_matrix_programs () =
+  let named =
+    List.filteri (fun i _ -> i < 2) Workloads.Registry.names
+    |> List.filter_map Workloads.Registry.find
+    |> List.map program_of_workload
+  in
+  named @ Faults.Chaos.fuzz_programs ~count:2 ~seed:7
+
+let cmd_bench bench json out jobs matrix =
+  let workloads = bench_workloads bench in
+  if workloads = [] then begin
+    prerr_endline "nothing to bench";
+    exit 2
+  end;
+  let pool = Harness.Jobs.create ~jobs in
+  let wbs =
+    with_errors (fun () ->
+        guarded (fun () ->
+            pool.Harness.Jobs.map Harness.Bench.bench_workload workloads))
+  in
+  let mx =
+    if not matrix then None
+    else begin
+      let programs = bench_matrix_programs () in
+      let modes = chaos_modes "U,C" in
+      let faults = Faults.Fault.catalog in
+      let cells = ref 0 in
+      let run map =
+        cells := List.length (Faults.Chaos.run_matrix ~map ~modes ~faults programs)
+      in
+      let _, serial =
+        Harness.Bench.timed_phase "matrix_serial" (fun () ->
+            run (fun f l -> List.map f l))
+      in
+      let _, par =
+        Harness.Bench.timed_phase "matrix_parallel" (fun () ->
+            run pool.Harness.Jobs.map)
+      in
+      Some
+        {
+          Harness.Bench.mx_name = "chaos";
+          mx_cells = !cells;
+          mx_jobs = jobs;
+          mx_serial_wall_ns = serial.Harness.Bench.ph_wall_ns;
+          mx_parallel_wall_ns = par.Harness.Bench.ph_wall_ns;
+        }
+    end
+  in
+  let doc =
+    {
+      Harness.Bench.bench_schema_version = Harness.Bench.schema_version;
+      bench_workloads = wbs;
+      bench_matrix = mx;
+    }
+  in
+  if json then begin
+    let text = Harness.Bench.to_json doc in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%d workloads%s)\n" path (List.length wbs)
+        (if mx = None then "" else ", matrix")
+  end
+  else begin
+    let rows =
+      List.concat_map
+        (fun (wb : Harness.Bench.workload_bench) ->
+          List.map
+            (fun (p : Harness.Bench.phase) ->
+              [
+                wb.Harness.Bench.wb_name;
+                p.Harness.Bench.ph_name;
+                Printf.sprintf "%.3f ms"
+                  (float_of_int p.Harness.Bench.ph_wall_ns /. 1e6);
+                (match p.Harness.Bench.ph_cycles with
+                | Some c -> string_of_int c
+                | None -> "-");
+              ])
+            wb.Harness.Bench.wb_phases)
+        wbs
+    in
+    print_string
+      (Support.Table.render
+         ~header:[ "workload"; "phase"; "wall"; "cycles" ]
+         rows);
+    match mx with
+    | None -> ()
+    | Some m ->
+      Printf.printf "matrix %s: %d cells, serial %.3f ms, --jobs %d %.3f ms\n"
+        m.Harness.Bench.mx_name m.Harness.Bench.mx_cells
+        (float_of_int m.Harness.Bench.mx_serial_wall_ns /. 1e6)
+        m.Harness.Bench.mx_jobs
+        (float_of_int m.Harness.Bench.mx_parallel_wall_ns /. 1e6)
+  end
 
 open Cmdliner
 
@@ -451,16 +590,43 @@ let modes_arg =
 let fuzz_arg = Arg.(value & opt int 0 & info [ "fuzz" ] ~docv:"COUNT")
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
 
+let jobs_arg =
+  let doc =
+    "Run independent matrix cells on $(docv) domains. Output is \
+     byte-identical to a serial run."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc ~docv:"N")
+
+let max_cycles_arg =
+  let doc = "Override the simulator cycle budget for every simulation run." in
+  Arg.(value & opt (some int) None & info [ "max-cycles" ] ~doc ~docv:"N")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write JSON to $(docv) instead of stdout.")
+
+let matrix_arg =
+  Arg.(
+    value & flag
+    & info [ "matrix" ]
+        ~doc:"Also time the bounded chaos matrix, serial vs --jobs.")
+
 let action_arg =
   Arg.(
     required
     & pos 0 (some (enum
         [ ("dump-ir", `Dump_ir); ("run", `Run); ("profile", `Profile);
           ("depgraph", `Depgraph); ("compile", `Compile); ("lint", `Lint);
-          ("simulate", `Simulate); ("chaos", `Chaos) ])) None
+          ("simulate", `Simulate); ("chaos", `Chaos); ("bench", `Bench) ])) None
     & info [] ~docv:"ACTION")
 
-let main action file bench input threshold mode mutate modes fuzz seed =
+let main action file bench input threshold mode mutate modes fuzz seed jobs
+    max_cycles json out matrix =
   match action with
   | `Dump_ir -> cmd_dump_ir file bench input
   | `Run -> cmd_run file bench input
@@ -468,8 +634,9 @@ let main action file bench input threshold mode mutate modes fuzz seed =
   | `Depgraph -> cmd_depgraph file bench input threshold
   | `Compile -> cmd_compile file bench input threshold
   | `Lint -> cmd_lint file bench input threshold mutate
-  | `Simulate -> cmd_simulate file bench input threshold mode mutate
-  | `Chaos -> cmd_chaos bench modes fuzz seed
+  | `Simulate -> cmd_simulate file bench input threshold mode mutate max_cycles
+  | `Chaos -> cmd_chaos bench modes fuzz seed jobs max_cycles
+  | `Bench -> cmd_bench bench json out jobs matrix
 
 let cmd =
   let doc = "mini-C TLS compiler and simulator driver" in
@@ -478,6 +645,7 @@ let cmd =
     Term.(
       const main $ action_arg $ file_arg $ bench_arg $ input_arg
       $ threshold_arg $ mode_arg $ mutate_arg $ modes_arg $ fuzz_arg
-      $ seed_arg)
+      $ seed_arg $ jobs_arg $ max_cycles_arg $ json_arg $ out_arg
+      $ matrix_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -192,8 +192,27 @@ let run_program ?(log = fun _ -> ()) ?watchdog ~modes ~faults p =
        (if failed = 0 then "" else Printf.sprintf ", %d FAILED" failed));
   cells
 
-let run_matrix ?log ?watchdog ~modes ~faults programs =
-  List.concat_map (run_program ?log ?watchdog ~modes ~faults) programs
+(* [map] lets the caller plug in a parallel order-preserving mapper
+   (e.g. Harness.Jobs).  Per-program log lines are collected inside each
+   job and replayed in program order once the whole matrix is done, so
+   the bytes sent to [log] are identical whatever mapper runs the cells
+   — the property the determinism suite pins. *)
+let run_matrix ?(log = fun _ -> ()) ?(map = fun f l -> List.map f l) ?watchdog
+    ~modes ~faults programs =
+  let per_program =
+    map
+      (fun p ->
+        let lines = ref [] in
+        let cells =
+          run_program
+            ~log:(fun s -> lines := s :: !lines)
+            ?watchdog ~modes ~faults p
+        in
+        (List.rev !lines, cells))
+      programs
+  in
+  List.iter (fun (lines, _) -> List.iter log lines) per_program;
+  List.concat_map snd per_program
 
 let fuzz_programs ~count ~seed =
   List.init count (fun i ->

@@ -51,8 +51,16 @@ val run_program :
   program ->
   cell list
 
+(** Like {!run_program} over many programs.  [map] (default [List.map])
+    may be an order-preserving parallel mapper such as [Harness.Jobs];
+    each program's log lines are buffered inside its job and replayed to
+    [log] in program order after the matrix completes, so the logged
+    bytes and the returned cells are identical for any mapper. *)
 val run_matrix :
   ?log:(string -> unit) ->
+  ?map:((program -> string list * cell list) ->
+        program list ->
+        (string list * cell list) list) ->
   ?watchdog:int ->
   modes:(string * Tls.Config.t) list ->
   faults:Fault.spec list ->

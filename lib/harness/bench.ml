@@ -1,0 +1,453 @@
+type phase = {
+  ph_name : string;
+  ph_wall_ns : int;
+  ph_minor_words : float;
+  ph_major_words : float;
+  ph_cycles : int option;
+}
+
+type workload_bench = { wb_name : string; wb_phases : phase list }
+
+type matrix_bench = {
+  mx_name : string;
+  mx_cells : int;
+  mx_jobs : int;
+  mx_serial_wall_ns : int;
+  mx_parallel_wall_ns : int;
+}
+
+type t = {
+  bench_schema_version : int;
+  bench_workloads : workload_bench list;
+  bench_matrix : matrix_bench option;
+}
+
+let schema_version = 3
+
+let phase_names =
+  [ "frontend"; "lower"; "profile"; "pass"; "sim_seq"; "sim_tls" ]
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let timed_phase name f =
+  let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
+  let v = f () in
+  let g1 = Gc.quick_stat () in
+  ( v,
+    {
+      ph_name = name;
+      ph_wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+      ph_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      ph_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      ph_cycles = None;
+    } )
+
+(* A sim phase reuses the simulator's own runtime counters so the JSON
+   surfaces exactly what Simstats recorded, not a second measurement. *)
+let sim_phase name (rt : Tls.Simstats.runtime_counters) ~cycles =
+  {
+    ph_name = name;
+    ph_wall_ns = rt.Tls.Simstats.rt_wall_ns;
+    ph_minor_words = rt.Tls.Simstats.rt_minor_words;
+    ph_major_words = rt.Tls.Simstats.rt_major_words;
+    ph_cycles = Some cycles;
+  }
+
+let bench_workload (w : Workloads.Workload.t) =
+  let source = w.Workloads.Workload.source in
+  let train = w.Workloads.Workload.train_input in
+  let ref_input = w.Workloads.Workload.ref_input in
+  let _, frontend =
+    timed_phase "frontend" (fun () -> ignore (Lang.Sema.check_source source))
+  in
+  let prog, lower =
+    timed_phase "lower" (fun () -> Ir.Lower.compile_source source)
+  in
+  let _, profile =
+    timed_phase "profile" (fun () ->
+        let loops = Profiler.Runner.all_loops prog in
+        ignore (Profiler.Runner.run prog ~input:train ~watch:loops))
+  in
+  let compiled, pass =
+    timed_phase "pass" (fun () ->
+        Tlscore.Pipeline.compile ~source ~profile_input:train
+          ~memory_sync:
+            (Tlscore.Pipeline.Profiled
+               { dep_input = ref_input; threshold = 0.05 })
+          ())
+  in
+  let code0 = Runtime.Code.of_prog (Tlscore.Pipeline.original ~source) in
+  let seq =
+    Tls.Sim.run_sequential Tls.Config.default code0 ~input:ref_input
+      ~track:compiled.Tlscore.Pipeline.code.Runtime.Code.regions
+  in
+  let tls =
+    Tls.Sim.run Tls.Config.c_mode compiled.Tlscore.Pipeline.code
+      ~input:ref_input ()
+  in
+  {
+    wb_name = w.Workloads.Workload.name;
+    wb_phases =
+      [
+        frontend;
+        lower;
+        profile;
+        pass;
+        sim_phase "sim_seq" seq.Tls.Simstats.sq_runtime
+          ~cycles:seq.Tls.Simstats.sq_cycles;
+        sim_phase "sim_tls" tls.Tls.Simstats.runtime
+          ~cycles:tls.Tls.Simstats.total_cycles;
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocation counters are whole word counts that can exceed int ranges
+   of other readers; emit them as integral literals. *)
+let float_words f = Printf.sprintf "%.0f" f
+
+let phase_json b (p : phase) =
+  Buffer.add_string b
+    (Printf.sprintf
+       "      { \"phase\": %S, \"wall_ns\": %d, \"minor_words\": %s, \
+        \"major_words\": %s"
+       p.ph_name p.ph_wall_ns (float_words p.ph_minor_words)
+       (float_words p.ph_major_words));
+  (match p.ph_cycles with
+  | Some c -> Buffer.add_string b (Printf.sprintf ", \"cycles\": %d" c)
+  | None -> ());
+  Buffer.add_string b " }"
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"schema_version\": %d,\n" t.bench_schema_version);
+  Buffer.add_string b
+    "  \"units\": { \"wall\": \"ns\", \"alloc\": \"words\", \"cycles\": \
+     \"sim-cycles\" },\n";
+  Buffer.add_string b "  \"workloads\": [\n";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf "    { \"name\": %S, \"phases\": [\n" w.wb_name);
+      List.iteri
+        (fun j p ->
+          if j > 0 then Buffer.add_string b ",\n";
+          phase_json b p)
+        w.wb_phases;
+      Buffer.add_string b "\n    ] }")
+    t.bench_workloads;
+  Buffer.add_string b "\n  ]";
+  (match t.bench_matrix with
+  | None -> ()
+  | Some m ->
+    Buffer.add_string b
+      (Printf.sprintf
+         ",\n\
+         \  \"matrix\": { \"name\": %S, \"cells\": %d, \"jobs\": %d, \
+          \"serial_wall_ns\": %d, \"parallel_wall_ns\": %d }"
+         m.mx_name m.mx_cells m.mx_jobs m.mx_serial_wall_ns
+         m.mx_parallel_wall_ns));
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON parsing (hand-rolled: the container has no JSON library)       *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
+        | Some 't' -> advance (); Buffer.add_char b '\t'; go ()
+        | Some (('"' | '\\' | '/') as c) -> advance (); Buffer.add_char b c; go ()
+        | _ -> fail "unsupported escape")
+      | Some c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> f
+    | None -> fail ("bad number " ^ text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Jobj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Jobj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); Jarr [])
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Jarr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let field obj key =
+  match obj with
+  | Jobj members -> List.assoc_opt key members
+  | _ -> None
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %s" what)
+
+let as_int what = function
+  | Jnum f when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "%s must be an integer" what)
+
+let as_num what = function
+  | Jnum f -> Ok f
+  | _ -> Error (Printf.sprintf "%s must be a number" what)
+
+let as_str what = function
+  | Jstr s -> Ok s
+  | _ -> Error (Printf.sprintf "%s must be a string" what)
+
+let as_arr what = function
+  | Jarr l -> Ok l
+  | _ -> Error (Printf.sprintf "%s must be an array" what)
+
+let ( let* ) = Result.bind
+
+let check_unit obj key expected =
+  let* u = require ("units." ^ key) (field obj key) in
+  let* u = as_str ("units." ^ key) u in
+  if String.equal u expected then Ok ()
+  else
+    Error
+      (Printf.sprintf "units.%s is %S, wanted %S" key u expected)
+
+let check_phase ~workload p =
+  let ctx what = Printf.sprintf "%s: phases[].%s" workload what in
+  let* name = require (ctx "phase") (field p "phase") in
+  let* name = as_str (ctx "phase") name in
+  let* wall = require (ctx "wall_ns") (field p "wall_ns") in
+  let* wall = as_int (ctx "wall_ns") wall in
+  let* _ =
+    if wall >= 0 then Ok () else Error (ctx "wall_ns must be >= 0")
+  in
+  let* minor = require (ctx "minor_words") (field p "minor_words") in
+  let* _ = as_num (ctx "minor_words") minor in
+  let* major = require (ctx "major_words") (field p "major_words") in
+  let* _ = as_num (ctx "major_words") major in
+  let sim = List.mem name [ "sim_seq"; "sim_tls" ] in
+  match field p "cycles" with
+  | Some c ->
+    let* cycles = as_int (ctx "cycles") c in
+    if cycles > 0 then Ok (name, true)
+    else Error (ctx "cycles must be > 0")
+  | None ->
+    if sim then Error (Printf.sprintf "%s: %s phase lacks cycles" workload name)
+    else Ok (name, false)
+
+let check_workload w =
+  let* name = require "workloads[].name" (field w "name") in
+  let* name = as_str "workloads[].name" name in
+  let* phases = require (name ^ ".phases") (field w "phases") in
+  let* phases = as_arr (name ^ ".phases") phases in
+  let* checked =
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        let* c = check_phase ~workload:name p in
+        Ok (c :: acc))
+      (Ok []) phases
+  in
+  let have = List.rev_map fst checked in
+  let missing = List.filter (fun p -> not (List.mem p have)) phase_names in
+  if missing <> [] then
+    Error
+      (Printf.sprintf "%s: missing phase(s) %s" name
+         (String.concat ", " missing))
+  else Ok (name, have)
+
+let check_matrix m =
+  let* name = require "matrix.name" (field m "name") in
+  let* name = as_str "matrix.name" name in
+  let* cells = require "matrix.cells" (field m "cells") in
+  let* cells = as_int "matrix.cells" cells in
+  let* jobs = require "matrix.jobs" (field m "jobs") in
+  let* jobs = as_int "matrix.jobs" jobs in
+  let* serial = require "matrix.serial_wall_ns" (field m "serial_wall_ns") in
+  let* _ = as_int "matrix.serial_wall_ns" serial in
+  let* par = require "matrix.parallel_wall_ns" (field m "parallel_wall_ns") in
+  let* _ = as_int "matrix.parallel_wall_ns" par in
+  if cells <= 0 then Error "matrix.cells must be > 0"
+  else if jobs < 1 then Error "matrix.jobs must be >= 1"
+  else Ok (name, cells)
+
+(* Validate, and summarize the structure (never the timing values) so an
+   expect test over the summary stays stable across regenerations. *)
+let validate_json j =
+  let* v = require "schema_version" (field j "schema_version") in
+  let* v = as_int "schema_version" v in
+  let* _ =
+    if v = schema_version then Ok ()
+    else Error (Printf.sprintf "schema_version is %d, wanted %d" v schema_version)
+  in
+  let* units = require "units" (field j "units") in
+  let* _ = check_unit units "wall" "ns" in
+  let* _ = check_unit units "alloc" "words" in
+  let* _ = check_unit units "cycles" "sim-cycles" in
+  let* workloads = require "workloads" (field j "workloads") in
+  let* workloads = as_arr "workloads" workloads in
+  let* _ = if workloads = [] then Error "workloads is empty" else Ok () in
+  let* checked =
+    List.fold_left
+      (fun acc w ->
+        let* acc = acc in
+        let* c = check_workload w in
+        Ok (c :: acc))
+      (Ok []) workloads
+  in
+  let checked = List.rev checked in
+  let* matrix =
+    match field j "matrix" with
+    | None -> Ok None
+    | Some m ->
+      let* m = check_matrix m in
+      Ok (Some m)
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "schema_version %d\n" schema_version);
+  Buffer.add_string b "units wall=ns alloc=words cycles=sim-cycles\n";
+  List.iter
+    (fun (name, phases) ->
+      Buffer.add_string b
+        (Printf.sprintf "workload %-14s %s\n" name (String.concat " " phases)))
+    checked;
+  (match matrix with
+  | Some (name, cells) ->
+    Buffer.add_string b
+      (Printf.sprintf "matrix %s: %d cells, serial and parallel wall time\n"
+         name cells)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "ok: %d workload(s) cover all %d phases\n"
+       (List.length checked) (List.length phase_names));
+  Ok (Buffer.contents b)
+
+let validate_string s =
+  match parse_json s with
+  | j -> validate_json j
+  | exception Parse_error msg -> Error ("JSON parse error: " ^ msg)
+
+let validate_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  validate_string s

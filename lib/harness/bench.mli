@@ -1,0 +1,65 @@
+(** Machine-readable performance baseline: the wall time and allocation
+    of each pipeline phase per workload, emitted as schema-versioned JSON
+    (committed as [BENCH_PR3.json]) so later PRs have a perf trajectory
+    to regress against.
+
+    The six phases mirror the Bechamel microbenchmarks in [bench/main.ml]:
+    frontend (lex+parse+check), lower (to IR), profile (loop+dependence
+    profiling), pass (full pipeline with memory sync), sim_seq (sequential
+    timing run) and sim_tls (TLS run, C mode).  The sim phases surface the
+    simulator's own {!Tls.Simstats.runtime_counters} plus their
+    deterministic cycle counts.
+
+    Numbers are one-shot measurements (a trajectory record, not a
+    statistically analyzed benchmark — Bechamel part 1 covers that); the
+    JSON {e structure} is what the schema expect test pins. *)
+
+(** One timed phase.  [ph_cycles] is the deterministic simulated cycle
+    count, present only for the sim phases. *)
+type phase = {
+  ph_name : string;
+  ph_wall_ns : int;
+  ph_minor_words : float;
+  ph_major_words : float;
+  ph_cycles : int option;
+}
+
+type workload_bench = { wb_name : string; wb_phases : phase list }
+
+(** Serial vs parallel wall time of one run of a cell matrix (the chaos
+    matrix, timed by the [mrvcc bench] driver). *)
+type matrix_bench = {
+  mx_name : string;
+  mx_cells : int;
+  mx_jobs : int;
+  mx_serial_wall_ns : int;
+  mx_parallel_wall_ns : int;
+}
+
+type t = {
+  bench_schema_version : int;
+  bench_workloads : workload_bench list;
+  bench_matrix : matrix_bench option;
+}
+
+val schema_version : int
+
+(** The phase names every workload entry must cover, in order. *)
+val phase_names : string list
+
+(** Time all six phases of one workload. *)
+val bench_workload : Workloads.Workload.t -> workload_bench
+
+(** Time [f ()], returning its value and a phase record. *)
+val timed_phase : string -> (unit -> 'a) -> 'a * phase
+
+(** Render as JSON (stable key order, newline-terminated). *)
+val to_json : t -> string
+
+(** Parse + schema-check a JSON document.  [Ok summary] describes the
+    validated structure (names and phases only — no timing values, so
+    expect tests stay stable); [Error msg] pinpoints the first schema
+    violation. *)
+val validate_string : string -> (string, string) result
+
+val validate_file : string -> (string, string) result

@@ -3,6 +3,10 @@ let table1 () =
   ^ "\n"
   ^ Tls.Config.describe Tls.Config.default
 
+(* Order-preserving parallel concat_map over a pool: the cells of one
+   figure are independent per benchmark, so they are the unit of work. *)
+let concat_pmap (pool : Jobs.t) f items = List.concat (pool.Jobs.map f items)
+
 (* Render one normalized-region-bar table: rows = benchmark x mode. *)
 let bar_table ~title (rows : (string * string * Tls.Simstats.result * Context.t) list) =
   let header = [ "benchmark"; "mode"; "time"; "busy"; "sync"; "fail"; "other" ] in
@@ -25,9 +29,9 @@ let bar_table ~title (rows : (string * string * Tls.Simstats.result * Context.t)
   ^ "\n(normalized region execution time, % of sequential; lower is better)\n"
   ^ Support.Table.render ~header body
 
-let fig2 (ctxs : Context.t list) =
+let fig2 ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let rows =
-    List.concat_map
+    concat_pmap pool
       (fun (ctx : Context.t) ->
         let name = ctx.Context.w.Workloads.Workload.name in
         let u = Context.run ctx Tls.Config.u_mode ctx.Context.u () in
@@ -58,9 +62,9 @@ let oracle_set_for ctx ~threshold =
     Tls.Config.Iid_set.empty
     ctx.Context.c.Tlscore.Pipeline.dep_profiles
 
-let fig6 (ctxs : Context.t list) =
+let fig6 ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let rows =
-    List.concat_map
+    concat_pmap pool
       (fun (ctx : Context.t) ->
         let name = ctx.Context.w.Workloads.Workload.name in
         let u = Context.run ctx Tls.Config.u_mode ctx.Context.u () in
@@ -91,10 +95,10 @@ let fig6 (ctxs : Context.t list) =
        threshold"
     rows
 
-let fig7 (ctxs : Context.t list) =
+let fig7 ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let header = [ "benchmark"; "deps"; "dist=1"; "dist=2"; "dist>2" ] in
   let body =
-    List.map
+    pool.Jobs.map
       (fun (ctx : Context.t) ->
         let d1 = ref 0 and d2 = ref 0 and dmore = ref 0 in
         List.iter
@@ -121,9 +125,9 @@ let fig7 (ctxs : Context.t list) =
   ^ "\n"
   ^ Support.Table.render ~header body
 
-let fig8 (ctxs : Context.t list) =
+let fig8 ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let rows =
-    List.concat_map
+    concat_pmap pool
       (fun (ctx : Context.t) ->
         let name = ctx.Context.w.Workloads.Workload.name in
         let u = Context.run ctx Tls.Config.u_mode ctx.Context.u () in
@@ -138,9 +142,9 @@ let fig8 (ctxs : Context.t list) =
        ref profile)"
     rows
 
-let fig9 (ctxs : Context.t list) =
+let fig9 ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let rows =
-    List.concat_map
+    concat_pmap pool
       (fun (ctx : Context.t) ->
         let name = ctx.Context.w.Workloads.Workload.name in
         let c = Context.run ctx Tls.Config.c_mode ctx.Context.c () in
@@ -170,9 +174,9 @@ let fig9 (ctxs : Context.t list) =
        to previous epoch completion)"
     rows
 
-let fig10 (ctxs : Context.t list) =
+let fig10 ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let rows =
-    List.concat_map
+    concat_pmap pool
       (fun (ctx : Context.t) ->
         let name = ctx.Context.w.Workloads.Workload.name in
         let u = Context.run ctx Tls.Config.u_mode ctx.Context.u () in
@@ -195,7 +199,7 @@ let fig10 (ctxs : Context.t list) =
        prediction, H: hardware sync, B: hybrid)"
     rows
 
-let fig11 (ctxs : Context.t list) =
+let fig11 ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let header =
     [ "benchmark"; "mode"; "violations"; "comp-only"; "hw-only"; "both"; "neither" ]
   in
@@ -213,7 +217,7 @@ let fig11 (ctxs : Context.t list) =
     ]
   in
   let body =
-    List.concat_map
+    concat_pmap pool
       (fun (ctx : Context.t) ->
         List.map
           (fun (label, cfg) ->
@@ -245,30 +249,29 @@ let speedup_runs (ctx : Context.t) =
     ("B", Context.run ctx Tls.Config.b_mode ctx.Context.c ());
   ]
 
-let fig12 (ctxs : Context.t list) =
+let fig12 ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let header = [ "benchmark"; "U"; "C"; "H"; "B" ] in
-  let speedups = ref [] in
-  let body =
-    List.map
+  let speedup_rows =
+    pool.Jobs.map
       (fun (ctx : Context.t) ->
         let runs = speedup_runs ctx in
         let cells =
-          List.map
-            (fun (_, r) ->
-              let s = Context.program_speedup ctx r in
-              s)
-            runs
+          List.map (fun (_, r) -> Context.program_speedup ctx r) runs
         in
-        speedups := cells :: !speedups;
-        ctx.Context.w.Workloads.Workload.name
-        :: List.map (Support.Table.float_cell 2) cells)
+        (ctx.Context.w.Workloads.Workload.name, cells))
       ctxs
   in
+  let body =
+    List.map
+      (fun (name, cells) -> name :: List.map (Support.Table.float_cell 2) cells)
+      speedup_rows
+  in
   let geo =
-    match !speedups with
+    match speedup_rows with
     | [] -> []
-    | rows ->
-      let cols = List.length (List.hd rows) in
+    | (_, first) :: _ ->
+      let rows = List.map snd speedup_rows in
+      let cols = List.length first in
       "geomean"
       :: List.init cols (fun i ->
              Support.Table.float_cell 2
@@ -278,7 +281,7 @@ let fig12 (ctxs : Context.t list) =
   ^ "\n"
   ^ Support.Table.render ~header (body @ [ geo ])
 
-let table2 (ctxs : Context.t list) =
+let table2 ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let header =
     [
       "benchmark";
@@ -292,7 +295,7 @@ let table2 (ctxs : Context.t list) =
     ]
   in
   let body =
-    List.map
+    pool.Jobs.map
       (fun (ctx : Context.t) ->
         let b = Context.run ctx Tls.Config.b_mode ctx.Context.c () in
         let c = Context.run ctx Tls.Config.c_mode ctx.Context.c () in
@@ -314,7 +317,7 @@ let table2 (ctxs : Context.t list) =
   ^ "\n"
   ^ Support.Table.render ~header body
 
-let ablations (ctxs : Context.t list) =
+let ablations ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let find name =
     List.find_opt
       (fun (c : Context.t) ->
@@ -327,7 +330,7 @@ let ablations (ctxs : Context.t list) =
   emit (Support.Table.section "Ablation: signal placement (eager dataflow vs latch-only)");
   emit "\n";
   let rows =
-    List.concat_map
+    concat_pmap pool
       (fun name ->
         match find name with
         | None -> []
@@ -358,7 +361,7 @@ let ablations (ctxs : Context.t list) =
   emit (Support.Table.section "Ablation: hardware sync table reset period (H mode)");
   emit "\n";
   let rows =
-    List.concat_map
+    concat_pmap pool
       (fun name ->
         match find name with
         | None -> []
@@ -387,7 +390,7 @@ let ablations (ctxs : Context.t list) =
   | None -> ()
   | Some ctx ->
     let rows =
-      List.map
+      pool.Jobs.map
         (fun line_words ->
           let cfg =
             {
@@ -417,7 +420,7 @@ let ablations (ctxs : Context.t list) =
         line-granularity tracking (U mode)");
   emit "\n";
   let rows =
-    List.concat_map
+    concat_pmap pool
       (fun name ->
         match find name with
         | None -> []
@@ -443,7 +446,7 @@ let ablations (ctxs : Context.t list) =
   emit (Support.Table.section "Ablation: processor count (C mode)");
   emit "\n";
   let rows =
-    List.concat_map
+    concat_pmap pool
       (fun name ->
         match find name with
         | None -> []
@@ -460,7 +463,7 @@ let ablations (ctxs : Context.t list) =
     (Support.Table.render ~header:[ "benchmark"; "2 procs"; "4 procs"; "8 procs" ] rows);
   Buffer.contents buf
 
-let extensions (ctxs : Context.t list) =
+let extensions ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Support.Table.section
@@ -468,7 +471,7 @@ let extensions (ctxs : Context.t list) =
         filters useless sync)");
   Buffer.add_string buf "\n(region speedup vs sequential; B+ should track max(C,H))\n";
   let rows =
-    List.map
+    pool.Jobs.map
       (fun (ctx : Context.t) ->
         let speed cfg compiled =
           Support.Table.float_cell 2
@@ -491,7 +494,7 @@ let extensions (ctxs : Context.t list) =
        "Extension: stride value predictor vs last-value (P modes)");
   Buffer.add_string buf "\n";
   let rows =
-    List.map
+    pool.Jobs.map
       (fun (ctx : Context.t) ->
         let run stride =
           let cfg = { Tls.Config.p_mode with Tls.Config.vpred_stride = stride } in
@@ -509,12 +512,12 @@ let extensions (ctxs : Context.t list) =
        rows);
   Buffer.contents buf
 
-let prose_checks (ctxs : Context.t list) =
+let prose_checks ?(pool = Jobs.serial) (ctxs : Context.t list) =
   let header =
     [ "benchmark"; "max sig buffer"; "clones"; "code expansion"; "groups" ]
   in
   let body =
-    List.map
+    pool.Jobs.map
       (fun (ctx : Context.t) ->
         let r = Context.run ctx Tls.Config.c_mode ctx.Context.c () in
         let clones, added, groups =

@@ -2,52 +2,58 @@
     returns the rendered text (the harness's equivalent of the plotted
     figure); EXPERIMENTS.md records these against the paper's values. *)
 
+(** Every generator that consumes contexts takes an optional [pool]
+    (default {!Jobs.serial}): its per-benchmark cells are independent, so
+    a parallel pool computes the same bytes faster.  Each context's
+    mutable oracle cache is only ever touched by the job that owns that
+    context within one figure. *)
+
 val table1 : unit -> string
 
 (** Fig. 2: region slot breakdown, U vs O (perfect memory communication). *)
-val fig2 : Context.t list -> string
+val fig2 : ?pool:Jobs.t -> Context.t list -> string
 
 (** Fig. 6: limit study — perfect prediction of loads whose dependence
     frequency exceeds 25/15/5%. *)
-val fig6 : Context.t list -> string
+val fig6 : ?pool:Jobs.t -> Context.t list -> string
 
 (** Fig. 7: dependence distance distribution (ref-input profiles). *)
-val fig7 : Context.t list -> string
+val fig7 : ?pool:Jobs.t -> Context.t list -> string
 
 (** Fig. 8: compiler-inserted synchronization, train vs ref profiling
     (U/T/C region breakdowns). *)
-val fig8 : Context.t list -> string
+val fig8 : ?pool:Jobs.t -> Context.t list -> string
 
 (** Fig. 9: cost of synchronization — C vs E (perfect forwarding) vs L
     (stall until the previous epoch completes). *)
-val fig9 : Context.t list -> string
+val fig9 : ?pool:Jobs.t -> Context.t list -> string
 
 (** Fig. 10: compiler vs hardware — U/C/P/H/B region breakdowns. *)
-val fig10 : Context.t list -> string
+val fig10 : ?pool:Jobs.t -> Context.t list -> string
 
 (** Fig. 11: violated loads attributed to compiler/hardware marking under
     stall modes U/C/H/B (all on the C-compiled binary). *)
-val fig11 : Context.t list -> string
+val fig11 : ?pool:Jobs.t -> Context.t list -> string
 
 (** Fig. 12: whole-program speedups, U/C/H/B. *)
-val fig12 : Context.t list -> string
+val fig12 : ?pool:Jobs.t -> Context.t list -> string
 
 (** Table 2: coverage and region/sequential/program speedups. *)
-val table2 : Context.t list -> string
+val table2 : ?pool:Jobs.t -> Context.t list -> string
 
 (** Extra diagnostics the paper states in prose: signal-address-buffer
     occupancy (§2.2: never more than 10 entries), cloning code expansion
     (§2.3: below 1% on average). *)
-val prose_checks : Context.t list -> string
+val prose_checks : ?pool:Jobs.t -> Context.t list -> string
 
 (** Ablations of the design choices DESIGN.md §6 calls out: eager vs
     latch-only signal placement (on the early-forwarding benchmarks),
     hardware-table reset period, and cache-line size sensitivity of the
     false-sharing benchmark. *)
-val ablations : Context.t list -> string
+val ablations : ?pool:Jobs.t -> Context.t list -> string
 
 (** The paper's §4.2/§5 future-work directions, implemented: the
     coordinated hybrid B+ (hardware skips compiler-synchronized loads and
     filters rarely-matching compiler sync) against C/H/B, and the stride
     value predictor against the paper's last-value P. *)
-val extensions : Context.t list -> string
+val extensions : ?pool:Jobs.t -> Context.t list -> string

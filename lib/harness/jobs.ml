@@ -1,0 +1,76 @@
+(* A hand-rolled Domain worker pool (no Domainslib dependency).
+
+   One shared work queue: [next] is the index of the first unclaimed
+   item; every worker — the spawned domains plus the calling domain —
+   loops on an atomic fetch-and-add claiming one item at a time.  That
+   gives dynamic load balancing (a slow cell does not stall a whole
+   pre-assigned chunk) while keeping results slotted by input index, so
+   the output order never depends on completion order.
+
+   Exceptions: each job's outcome is stored as a [result]; after every
+   worker has drained the queue, the error of the lowest-index failing
+   item is re-raised with its original backtrace.  This matches serial
+   [List.map] semantics, where the first failing item (in input order)
+   is the one whose exception escapes. *)
+
+type t = {
+  jobs : int;
+  map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list;
+}
+
+let available () = Domain.recommended_domain_count ()
+
+let serial_map f items = List.map f items
+
+let parallel_map ~jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let slots = Array.make n None in
+  let next = Atomic.make 0 in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      let outcome =
+        try Ok (f arr.(i))
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      slots.(i) <- Some outcome;
+      worker ()
+    end
+  in
+  (* The calling domain is worker number [jobs]; a failed spawn (fd or
+     thread limits) just means fewer helpers — the queue still drains. *)
+  let helpers =
+    let rec spawn k acc =
+      if k <= 0 then acc
+      else
+        match Domain.spawn worker with
+        | d -> spawn (k - 1) (d :: acc)
+        | exception _ -> acc
+    in
+    spawn (min (jobs - 1) (n - 1)) []
+  in
+  worker ();
+  List.iter Domain.join helpers;
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ignore i)
+    slots;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error _) | None ->
+           (* Unreachable: the queue was drained and errors re-raised. *)
+           assert false)
+       slots)
+
+let serial = { jobs = 1; map = serial_map }
+
+let create ~jobs =
+  if jobs <= 1 then serial
+  else { jobs; map = (fun f items -> parallel_map ~jobs f items) }
+
+let map ~jobs f items = (create ~jobs).map f items

@@ -1,0 +1,41 @@
+(** Domain-based worker pool for the embarrassingly parallel experiment
+    matrices (per-figure cells, chaos cells, bench phases).
+
+    Design constraints, in order:
+    - {b determinism}: [map] always returns results in input order, and a
+      parallel map must be observably identical to [List.map] — callers
+      are required to pass jobs that do not share mutable state or print;
+    - {b isolation}: each map call spawns fresh domains and tears them
+      down afterwards, so no heap state leaks from one batch into the
+      next and a crashed job cannot poison a long-lived worker;
+    - {b graceful degradation}: [jobs <= 1], a single-item list, or a
+      failed [Domain.spawn] (resource limits) all fall back to running
+      jobs in the calling domain.
+
+    Scheduling is a Domainslib-style single shared work queue: workers
+    repeatedly claim the next unclaimed index with an atomic
+    fetch-and-add, so long-running cells load-balance instead of being
+    pre-partitioned. *)
+
+type t = {
+  jobs : int;  (** requested worker count (1 = serial) *)
+  map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list;
+      (** Order-preserving map.  If any job raises, the exception of the
+          lowest-index failing item is re-raised (with its backtrace)
+          after all workers have drained — the same exception [List.map]
+          would have surfaced first. *)
+}
+
+(** Run everything in the calling domain ([jobs = 1]). *)
+val serial : t
+
+(** A pool of [jobs] workers; [create ~jobs:1] (or less) is {!serial}.
+    The calling domain participates as one of the workers, so [jobs = 4]
+    spawns 3 domains. *)
+val create : jobs:int -> t
+
+(** One-shot convenience: [(create ~jobs).map f items]. *)
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** What the host advertises ([Domain.recommended_domain_count]). *)
+val available : unit -> int

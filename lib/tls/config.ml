@@ -49,6 +49,7 @@ type t = {
   sim_faults : sim_fault list;
   watchdog_window : int;
   protocol_checks : bool;
+  max_cycles : int;
 }
 
 let default =
@@ -87,6 +88,7 @@ let default =
     sim_faults = [];
     watchdog_window = 50_000;
     protocol_checks = true;
+    max_cycles = 2_000_000_000;
   }
 
 let u_mode = { default with stall_compiler_sync = false }

@@ -97,6 +97,10 @@ type t = {
       (* dynamic sync-protocol checks, e.g. a Sync_load consuming a
          channel no Wait_mem ever waited on raises Stuck rather than
          silently degrading to a speculative load *)
+  max_cycles : int;
+      (* cycle budget of a single {!Sim.run} / {!Sim.run_sequential};
+         exceeding it raises {e Cycle_limit}.  The chaos and bench
+         harnesses tighten it uniformly through this knob. *)
 }
 
 (** The machine of Table 1 with compiler synchronization honored and all

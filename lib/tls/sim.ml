@@ -1324,7 +1324,29 @@ let create_sim cfg code ~input ~oracle ~tls_enabled =
     dropped_wakeups = Hashtbl.create 4;
   }
 
-let run ?(max_cycles = 2_000_000_000) cfg code ~input ?oracle () =
+(* Host-side measurement of one run: wall time and words allocated.
+   [Gc.minor_words]/[Gc.major_words] are cumulative per-domain counters,
+   so the difference is what [f] itself allocated. *)
+let with_runtime_counters f =
+  let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
+  let v = f () in
+  let g1 = Gc.quick_stat () in
+  let rt =
+    {
+      Simstats.rt_wall_ns =
+        int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+      rt_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      rt_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    }
+  in
+  (v, rt)
+
+let run ?max_cycles cfg code ~input ?oracle () =
+  let max_cycles =
+    match max_cycles with Some m -> m | None -> cfg.Config.max_cycles
+  in
+  let result, runtime = with_runtime_counters @@ fun () ->
   let sim = create_sim cfg code ~input ~oracle ~tls_enabled:true in
   let hooks = seq_hooks sim in
   while not sim.finished do
@@ -1363,7 +1385,10 @@ let run ?(max_cycles = 2_000_000_000) cfg code ~input ?oracle () =
     hw_marked_loads = Hashtbl.length sim.ever_marked;
     vpred_predictions = Vpred.predictions sim.vpred;
     faults_fired = Hashtbl.length sim.fired;
+    runtime = Simstats.no_runtime;
   }
+  in
+  { result with Simstats.runtime }
 
 (* ------------------------------------------------------------------ *)
 (* Sequential timed run with loop-extent tracking                      *)
@@ -1414,7 +1439,11 @@ let extent_goto st fname target =
     in
     st.ex_stack <- actives :: rest
 
-let run_sequential ?(max_cycles = 2_000_000_000) cfg code ~input ~track =
+let run_sequential ?max_cycles cfg code ~input ~track =
+  let max_cycles =
+    match max_cycles with Some m -> m | None -> cfg.Config.max_cycles
+  in
+  let result, runtime = with_runtime_counters @@ fun () ->
   let sim = create_sim cfg code ~input ~oracle:None ~tls_enabled:false in
   let ex_by_func = Hashtbl.create 8 in
   List.iter
@@ -1501,4 +1530,7 @@ let run_sequential ?(max_cycles = 2_000_000_000) cfg code ~input ~track =
     sq_output = Runtime.Thread.output sim.seq_thread;
     sq_memory = sim.committed;
     sq_instrs = sim.seq_thread.Runtime.Thread.icount;
+    sq_runtime = Simstats.no_runtime;
   }
+  in
+  { result with Simstats.sq_runtime = runtime }

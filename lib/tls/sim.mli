@@ -56,9 +56,10 @@ type stuck_diag = {
     making progress, and by the dynamic sync-protocol check. *)
 exception Stuck of stuck_diag
 
-(** Raised by {!run} / {!run_sequential} when the explicit cycle budget is
-    exhausted — a genuinely non-terminating program, since protocol
-    failures surface as {!Stuck} or {!Deadlock} long before. *)
+(** Raised by {!run} / {!run_sequential} when the cycle budget
+    ([?max_cycles], defaulting to {!Config.t.max_cycles}) is exhausted —
+    a genuinely non-terminating program, since protocol failures surface
+    as {!Stuck} or {!Deadlock} long before. *)
 exception Cycle_limit of { max_cycles : int; cycle : int; where : string }
 
 (** One-line rendering of a {!stuck_diag} for CLI error messages. *)
@@ -71,7 +72,8 @@ val describe_stuck : stuck_diag -> string
     waits on a channel its completed predecessor never signaled).
     @raise Stuck when a region makes no progress for
     [cfg.watchdog_window] cycles or a protocol check fails.
-    @raise Cycle_limit when [max_cycles] is exhausted. *)
+    @raise Cycle_limit when the cycle budget — [max_cycles] if given,
+    else [cfg.max_cycles] — is exhausted. *)
 val run :
   ?max_cycles:int ->
   Config.t ->

@@ -36,6 +36,19 @@ type attribution = {
 let fresh_attribution () =
   { v_comp_only = 0; v_hw_only = 0; v_both = 0; v_neither = 0 }
 
+(* Host-side measurements of one simulator run.  These are the only
+   nondeterministic fields of a result: wall time and allocation depend
+   on the machine, GC state, and what else the process is doing, never
+   on the simulated program.  Determinism checks must go through
+   [strip_runtime] / [fingerprint], which zero them out. *)
+type runtime_counters = {
+  rt_wall_ns : int;             (* host wall-clock time of the run *)
+  rt_minor_words : float;       (* minor-heap words allocated by the run *)
+  rt_major_words : float;       (* major-heap words allocated by the run *)
+}
+
+let no_runtime = { rt_wall_ns = 0; rt_minor_words = 0.0; rt_major_words = 0.0 }
+
 type result = {
   total_cycles : int;
   seq_cycles : int;               (* cycles outside speculative regions *)
@@ -54,6 +67,7 @@ type result = {
   hw_marked_loads : int;          (* distinct loads ever in the hw table *)
   vpred_predictions : int;
   faults_fired : int;             (* injected faults that actually armed *)
+  runtime : runtime_counters;
 }
 
 type seq_result = {
@@ -62,4 +76,41 @@ type seq_result = {
   sq_output : int list;
   sq_memory : Runtime.Memory.t;
   sq_instrs : int;
+  sq_runtime : runtime_counters;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Determinism support                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let strip_runtime r = { r with runtime = no_runtime }
+let strip_seq_runtime r = { r with sq_runtime = no_runtime }
+
+(* Committed memory as a canonical sorted association list: hash-table
+   internals (bucket layout, resize history) must not leak into the
+   fingerprint. *)
+let canonical_memory m =
+  let acc = ref [] in
+  Runtime.Memory.iter m (fun k v -> acc := (k, v) :: !acc);
+  List.sort compare !acc
+
+(* Byte-exact digest of everything deterministic in a result.  Two runs
+   of the same configuration over the same program and input must agree
+   on this digest; host-side runtime counters are excluded. *)
+let fingerprint r =
+  let r = strip_runtime r in
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( { r with final_memory = Runtime.Memory.create () },
+            canonical_memory r.final_memory )
+          []))
+
+let seq_fingerprint r =
+  let r = strip_seq_runtime r in
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( { r with sq_memory = Runtime.Memory.create () },
+            canonical_memory r.sq_memory )
+          []))

@@ -1,0 +1,14 @@
+(* Validate a bench JSON document against the Harness.Bench schema and
+   print the structural summary (names and phases, never timing values),
+   so an expect test over the output stays stable across regenerations. *)
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: validate FILE.json";
+    exit 2
+  end;
+  match Harness.Bench.validate_file Sys.argv.(1) with
+  | Ok summary -> print_string summary
+  | Error msg ->
+    Printf.eprintf "schema violation: %s\n" msg;
+    exit 1

@@ -1,0 +1,134 @@
+(* The bench JSON schema: emitter and validator must agree (roundtrip),
+   and the validator must reject documents that drift from the schema —
+   wrong version, wrong units, a workload missing a phase, a sim phase
+   without its cycle count, malformed matrix fields. *)
+
+let check_bool = Alcotest.(check bool)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains s sub = find_sub s sub <> None
+
+let phase ?cycles name =
+  {
+    Harness.Bench.ph_name = name;
+    ph_wall_ns = 1_000;
+    ph_minor_words = 10.0;
+    ph_major_words = 2.0;
+    ph_cycles = cycles;
+  }
+
+let doc ?matrix () =
+  {
+    Harness.Bench.bench_schema_version = Harness.Bench.schema_version;
+    bench_workloads =
+      [
+        {
+          Harness.Bench.wb_name = "toy";
+          wb_phases =
+            List.map
+              (fun n ->
+                if String.length n >= 4 && String.sub n 0 4 = "sim_" then
+                  phase ~cycles:42 n
+                else phase n)
+              Harness.Bench.phase_names;
+        };
+      ];
+    bench_matrix = matrix;
+  }
+
+let matrix =
+  {
+    Harness.Bench.mx_name = "chaos";
+    mx_cells = 12;
+    mx_jobs = 4;
+    mx_serial_wall_ns = 5_000;
+    mx_parallel_wall_ns = 3_000;
+  }
+
+let roundtrip_validates () =
+  (match Harness.Bench.validate_string (Harness.Bench.to_json (doc ())) with
+  | Ok summary ->
+    check_bool "summary mentions workload" true
+      (String.length summary > 0
+      && contains summary "toy")
+  | Error msg -> Alcotest.fail ("roundtrip rejected: " ^ msg));
+  match
+    Harness.Bench.validate_string (Harness.Bench.to_json (doc ~matrix ()))
+  with
+  | Ok summary ->
+    check_bool "summary mentions matrix" true
+      (contains summary "matrix chaos")
+  | Error msg -> Alcotest.fail ("matrix roundtrip rejected: " ^ msg)
+
+(* Corrupt one aspect of a valid document and check the validator names
+   the right field. *)
+let rejects label mangle needle =
+  let json = mangle (Harness.Bench.to_json (doc ~matrix ())) in
+  match Harness.Bench.validate_string json with
+  | Ok _ -> Alcotest.fail (label ^ ": expected a schema violation")
+  | Error msg ->
+    check_bool
+      (Printf.sprintf "%s: error %S mentions %S" label msg needle)
+      true
+      (contains msg needle)
+
+let replace ~from ~into s =
+  match find_sub s from with
+  | None -> Alcotest.fail ("replace: " ^ from ^ " not present")
+  | Some i ->
+    String.sub s 0 i ^ into
+    ^ String.sub s
+        (i + String.length from)
+        (String.length s - i - String.length from)
+
+let schema_violations_are_rejected () =
+  rejects "wrong version"
+    (replace ~from:"\"schema_version\": 3" ~into:"\"schema_version\": 2")
+    "schema_version";
+  rejects "wrong wall unit"
+    (replace ~from:"\"wall\": \"ns\"" ~into:"\"wall\": \"ms\"")
+    "units.wall";
+  rejects "missing phase"
+    (replace
+       ~from:"{ \"phase\": \"lower\", \"wall_ns\": 1000, \"minor_words\": 10, \
+              \"major_words\": 2 },\n"
+       ~into:"")
+    "lower";
+  rejects "sim phase without cycles"
+    (replace ~from:", \"cycles\": 42 }\n    ] }" ~into:" }\n    ] }")
+    "cycles";
+  rejects "negative wall time"
+    (replace ~from:"\"wall_ns\": 1000" ~into:"\"wall_ns\": -5")
+    "wall_ns";
+  rejects "bad matrix cells"
+    (replace ~from:"\"cells\": 12" ~into:"\"cells\": 0")
+    "matrix.cells";
+  rejects "matrix missing jobs"
+    (replace ~from:"\"jobs\": 4, " ~into:"")
+    "matrix.jobs";
+  rejects "not json" (fun _ -> "{ nope") "parse error";
+  rejects "empty workloads"
+    (fun _ ->
+      Harness.Bench.to_json
+        { (doc ()) with Harness.Bench.bench_workloads = [] })
+    "workloads"
+
+let () =
+  Alcotest.run "bench-schema"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "emitter/validator roundtrip" `Quick
+            roundtrip_validates;
+          Alcotest.test_case "violations rejected with field names" `Quick
+            schema_violations_are_rejected;
+        ] );
+    ]

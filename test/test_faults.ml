@@ -212,6 +212,54 @@ let dropped_wakeup_trips_watchdog () =
       Alcotest.fail "expected No_progress, got Missing_wait"
   end
 
+(* The watchdog fires iff the machine stalls for strictly more than
+   [watchdog_window] cycles: the check is [cycle - last_progress >
+   window], tested before each TLS cycle.  Bounded stalls (a delayed
+   signal has a known wake time) are fast-forwarded past and thus
+   invisible; only an unbounded stall — here a dropped wakeup — lets
+   the stall counter grow.  Pin the boundary cycle-exactly: if the last
+   progress before the wedge is at cycle P (a property of the program
+   and fault, not of the window), the diagnostic must report sd_cycle =
+   P + window + 1.  Running at window-1, window, and window+1 must
+   yield firing cycles exactly one apart with the same recovered P —
+   i.e. a stall of exactly [window] cycles never fires, and the
+   (window+1)-th stalled cycle always does. *)
+let watchdog_boundary_is_exact () =
+  let compiled = compile_synced chain_src [||] in
+  let fire_cycle window =
+    let cfg =
+      {
+        Tls.Config.c_mode with
+        Tls.Config.sim_faults = [ Tls.Config.Drop_wakeup 0 ];
+        watchdog_window = window;
+      }
+    in
+    match run_tls cfg compiled.Tlscore.Pipeline.code [||] with
+    | _ -> Alcotest.fail "expected Stuck (No_progress)"
+    | exception Tls.Sim.Stuck d -> begin
+      match d.Tls.Sim.sd_reason with
+      | Tls.Sim.No_progress { window = reported } ->
+        check_int "diagnostic reports the configured window" window reported;
+        d.Tls.Sim.sd_cycle
+      | Tls.Sim.Missing_wait _ ->
+        Alcotest.fail "expected No_progress, got Missing_wait"
+    end
+  in
+  let w = 4_000 in
+  let at_wm1 = fire_cycle (w - 1) in
+  let at_w = fire_cycle w in
+  let at_wp1 = fire_cycle (w + 1) in
+  (* Strict boundary: widening the window by one cycle defers the trip
+     by exactly one cycle. *)
+  check_int "window defers firing by exactly one cycle" (at_w + 1) at_wp1;
+  check_int "narrowing advances it by exactly one cycle" (at_w - 1) at_wm1;
+  (* All three runs recover the same last-progress cycle P, so each
+     fired at stall = window + 1 and none at stall <= window. *)
+  let p = at_w - w - 1 in
+  check_int "window-1 run: same last-progress cycle" p (at_wm1 - (w - 1) - 1);
+  check_int "window+1 run: same last-progress cycle" p (at_wp1 - (w + 1) - 1);
+  check_bool "progress happened before the wedge" true (p > 0)
+
 let cycle_budget_is_typed () =
   let compiled = compile_synced chain_src [||] in
   match
@@ -398,6 +446,8 @@ let () =
             dropped_wait_trips_protocol_check;
           Alcotest.test_case "dropped wakeup trips watchdog" `Quick
             dropped_wakeup_trips_watchdog;
+          Alcotest.test_case "watchdog boundary is exact" `Quick
+            watchdog_boundary_is_exact;
           Alcotest.test_case "cycle budget is typed" `Quick cycle_budget_is_typed;
         ] );
       ( "absorbable",
