@@ -144,4 +144,4 @@ let jobs_of_argv () =
 
 let () =
   run_microbenchmarks ();
-  run_experiments (Harness.Jobs.create ~jobs:(jobs_of_argv ()))
+  run_experiments (Harness.Jobs.create ~jobs:(jobs_of_argv ()) ())

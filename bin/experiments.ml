@@ -13,7 +13,7 @@ let all_experiment_names =
   ]
 
 let run_experiments jobs benches experiments =
-  let pool = Harness.Jobs.create ~jobs in
+  let pool = Harness.Jobs.create ~jobs () in
   let workloads =
     match benches with
     | [] -> Workloads.Registry.all

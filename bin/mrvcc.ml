@@ -14,17 +14,23 @@
      mrvcc chaos --bench all                     # full resilience matrix
      mrvcc chaos --bench all --jobs 4            # same matrix, 4 domains
      mrvcc chaos --fuzz 20 --seed 7              # chaos-fuzz generated programs
-     mrvcc bench --json --out BENCH_PR3.json     # machine-readable baseline
+     mrvcc chaos --bench all --capacity          # finite-resource sweep
+     mrvcc bench --json --out BENCH_PR4.json     # machine-readable baseline
      mrvcc bench --bench mcf --json              # one workload, to stdout
 
    `--jobs N` runs independent matrix cells on N domains; the rendered
-   output is byte-identical to a serial run.  `--max-cycles N` tightens
-   the simulator cycle budget uniformly across every cell.
+   output is byte-identical to a serial run.  `--timeout S` (with
+   optional `--retry`) bounds each matrix job's wall time.  `--max-cycles
+   N` tightens the simulator cycle budget uniformly across every cell.
+   `simulate` takes the finite-resource knobs `--sig-buffer N`,
+   `--spec-lines N` (with `--overflow-policy stall|squash`) and
+   `--fwd-queue N` (DESIGN §12).
 
    Exit codes: 0 success; 1 findings / failed cells / output mismatch;
    2 usage error; 3 simulator deadlock; 4 simulator stuck (watchdog or
    protocol check); 5 cycle/step budget exhausted; 6 malformed sequential
-   execution. *)
+   execution; 7 resource deadlock (finite forwarding queue backpressured
+   a producer into a cycle). *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -111,6 +117,10 @@ let guarded f =
   | Profiler.Runner.Unexpected_stop { reason; icount } ->
     Printf.eprintf "profiled thread %s after %d instructions\n" reason icount;
     exit 6
+  | Tls.Sim.Resource_deadlock d ->
+    Printf.eprintf "resource deadlock: %s\n"
+      (Tls.Sim.describe_resource_deadlock d);
+    exit 7
 
 (* Resolve a --mutate argument to an IR fault kind. *)
 let mutation_of_name name =
@@ -339,7 +349,27 @@ let apply_budget max_cycles cfg =
     Printf.eprintf "--max-cycles must be positive (got %d)\n" m;
     exit 2
 
-let cmd_simulate file bench input threshold mode mutate max_cycles =
+(* The DESIGN §12 finite-resource knobs (--sig-buffer, --spec-lines,
+   --fwd-queue, --overflow-policy).  Unset knobs keep the unbounded
+   defaults, so plain `simulate` output is unchanged. *)
+let apply_limits (sig_buffer, spec_lines, fwd_queue, policy) cfg =
+  let bound name v set cfg =
+    match v with
+    | None -> cfg
+    | Some n when n >= 0 -> set cfg n
+    | Some n ->
+      Printf.eprintf "--%s must be non-negative (got %d)\n" name n;
+      exit 2
+  in
+  { cfg with Tls.Config.overflow_policy = policy }
+  |> bound "sig-buffer" sig_buffer (fun cfg n ->
+         { cfg with Tls.Config.sig_buffer_entries = n })
+  |> bound "spec-lines" spec_lines (fun cfg n ->
+         { cfg with Tls.Config.spec_lines_per_epoch = n })
+  |> bound "fwd-queue" fwd_queue (fun cfg n ->
+         { cfg with Tls.Config.fwd_queue_depth = n })
+
+let cmd_simulate file bench input threshold mode mutate max_cycles limits =
   let source, input = resolve_program file bench input in
   with_errors (fun () ->
       let memory_sync =
@@ -359,7 +389,12 @@ let cmd_simulate file bench input threshold mode mutate max_cycles =
           Runtime.Code.of_prog
             (apply_mutation kind compiled.Tlscore.Pipeline.prog)
       in
-      let cfg = apply_budget max_cycles (config_of_mode mode) in
+      let cfg = apply_limits limits (apply_budget max_cycles (config_of_mode mode)) in
+      let bounded =
+        match limits with
+        | None, None, None, _ -> false
+        | _ -> true
+      in
       let r = guarded (fun () -> Tls.Sim.run cfg code ~input ()) in
       let reference = Tlscore.Pipeline.original ~source in
       let seq =
@@ -382,6 +417,18 @@ let cmd_simulate file bench input threshold mode mutate max_cycles =
       Printf.printf "slots: busy %d, sync %d, fail %d, other %d (of %d)\n"
         s.Tls.Simstats.s_busy s.Tls.Simstats.s_sync s.Tls.Simstats.s_fail
         (Tls.Simstats.other s) s.Tls.Simstats.s_total;
+      if bounded then begin
+        let rs = r.Tls.Simstats.resources in
+        Printf.printf "resource peaks:  sig-buffer %d, spec-lines %d, fwd-queue %d\n"
+          r.Tls.Simstats.max_signal_buffer rs.Tls.Simstats.rs_peak_spec_lines
+          rs.Tls.Simstats.rs_peak_fwd_queue;
+        Printf.printf
+          "resource events: sig-drops %d, spec-overflows %d (stalls %d, \
+           squashes %d), bp-signals %d\n"
+          rs.Tls.Simstats.rs_sig_drops rs.Tls.Simstats.rs_spec_overflows
+          rs.Tls.Simstats.rs_spec_stalls rs.Tls.Simstats.rs_spec_squashes
+          rs.Tls.Simstats.rs_bp_signals
+      end;
       Printf.printf "output: %s\n"
         (String.concat " " (List.map string_of_int r.Tls.Simstats.output));
       if r.Tls.Simstats.output <> seq.Tls.Simstats.sq_output then begin
@@ -427,7 +474,7 @@ let chaos_modes s =
          let m = String.trim m in
          (m, config_of_mode m))
 
-let cmd_chaos bench modes fuzz seed jobs max_cycles =
+let cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry =
   let programs = chaos_programs bench fuzz seed in
   if programs = [] then begin
     prerr_endline "nothing to run: pass --bench all, --bench NAME[,NAME...], and/or --fuzz N";
@@ -437,15 +484,26 @@ let cmd_chaos bench modes fuzz seed jobs max_cycles =
     chaos_modes modes
     |> List.map (fun (m, cfg) -> (m, apply_budget max_cycles cfg))
   in
-  let pool = Harness.Jobs.create ~jobs in
+  let pool = Harness.Jobs.create ?timeout ~retry ~jobs () in
   with_errors (fun () ->
-      let cells =
-        Faults.Chaos.run_matrix ~log:print_endline ~map:pool.Harness.Jobs.map
-          ~modes ~faults:Faults.Fault.catalog programs
-      in
-      print_newline ();
-      print_string (Faults.Chaos.render_table cells);
-      if Faults.Chaos.count_failed cells > 0 then exit 1)
+      if capacity then begin
+        let cells =
+          Faults.Chaos.run_capacity ~log:print_endline
+            ~map:pool.Harness.Jobs.map ~modes programs
+        in
+        print_newline ();
+        print_string (Faults.Chaos.render_capacity_table cells);
+        if Faults.Chaos.count_capacity_failed cells > 0 then exit 1
+      end
+      else begin
+        let cells =
+          Faults.Chaos.run_matrix ~log:print_endline ~map:pool.Harness.Jobs.map
+            ~modes ~faults:Faults.Fault.catalog programs
+        in
+        print_newline ();
+        print_string (Faults.Chaos.render_table cells);
+        if Faults.Chaos.count_failed cells > 0 then exit 1
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* bench: machine-readable performance baseline                        *)
@@ -475,13 +533,13 @@ let bench_matrix_programs () =
   in
   named @ Faults.Chaos.fuzz_programs ~count:2 ~seed:7
 
-let cmd_bench bench json out jobs matrix =
+let cmd_bench bench json out jobs matrix timeout retry =
   let workloads = bench_workloads bench in
   if workloads = [] then begin
     prerr_endline "nothing to bench";
     exit 2
   end;
-  let pool = Harness.Jobs.create ~jobs in
+  let pool = Harness.Jobs.create ?timeout ~retry ~jobs () in
   let wbs =
     with_errors (fun () ->
         guarded (fun () ->
@@ -527,9 +585,9 @@ let cmd_bench bench json out jobs matrix =
     match out with
     | None -> print_string text
     | Some path ->
-      let oc = open_out_bin path in
-      output_string oc text;
-      close_out oc;
+      (* Atomic: a reader (or a kill mid-write) never sees a truncated
+         baseline — the old file survives until the rename. *)
+      Harness.Bench.write_file_atomic path text;
       Printf.printf "wrote %s (%d workloads%s)\n" path (List.length wbs)
         (if mx = None then "" else ", matrix")
   end
@@ -616,6 +674,70 @@ let matrix_arg =
     & info [ "matrix" ]
         ~doc:"Also time the bounded chaos matrix, serial vs --jobs.")
 
+let capacity_arg =
+  Arg.(
+    value & flag
+    & info [ "capacity" ]
+        ~doc:
+          "Run the finite-resource capacity sweep instead of the fault \
+           matrix: halve each resource limit from its observed peak until \
+           degradation triggers, then classify the run.")
+
+let timeout_arg =
+  let doc =
+    "Bound each matrix job's wall time to $(docv) seconds; a job past the \
+     bound fails with Job_timeout naming its input index."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~doc ~docv:"SECONDS")
+
+let retry_arg =
+  Arg.(
+    value & flag
+    & info [ "retry" ]
+        ~doc:"With --timeout, grant one retry at double the bound.")
+
+let sig_buffer_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sig-buffer" ] ~docv:"N"
+        ~doc:
+          "Bound the signal address buffer to $(docv) entries; overflowing \
+           forwards degrade to the violation-protected NULL path.")
+
+let spec_lines_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "spec-lines" ] ~docv:"N"
+        ~doc:
+          "Bound each epoch's speculative state to $(docv) cache lines; \
+           overflow follows --overflow-policy (the oldest epoch is exempt).")
+
+let fwd_queue_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fwd-queue" ] ~docv:"N"
+        ~doc:
+          "Bound the per-epoch forwarding queue to $(docv) in-flight \
+           channels; a full queue backpressures the producer.")
+
+let overflow_policy_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("stall", Tls.Config.Overflow_stall);
+             ("squash", Tls.Config.Overflow_squash);
+           ])
+        Tls.Config.Overflow_stall
+    & info [ "overflow-policy" ] ~docv:"stall|squash"
+        ~doc:
+          "What a --spec-lines overflow does: stall the epoch until it is \
+           oldest, or squash and restart it serialized.")
+
 let action_arg =
   Arg.(
     required
@@ -625,8 +747,15 @@ let action_arg =
           ("simulate", `Simulate); ("chaos", `Chaos); ("bench", `Bench) ])) None
     & info [] ~docv:"ACTION")
 
+(* The four DESIGN §12 resource knobs travel together. *)
+let limits_term =
+  Term.(
+    const (fun sig_buffer spec_lines fwd_queue policy ->
+        (sig_buffer, spec_lines, fwd_queue, policy))
+    $ sig_buffer_arg $ spec_lines_arg $ fwd_queue_arg $ overflow_policy_arg)
+
 let main action file bench input threshold mode mutate modes fuzz seed jobs
-    max_cycles json out matrix =
+    max_cycles json out matrix capacity timeout retry limits =
   match action with
   | `Dump_ir -> cmd_dump_ir file bench input
   | `Run -> cmd_run file bench input
@@ -634,9 +763,10 @@ let main action file bench input threshold mode mutate modes fuzz seed jobs
   | `Depgraph -> cmd_depgraph file bench input threshold
   | `Compile -> cmd_compile file bench input threshold
   | `Lint -> cmd_lint file bench input threshold mutate
-  | `Simulate -> cmd_simulate file bench input threshold mode mutate max_cycles
-  | `Chaos -> cmd_chaos bench modes fuzz seed jobs max_cycles
-  | `Bench -> cmd_bench bench json out jobs matrix
+  | `Simulate ->
+    cmd_simulate file bench input threshold mode mutate max_cycles limits
+  | `Chaos -> cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
+  | `Bench -> cmd_bench bench json out jobs matrix timeout retry
 
 let cmd =
   let doc = "mini-C TLS compiler and simulator driver" in
@@ -646,6 +776,6 @@ let cmd =
       const main $ action_arg $ file_arg $ bench_arg $ input_arg
       $ threshold_arg $ mode_arg $ mutate_arg $ modes_arg $ fuzz_arg
       $ seed_arg $ jobs_arg $ max_cycles_arg $ json_arg $ out_arg
-      $ matrix_arg)
+      $ matrix_arg $ capacity_arg $ timeout_arg $ retry_arg $ limits_term)
 
 let () = exit (Cmd.eval cmd)

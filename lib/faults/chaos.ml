@@ -233,6 +233,200 @@ let count_failed cells =
        cells)
 
 (* ------------------------------------------------------------------ *)
+(* Capacity sweep: finite-resource degradation (DESIGN §12)            *)
+(* ------------------------------------------------------------------ *)
+
+type capacity_axis =
+  | Cap_sig_buffer
+  | Cap_spec_stall
+  | Cap_spec_squash
+  | Cap_fwd_queue
+
+let capacity_axes =
+  [ Cap_sig_buffer; Cap_spec_stall; Cap_spec_squash; Cap_fwd_queue ]
+
+let axis_name = function
+  | Cap_sig_buffer -> "sig-buffer"
+  | Cap_spec_stall -> "spec-lines/stall"
+  | Cap_spec_squash -> "spec-lines/squash"
+  | Cap_fwd_queue -> "fwd-queue"
+
+type capacity_cell = {
+  cc_program : string;
+  cc_mode : string;
+  cc_axis : capacity_axis;
+  cc_peak : int;
+  cc_limit : int;
+  cc_events : int;
+  cc_outcome : outcome;
+}
+
+let apply_axis axis limit cfg =
+  match axis with
+  | Cap_sig_buffer -> { cfg with Tls.Config.sig_buffer_entries = limit }
+  | Cap_spec_stall ->
+    {
+      cfg with
+      Tls.Config.spec_lines_per_epoch = limit;
+      overflow_policy = Tls.Config.Overflow_stall;
+    }
+  | Cap_spec_squash ->
+    {
+      cfg with
+      Tls.Config.spec_lines_per_epoch = limit;
+      overflow_policy = Tls.Config.Overflow_squash;
+    }
+  | Cap_fwd_queue -> { cfg with Tls.Config.fwd_queue_depth = limit }
+
+let axis_peak axis (r : Tls.Simstats.result) =
+  match axis with
+  | Cap_sig_buffer -> r.Tls.Simstats.max_signal_buffer
+  | Cap_spec_stall | Cap_spec_squash ->
+    r.Tls.Simstats.resources.Tls.Simstats.rs_peak_spec_lines
+  | Cap_fwd_queue -> r.Tls.Simstats.resources.Tls.Simstats.rs_peak_fwd_queue
+
+let axis_events axis (r : Tls.Simstats.result) =
+  match axis with
+  | Cap_sig_buffer -> r.Tls.Simstats.resources.Tls.Simstats.rs_sig_drops
+  | Cap_spec_stall | Cap_spec_squash ->
+    r.Tls.Simstats.resources.Tls.Simstats.rs_spec_overflows
+  | Cap_fwd_queue -> r.Tls.Simstats.resources.Tls.Simstats.rs_bp_signals
+
+(* One run under [limit] on [axis].  The absorbable axes (signal-buffer
+   drops degrade forwarding to the violation-protected NULL path;
+   speculative-state overflow stalls or squashes) must stay sequentially
+   equivalent under any limit.  The forwarding-queue axis is detectable:
+   a backpressure cycle must surface as the typed
+   {!Tls.Sim.Resource_deadlock} (or the watchdog's {!Tls.Sim.Stuck}),
+   never as a hang that reaches the cycle budget. *)
+let probe_axis ~expected ~cfg ~code ~input axis limit =
+  let cfg = apply_axis axis limit cfg in
+  match Tls.Sim.run cfg code ~input () with
+  | r ->
+    let events = axis_events axis r in
+    let outcome =
+      if events = 0 then Skipped
+      else if r.Tls.Simstats.output = expected then Absorbed
+      else Failed "output differs from sequential reference"
+    in
+    (events, outcome)
+  | exception Tls.Sim.Resource_deadlock d -> (
+    let msg = Tls.Sim.describe_resource_deadlock d in
+    match axis with
+    | Cap_fwd_queue -> (1, Detected msg)
+    | _ -> (1, Failed ("unexpected resource deadlock: " ^ msg)))
+  | exception Tls.Sim.Stuck d -> (
+    let msg = Tls.Sim.describe_stuck d in
+    match axis with
+    | Cap_fwd_queue -> (1, Detected msg)
+    | _ -> (1, Failed ("unexpected stuck: " ^ msg)))
+  | exception Tls.Sim.Deadlock msg -> (1, Failed ("unexpected deadlock: " ^ msg))
+  | exception Tls.Sim.Cycle_limit { cycle; _ } ->
+    ( 1,
+      Failed
+        (Printf.sprintf
+           "hang: cycle budget hit at cycle %d (watchdog missed it)" cycle) )
+  | exception e -> (1, Failed (Printexc.to_string e))
+
+(* Halve the limit starting from [peak / 2] until the resource actually
+   degrades (>= 1 event), and report that first-triggering limit.  A peak
+   of 0 (the mode never uses the resource) or a sweep that bottoms out at
+   limit 0 without a single event is Skipped — the axis is not
+   exercisable for this program x mode. *)
+let sweep_axis ~expected ~cfg ~code ~input ~program ~mode axis peak =
+  let mk limit events outcome =
+    {
+      cc_program = program;
+      cc_mode = mode;
+      cc_axis = axis;
+      cc_peak = peak;
+      cc_limit = limit;
+      cc_events = events;
+      cc_outcome = outcome;
+    }
+  in
+  if peak <= 0 then mk 0 0 Skipped
+  else
+    let rec go limit =
+      let events, outcome = probe_axis ~expected ~cfg ~code ~input axis limit in
+      if events > 0 then mk limit events outcome
+      else if limit = 0 then mk 0 0 Skipped
+      else go (limit / 2)
+    in
+    go (peak / 2)
+
+let run_capacity_program ?(log = fun _ -> ()) ?watchdog ~modes p =
+  let tune cfg =
+    match watchdog with
+    | None -> cfg
+    | Some w -> { cfg with Tls.Config.watchdog_window = w }
+  in
+  let expected = seq_output p.p_source p.p_train in
+  let base = compile p in
+  let code = base.Tlscore.Pipeline.code in
+  let input = p.p_train in
+  let run_mode (mode_name, cfg0) =
+    let cfg = tune cfg0 in
+    (* Unbounded baseline: harvest each resource's peak occupancy so the
+       sweep starts from a limit the run is known to exceed. *)
+    match Tls.Sim.run cfg code ~input () with
+    | r ->
+      List.map
+        (fun axis ->
+          sweep_axis ~expected ~cfg ~code ~input ~program:p.p_name
+            ~mode:mode_name axis (axis_peak axis r))
+        capacity_axes
+    | exception e ->
+      let msg = "baseline: " ^ Printexc.to_string e in
+      List.map
+        (fun axis ->
+          {
+            cc_program = p.p_name;
+            cc_mode = mode_name;
+            cc_axis = axis;
+            cc_peak = 0;
+            cc_limit = 0;
+            cc_events = 0;
+            cc_outcome = Failed msg;
+          })
+        capacity_axes
+  in
+  let cells = List.concat_map run_mode modes in
+  let failed =
+    List.length
+      (List.filter
+         (fun c -> match c.cc_outcome with Failed _ -> true | _ -> false)
+         cells)
+  in
+  log
+    (Printf.sprintf "%-12s %d capacity cells%s" p.p_name (List.length cells)
+       (if failed = 0 then "" else Printf.sprintf ", %d FAILED" failed));
+  cells
+
+let run_capacity ?(log = fun _ -> ()) ?(map = fun f l -> List.map f l)
+    ?watchdog ~modes programs =
+  let per_program =
+    map
+      (fun p ->
+        let lines = ref [] in
+        let cells =
+          run_capacity_program
+            ~log:(fun s -> lines := s :: !lines)
+            ?watchdog ~modes p
+        in
+        (List.rev !lines, cells))
+      programs
+  in
+  List.iter (fun (lines, _) -> List.iter log lines) per_program;
+  List.concat_map snd per_program
+
+let count_capacity_failed cells =
+  List.length
+    (List.filter
+       (fun c -> match c.cc_outcome with Failed _ -> true | _ -> false)
+       cells)
+
+(* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -323,6 +517,57 @@ let render_table cells =
         Buffer.add_string buf
           (Printf.sprintf "FAILED  %s mode=%s fault=%s: %s\n" c.c_program
              c.c_mode c.c_fault msg)
+      | _ -> ())
+    cells;
+  Buffer.contents buf
+
+let outcome_word = function
+  | Passed -> "passed"
+  | Absorbed -> "absorbed"
+  | Detected _ -> "detected"
+  | Skipped -> "skipped"
+  | Failed _ -> "FAILED"
+
+let render_capacity_table cells =
+  let buf = Buffer.create 1024 in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          c.cc_program;
+          c.cc_mode;
+          axis_name c.cc_axis;
+          string_of_int c.cc_peak;
+          string_of_int c.cc_limit;
+          string_of_int c.cc_events;
+          outcome_word c.cc_outcome;
+        ])
+      cells
+  in
+  Buffer.add_string buf
+    (Support.Table.render
+       ~aligns:
+         Support.Table.[ Left; Left; Left; Right; Right; Right; Left ]
+       ~header:[ "program"; "mode"; "axis"; "peak"; "limit"; "events"; "outcome" ]
+       rows);
+  Buffer.add_char buf '\n';
+  let tally p = List.length (List.filter p cells) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "capacity: %d cells | %d absorbed | %d detected | %d skipped | %d FAILED\n"
+       (List.length cells)
+       (tally (fun c -> c.cc_outcome = Absorbed))
+       (tally (fun c ->
+            match c.cc_outcome with Detected _ -> true | _ -> false))
+       (tally (fun c -> c.cc_outcome = Skipped))
+       (tally (fun c -> match c.cc_outcome with Failed _ -> true | _ -> false)));
+  List.iter
+    (fun c ->
+      match c.cc_outcome with
+      | Failed msg ->
+        Buffer.add_string buf
+          (Printf.sprintf "FAILED  %s mode=%s axis=%s limit=%d: %s\n"
+             c.cc_program c.cc_mode (axis_name c.cc_axis) c.cc_limit msg)
       | _ -> ())
     cells;
   Buffer.contents buf

@@ -75,3 +75,62 @@ val fuzz_programs : count:int -> seed:int -> program list
 val render_table : cell list -> string
 
 val count_failed : cell list -> int
+
+(** {1 Capacity sweep}
+
+    The finite-hardware degradation matrix (DESIGN §12): for each
+    program × mode, run once unbounded to harvest each resource's peak
+    occupancy, then halve that resource's limit (peak/2, peak/4, …, 0)
+    until the run actually degrades (≥ 1 overflow/drop/backpressure
+    event) and classify that first-triggering run:
+
+    - signal-buffer and speculative-lines limits are {e absorbable}:
+      the run must still match the sequential output ([Absorbed]);
+    - the forwarding-queue limit is {e detectable}: a backpressure
+      cycle must end in the typed {!Tls.Sim.Resource_deadlock} (or the
+      watchdog's {!Tls.Sim.Stuck}) — [Detected];
+    - a resource whose peak is 0, or that never triggers even at limit
+      0, is [Skipped] (not exercisable for that program × mode);
+    - anything else — wrong output, a typed error on an absorbable
+      axis, or a run that reached the cycle budget (a hang the
+      watchdog missed) — is [Failed]. *)
+
+type capacity_axis =
+  | Cap_sig_buffer    (** {!Tls.Config.t.sig_buffer_entries} *)
+  | Cap_spec_stall    (** spec_lines_per_epoch under [Overflow_stall] *)
+  | Cap_spec_squash   (** spec_lines_per_epoch under [Overflow_squash] *)
+  | Cap_fwd_queue     (** {!Tls.Config.t.fwd_queue_depth} *)
+
+(** All four axes, in table order. *)
+val capacity_axes : capacity_axis list
+
+val axis_name : capacity_axis -> string
+
+type capacity_cell = {
+  cc_program : string;
+  cc_mode : string;
+  cc_axis : capacity_axis;
+  cc_peak : int;     (* unbounded-run peak occupancy of the resource *)
+  cc_limit : int;    (* first (largest) halved limit that degraded *)
+  cc_events : int;   (* degradation events observed at cc_limit *)
+  cc_outcome : outcome;
+}
+
+(** Like {!run_matrix} for the capacity sweep: [map] and [log] have the
+    same determinism contract (per-program log lines buffered and
+    replayed in program order). *)
+val run_capacity :
+  ?log:(string -> unit) ->
+  ?map:((program -> string list * capacity_cell list) ->
+        program list ->
+        (string list * capacity_cell list) list) ->
+  ?watchdog:int ->
+  modes:(string * Tls.Config.t) list ->
+  program list ->
+  capacity_cell list
+
+(** One row per cell (program, mode, axis, peak, limit, events, outcome)
+    plus a tally line and a detail line for every FAILED cell. *)
+val render_capacity_table : capacity_cell list -> string
+
+val count_capacity_failed : capacity_cell list -> int

@@ -22,10 +22,25 @@ type t = {
   bench_matrix : matrix_bench option;
 }
 
-let schema_version = 3
+let schema_version = 4
 
 let phase_names =
-  [ "frontend"; "lower"; "profile"; "pass"; "sim_seq"; "sim_tls" ]
+  [
+    "frontend"; "lower"; "profile"; "pass"; "sim_seq"; "sim_tls";
+    "sim_tls_bounded";
+  ]
+
+(* The finite-resource configuration of the [sim_tls_bounded] phase:
+   C mode with the DESIGN §12 limits tightened enough to exercise the
+   degradation machinery on real workloads while staying representative
+   of a small TLS implementation. *)
+let bounded_cfg =
+  {
+    Tls.Config.c_mode with
+    Tls.Config.sig_buffer_entries = 2;
+    spec_lines_per_epoch = 8;
+    fwd_queue_depth = 8;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                         *)
@@ -88,6 +103,9 @@ let bench_workload (w : Workloads.Workload.t) =
     Tls.Sim.run Tls.Config.c_mode compiled.Tlscore.Pipeline.code
       ~input:ref_input ()
   in
+  let tls_bounded =
+    Tls.Sim.run bounded_cfg compiled.Tlscore.Pipeline.code ~input:ref_input ()
+  in
   {
     wb_name = w.Workloads.Workload.name;
     wb_phases =
@@ -100,6 +118,8 @@ let bench_workload (w : Workloads.Workload.t) =
           ~cycles:seq.Tls.Simstats.sq_cycles;
         sim_phase "sim_tls" tls.Tls.Simstats.runtime
           ~cycles:tls.Tls.Simstats.total_cycles;
+        sim_phase "sim_tls_bounded" tls_bounded.Tls.Simstats.runtime
+          ~cycles:tls_bounded.Tls.Simstats.total_cycles;
       ];
   }
 
@@ -343,7 +363,7 @@ let check_phase ~workload p =
   let* _ = as_num (ctx "minor_words") minor in
   let* major = require (ctx "major_words") (field p "major_words") in
   let* _ = as_num (ctx "major_words") major in
-  let sim = List.mem name [ "sim_seq"; "sim_tls" ] in
+  let sim = List.mem name [ "sim_seq"; "sim_tls"; "sim_tls_bounded" ] in
   match field p "cycles" with
   | Some c ->
     let* cycles = as_int (ctx "cycles") c in
@@ -451,3 +471,30 @@ let validate_file path =
   let s = really_input_string ic n in
   close_in ic;
   validate_string s
+
+(* ------------------------------------------------------------------ *)
+(* Atomic file writes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Write-to-temp + rename in the destination directory: a reader (or a
+   crash/kill at any point) sees either the complete old file or the
+   complete new one, never a truncated BENCH_*.json.  [?before_rename]
+   exists for the kill-mid-write test, which parks the writer between
+   the temp write and the rename. *)
+let write_file_atomic ?(before_rename = fun () -> ()) path contents =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  before_rename ();
+  try Unix.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

@@ -1,14 +1,17 @@
 (** Machine-readable performance baseline: the wall time and allocation
     of each pipeline phase per workload, emitted as schema-versioned JSON
-    (committed as [BENCH_PR3.json]) so later PRs have a perf trajectory
-    to regress against.
+    (committed as [BENCH_PR4.json]; [BENCH_PR3.json] is the schema-v3
+    trajectory record) so later PRs have a perf trajectory to regress
+    against.
 
-    The six phases mirror the Bechamel microbenchmarks in [bench/main.ml]:
-    frontend (lex+parse+check), lower (to IR), profile (loop+dependence
-    profiling), pass (full pipeline with memory sync), sim_seq (sequential
-    timing run) and sim_tls (TLS run, C mode).  The sim phases surface the
-    simulator's own {!Tls.Simstats.runtime_counters} plus their
-    deterministic cycle counts.
+    The seven phases mirror the Bechamel microbenchmarks in
+    [bench/main.ml]: frontend (lex+parse+check), lower (to IR), profile
+    (loop+dependence profiling), pass (full pipeline with memory sync),
+    sim_seq (sequential timing run), sim_tls (TLS run, C mode) and
+    sim_tls_bounded (TLS run, C mode under the finite-resource limits of
+    {!bounded_cfg}).  The sim phases surface the simulator's own
+    {!Tls.Simstats.runtime_counters} plus their deterministic cycle
+    counts.
 
     Numbers are one-shot measurements (a trajectory record, not a
     statistically analyzed benchmark — Bechamel part 1 covers that); the
@@ -47,7 +50,14 @@ val schema_version : int
 (** The phase names every workload entry must cover, in order. *)
 val phase_names : string list
 
-(** Time all six phases of one workload. *)
+(** C mode with the DESIGN §12 resource limits tightened (signal buffer
+    2, 8 speculative lines per epoch, forwarding queue 8) so most
+    workloads actually degrade — signal drops and overflow stalls — while
+    every one still completes with sequential-equivalent output: the
+    configuration of the [sim_tls_bounded] phase. *)
+val bounded_cfg : Tls.Config.t
+
+(** Time all seven phases of one workload. *)
 val bench_workload : Workloads.Workload.t -> workload_bench
 
 (** Time [f ()], returning its value and a phase record. *)
@@ -63,3 +73,11 @@ val to_json : t -> string
 val validate_string : string -> (string, string) result
 
 val validate_file : string -> (string, string) result
+
+(** [write_file_atomic path contents] writes via a temp file in [path]'s
+    directory followed by [Unix.rename], so an interrupted writer can
+    never leave a truncated file: readers see the complete old contents
+    or the complete new ones.  [?before_rename] is a test hook run
+    between the temp write and the rename. *)
+val write_file_atomic :
+  ?before_rename:(unit -> unit) -> string -> string -> unit

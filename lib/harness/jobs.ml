@@ -18,23 +18,81 @@ type t = {
   map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list;
 }
 
+exception Job_timeout of { index : int; timeout_s : float }
+
 let available () = Domain.recommended_domain_count ()
 
 let serial_map f items = List.map f items
 
-let parallel_map ~jobs f items =
+(* Per-job timeout enforcement.  OCaml domains cannot be killed, so the
+   job runs in a monitor domain that publishes its outcome through an
+   [Atomic] slot while the worker polls with a deadline.  On expiry the
+   monitor domain is abandoned — it keeps computing until it finishes on
+   its own (all our jobs carry their own cycle budgets, so runaways are
+   bounded) — and the job's slot becomes [Job_timeout].  A failed spawn
+   (resource limits) degrades to running the job inline, without
+   enforcement, rather than losing the result. *)
+let poll_interval_s = 0.002
+
+let run_with_deadline ~timeout_s f x =
+  let slot = Atomic.make None in
+  match
+    Domain.spawn (fun () ->
+        let outcome =
+          try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Atomic.set slot (Some outcome))
+  with
+  | exception _ ->
+    Some (try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()))
+  | d ->
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec poll () =
+      match Atomic.get slot with
+      | Some outcome ->
+        Domain.join d;
+        Some outcome
+      | None ->
+        if Unix.gettimeofday () >= deadline then None
+        else begin
+          Unix.sleepf poll_interval_s;
+          poll ()
+        end
+    in
+    poll ()
+
+let run_bounded ~index ~timeout_s ~retry f x =
+  match run_with_deadline ~timeout_s f x with
+  | Some outcome -> outcome
+  | None -> begin
+    (* Opt-in single retry at double the bound: a transiently slow host
+       (GC pause, noisy neighbour) gets a second chance; a genuinely
+       wedged job times out again. *)
+    let retried =
+      if retry then run_with_deadline ~timeout_s:(2.0 *. timeout_s) f x
+      else None
+    in
+    match retried with
+    | Some outcome -> outcome
+    | None ->
+      Error (Job_timeout { index; timeout_s }, Printexc.get_callstack 0)
+  end
+
+let parallel_map ?timeout ?(retry = false) ~jobs f items =
   let arr = Array.of_list items in
   let n = Array.length arr in
   let slots = Array.make n None in
   let next = Atomic.make 0 in
+  let run i =
+    match timeout with
+    | None -> (
+      try Ok (f arr.(i)) with e -> Error (e, Printexc.get_raw_backtrace ()))
+    | Some timeout_s -> run_bounded ~index:i ~timeout_s ~retry f arr.(i)
+  in
   let rec worker () =
     let i = Atomic.fetch_and_add next 1 in
     if i < n then begin
-      let outcome =
-        try Ok (f arr.(i))
-        with e -> Error (e, Printexc.get_raw_backtrace ())
-      in
-      slots.(i) <- Some outcome;
+      slots.(i) <- Some (run i);
       worker ()
     end
   in
@@ -69,8 +127,10 @@ let parallel_map ~jobs f items =
 
 let serial = { jobs = 1; map = serial_map }
 
-let create ~jobs =
-  if jobs <= 1 then serial
-  else { jobs; map = (fun f items -> parallel_map ~jobs f items) }
+let create ?timeout ?(retry = false) ~jobs () =
+  if jobs <= 1 && timeout = None then serial
+  else
+    let jobs = max 1 jobs in
+    { jobs; map = (fun f items -> parallel_map ?timeout ~retry ~jobs f items) }
 
-let map ~jobs f items = (create ~jobs).map f items
+let map ~jobs f items = (create ~jobs ()).map f items

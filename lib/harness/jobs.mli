@@ -26,13 +26,27 @@ type t = {
           would have surfaced first. *)
 }
 
+(** A job exceeded its per-job timeout (and its retry, if enabled).
+    [index] is the job's position in the input list, so a failed matrix
+    run names the exact cell that wedged. *)
+exception Job_timeout of { index : int; timeout_s : float }
+
 (** Run everything in the calling domain ([jobs = 1]). *)
 val serial : t
 
-(** A pool of [jobs] workers; [create ~jobs:1] (or less) is {!serial}.
-    The calling domain participates as one of the workers, so [jobs = 4]
-    spawns 3 domains. *)
-val create : jobs:int -> t
+(** A pool of [jobs] workers; [create ~jobs:1] (or less, with no
+    [timeout]) is {!serial}.  The calling domain participates as one of
+    the workers, so [jobs = 4] spawns 3 domains.
+
+    [?timeout] bounds each job's wall time in seconds.  A job past its
+    deadline is abandoned (OCaml domains cannot be killed — the stray
+    computation finishes on its own cycle budget) and its outcome becomes
+    {!Job_timeout}; the rest of the matrix still completes, in input
+    order, and the lowest-index error is the one re-raised.  A timed-out
+    job surfaces within the timeout plus one poll interval (~2ms), i.e.
+    well within 2x the bound.  [?retry] (default false) grants one
+    retry at double the timeout before giving up. *)
+val create : ?timeout:float -> ?retry:bool -> jobs:int -> unit -> t
 
 (** One-shot convenience: [(create ~jobs).map f items]. *)
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -14,6 +14,8 @@ type sim_fault =
   | Spurious_violation of int
   | Drop_wakeup of int
 
+type overflow_policy = Overflow_stall | Overflow_squash
+
 type t = {
   num_procs : int;
   issue_width : int;
@@ -50,6 +52,10 @@ type t = {
   watchdog_window : int;
   protocol_checks : bool;
   max_cycles : int;
+  sig_buffer_entries : int;
+  spec_lines_per_epoch : int;
+  fwd_queue_depth : int;
+  overflow_policy : overflow_policy;
 }
 
 let default =
@@ -89,6 +95,10 @@ let default =
     watchdog_window = 50_000;
     protocol_checks = true;
     max_cycles = 2_000_000_000;
+    sig_buffer_entries = max_int;
+    spec_lines_per_epoch = max_int;
+    fwd_queue_depth = max_int;
+    overflow_policy = Overflow_stall;
   }
 
 let u_mode = { default with stall_compiler_sync = false }

@@ -44,6 +44,16 @@ type sim_fault =
   | Spurious_violation of int
   | Drop_wakeup of int
 
+(** What happens when an epoch's speculative state exceeds
+    [spec_lines_per_epoch] (DESIGN §12):
+    - [Overflow_stall]: the epoch stalls until it is the oldest (and thus
+      free to touch memory non-speculatively), mirroring designs that park
+      an overflowing context — e.g. Prophet's buffer-full stall.
+    - [Overflow_squash]: the epoch is squashed and restarted with
+      [hold_until_oldest] set, discarding the oversized footprint.
+    Both are absorbable: sequential equivalence is preserved. *)
+type overflow_policy = Overflow_stall | Overflow_squash
+
 type t = {
   (* Machine (Table 1). *)
   num_procs : int;
@@ -101,6 +111,27 @@ type t = {
       (* cycle budget of a single {!Sim.run} / {!Sim.run_sequential};
          exceeding it raises {e Cycle_limit}.  The chaos and bench
          harnesses tighten it uniformly through this knob. *)
+  (* Finite-hardware resource model (DESIGN §12).  The defaults are
+     [max_int], i.e. today's effectively-unbounded structures; finite
+     values enable graceful degradation, never divergence. *)
+  sig_buffer_entries : int;
+      (* producer-side signal address buffer capacity (distinct channels
+         with a pending non-NULL forwarded address).  On overflow the
+         signal degrades to NULL: the consumer unblocks without a value
+         and falls back to a violation-protected speculative load
+         (absorbable, like [Corrupt_value]). *)
+  spec_lines_per_epoch : int;
+      (* cache lines of speculative state (exposed reads + writes) a
+         non-oldest epoch may track before [overflow_policy] applies.
+         The oldest epoch is exempt — it is homefree and can always
+         drain, which guarantees forward progress. *)
+  fwd_queue_depth : int;
+      (* forwarding-queue entries between an epoch and its successor:
+         signals posted but not yet consumed.  A full queue applies
+         backpressure (the producer stalls before issuing the signal); a
+         backpressure cycle raises the typed {e Resource_deadlock} rather
+         than hanging, with the watchdog as backstop. *)
+  overflow_policy : overflow_policy;
 }
 
 (** The machine of Table 1 with compiler synchronization honored and all

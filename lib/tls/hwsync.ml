@@ -5,6 +5,8 @@ type t = {
   mutable clock : int;
   mutable last_reset : int;
   mutable resets : int;
+  mutable evictions : int;
+  mutable peak : int;
 }
 
 let create ~size ~reset_interval =
@@ -15,6 +17,8 @@ let create ~size ~reset_interval =
     clock = 0;
     last_reset = 0;
     resets = 0;
+    evictions = 0;
+    peak = 0;
   }
 
 let record_violation t iid =
@@ -31,10 +35,14 @@ let record_violation t iid =
         t.entries None
     in
     match victim with
-    | Some (id, _) -> Hashtbl.remove t.entries id
+    | Some (id, _) ->
+      Hashtbl.remove t.entries id;
+      t.evictions <- t.evictions + 1
     | None -> ()
   end;
-  Hashtbl.replace t.entries iid t.clock
+  Hashtbl.replace t.entries iid t.clock;
+  let occ = Hashtbl.length t.entries in
+  if occ > t.peak then t.peak <- occ
 
 let marked t iid = Hashtbl.mem t.entries iid
 
@@ -49,3 +57,5 @@ let contents t =
   Hashtbl.fold (fun iid _ acc -> iid :: acc) t.entries [] |> List.sort compare
 
 let resets t = t.resets
+let evictions t = t.evictions
+let peak t = t.peak

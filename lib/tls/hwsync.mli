@@ -22,3 +22,9 @@ val tick : t -> now:int -> unit
 val contents : t -> Ir.Instr.iid list
 
 val resets : t -> int
+
+(** LRU evictions forced by the finite table size (resource accounting). *)
+val evictions : t -> int
+
+(** Peak table occupancy observed (resource accounting). *)
+val peak : t -> int

@@ -54,6 +54,29 @@ let describe_stuck d =
       "sync load %d in region %d (%s) consumed channel %d that no wait ever received (cycle %d)"
       iid d.sd_region d.sd_func channel d.sd_cycle
 
+(* A backpressure cycle under a finite forwarding queue (DESIGN §12): a
+   producer stalled on a full queue while the region as a whole stopped
+   progressing — the consumer side can never drain it.  Raised by the
+   watchdog refinement in place of {!Stuck}, so detection latency is
+   bounded by the watchdog window and there are no false positives from
+   transient backpressure. *)
+type resource_diag = {
+  rd_cycle : int;
+  rd_region : int;
+  rd_func : string;
+  rd_producer : int;              (* backpressure-stalled producer epoch *)
+  rd_channel : Ir.Instr.channel;  (* channel it cannot enqueue *)
+  rd_depth : int;                 (* configured fwd_queue_depth *)
+  rd_epochs : epoch_diag list;
+}
+
+exception Resource_deadlock of resource_diag
+
+let describe_resource_deadlock d =
+  Printf.sprintf
+    "backpressure cycle: epoch %d cannot post on channel %d (forwarding queue of depth %d full, consumer never drains) in region %d (%s) at cycle %d"
+    d.rd_producer d.rd_channel d.rd_depth d.rd_region d.rd_func d.rd_cycle
+
 module Int_set = Set.Make (Int)
 
 type payload =
@@ -77,6 +100,7 @@ type epoch = {
   sent : (Ir.Instr.channel, sent_entry) Hashtbl.t;
   consumed : (Ir.Instr.channel, payload) Hashtbl.t;
   sig_buffer : (Ir.Instr.channel, int) Hashtbl.t;
+  spec_lines : (int, unit) Hashtbl.t;       (* union of read/write keys *)
   occ : (Ir.Instr.iid, int) Hashtbl.t;      (* oracle occurrence counters *)
   mutable pending_preds : (Ir.Instr.iid * int * int * bool) list;
   mutable stall_until : int;
@@ -89,6 +113,11 @@ type epoch = {
   mutable attempt_instrs : int;
   mutable restarts : int;
   mutable hold_until_oldest : bool;
+  mutable overflow_hold : bool;             (* parked by Overflow_stall *)
+  mutable overflow_squash_pending : bool;   (* Overflow_squash deferred to
+                                               graduate: hooks must not
+                                               squash mid-instruction *)
+  mutable bp_channel : Ir.Instr.channel option;  (* backpressure-stalled on *)
   mutable hooks : Runtime.Thread.hooks option;  (* built once per epoch *)
 }
 
@@ -150,6 +179,7 @@ type sim = {
   dropped_wakeups : (int * Ir.Instr.channel, unit) Hashtbl.t;
       (* (epoch index, channel) pairs whose wake-up was dropped; persists
          across squashes so a restarted epoch stays condemned *)
+  resources : Simstats.resources;  (* finite-resource accounting (§12) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -246,6 +276,7 @@ let fresh_epoch sim st index =
     sent = Hashtbl.create 8;
     consumed = Hashtbl.create 8;
     sig_buffer = Hashtbl.create 4;
+    spec_lines = Hashtbl.create 64;
     occ = Hashtbl.create 16;
     pending_preds = [];
     stall_until = sim.cycle + sim.cfg.Config.spawn_overhead;
@@ -258,6 +289,9 @@ let fresh_epoch sim st index =
     attempt_instrs = 0;
     restarts = 0;
     hold_until_oldest = false;
+    overflow_hold = false;
+    overflow_squash_pending = false;
+    bp_channel = None;
     hooks = None;
   }
 
@@ -274,8 +308,12 @@ let reset_attempt sim st e =
   Hashtbl.reset e.sent;
   Hashtbl.reset e.consumed;
   Hashtbl.reset e.sig_buffer;
+  Hashtbl.reset e.spec_lines;
   Hashtbl.reset e.occ;
   e.pending_preds <- [];
+  e.overflow_hold <- false;
+  e.overflow_squash_pending <- false;
+  e.bp_channel <- None;
   let frame = Runtime.Thread.copy_frame st.ts_base in
   e.ep_thread <-
     Runtime.Thread.create_from_frame sim.code frame
@@ -388,9 +426,39 @@ let oracle_value sim st e iid =
     Oracle.value oracle ~region:st.ts_region.Ir.Region.id
       ~instance:st.ts_instance ~iteration:(e.ep_index + 1) ~iid ~occurrence
 
+(* Finite speculative-state tracking (DESIGN §12): every line an epoch
+   reads or writes speculatively occupies L1 space.  Crossing
+   [spec_lines_per_epoch] on a non-oldest epoch triggers the overflow
+   policy; the oldest epoch is exempt — it is homefree and can always
+   drain, which guarantees forward progress.  Policy actions are deferred
+   to [graduate]: hooks must never squash mid-instruction. *)
+let note_spec_line sim st e key =
+  if not (Hashtbl.mem e.spec_lines key) then begin
+    Hashtbl.replace e.spec_lines key ();
+    let occ = Hashtbl.length e.spec_lines in
+    let rs = sim.resources in
+    if occ > rs.Simstats.rs_peak_spec_lines then
+      rs.Simstats.rs_peak_spec_lines <- occ;
+    if occ > sim.cfg.Config.spec_lines_per_epoch && not (is_oldest st e)
+    then begin
+      rs.Simstats.rs_spec_overflows <- rs.Simstats.rs_spec_overflows + 1;
+      match sim.cfg.Config.overflow_policy with
+      | Config.Overflow_stall ->
+        if not e.overflow_hold then begin
+          e.overflow_hold <- true;
+          rs.Simstats.rs_spec_stalls <- rs.Simstats.rs_spec_stalls + 1
+        end
+      | Config.Overflow_squash ->
+        if not e.overflow_squash_pending then begin
+          e.overflow_squash_pending <- true;
+          rs.Simstats.rs_spec_squashes <- rs.Simstats.rs_spec_squashes + 1
+        end
+    end
+  end
+
 (* Plain speculative load: own writes overlay committed memory; exposed
    reads mark the line in the speculative-load set. *)
-let speculative_load sim e iid addr =
+let speculative_load sim st e iid addr =
   let proc = epoch_proc sim e in
   sim.extra_latency <- Memsys.access sim.memsys ~proc ~addr - 1;
   match Hashtbl.find_opt e.spec_writes addr with
@@ -399,6 +467,7 @@ let speculative_load sim e iid addr =
     let key = track_key sim addr in
     if not (Hashtbl.mem e.read_lines key) then
       Hashtbl.replace e.read_lines key iid;
+    note_spec_line sim st e key;
     Runtime.Memory.load sim.committed addr
 
 let epoch_load sim st e (i : Ir.Instr.t) addr =
@@ -409,7 +478,7 @@ let epoch_load sim st e (i : Ir.Instr.t) addr =
       let proc = epoch_proc sim e in
       sim.extra_latency <- Memsys.access sim.memsys ~proc ~addr - 1;
       v
-    | None -> speculative_load sim e iid addr
+    | None -> speculative_load sim st e iid addr
   end
   else if
     sim.cfg.Config.hw_value_predict
@@ -428,11 +497,11 @@ let epoch_load sim st e (i : Ir.Instr.t) addr =
       sim.extra_latency <- 0;
       v
     | None ->
-      let v = speculative_load sim e iid addr in
+      let v = speculative_load sim st e iid addr in
       e.pending_preds <- (iid, addr, v, false) :: e.pending_preds;
       v
   end
-  else speculative_load sim e iid addr
+  else speculative_load sim st e iid addr
 
 let epoch_store sim st e (i : Ir.Instr.t) addr v =
   let proc = epoch_proc sim e in
@@ -440,6 +509,7 @@ let epoch_store sim st e (i : Ir.Instr.t) addr v =
   Hashtbl.replace e.spec_writes addr v;
   let line = track_key sim addr in
   Hashtbl.replace e.write_lines line ();
+  note_spec_line sim st e line;
   (* Store-time violation: younger epochs that speculatively read the line. *)
   let rec check k =
     if k < st.ts_next_spawn then begin
@@ -496,6 +566,24 @@ let forwardable_value sim e ch addr =
     | Some _ | None -> None
   end
 
+(* Occupancy of the forwarding queue between [e] and its successor:
+   signals posted but not yet consumed (DESIGN §12).  In-place updates of
+   a channel already in [sent] never grow the queue; with no live
+   successor the interconnect drains into the void (nothing can ever
+   consume), so the final epoch of a region is never backpressured. *)
+let fwd_queue_occupancy st e =
+  match Hashtbl.find_opt st.epochs (e.ep_index + 1) with
+  | Some succ when succ.status = Running || succ.status = Done ->
+    Hashtbl.fold
+      (fun ch _ n -> if Hashtbl.mem succ.consumed ch then n else n + 1)
+      e.sent 0
+  | _ -> 0
+
+let note_fwd_peak sim st e =
+  let occ = fwd_queue_occupancy st e in
+  let rs = sim.resources in
+  if occ > rs.Simstats.rs_peak_fwd_queue then rs.Simstats.rs_peak_fwd_queue <- occ
+
 let epoch_signal_mem sim st e ch addr =
   if sim.cfg.Config.stall_compiler_sync then begin
     let addr, value =
@@ -527,12 +615,31 @@ let epoch_signal_mem sim st e ch addr =
           | _ -> (a, v, d))
         (addr, value, 0) sim.cfg.Config.sim_faults
     in
+    (* Finite signal address buffer (DESIGN §12): a full buffer cannot
+       track a new forwarded address, so the signal degrades to NULL —
+       the consumer unblocks without a value and falls back to a
+       violation-protected speculative load (absorbable, like
+       [Corrupt_value]).  Re-signaling a channel already in the buffer
+       replaces its entry and never needs a new slot. *)
+    let addr, value =
+      if
+        addr <> 0
+        && (not (Hashtbl.mem e.sig_buffer ch))
+        && Hashtbl.length e.sig_buffer >= sim.cfg.Config.sig_buffer_entries
+      then begin
+        sim.resources.Simstats.rs_sig_drops <-
+          sim.resources.Simstats.rs_sig_drops + 1;
+        (0, 0)
+      end
+      else (addr, value)
+    in
     let had_previous = Hashtbl.mem e.sent ch in
     Hashtbl.replace e.sent ch
       {
         se_payload = P_mem (addr, value);
         se_avail = sim.cycle + sim.cfg.Config.forward_latency + extra_delay;
       };
+    note_fwd_peak sim st e;
     if addr <> 0 then begin
       Hashtbl.replace e.sig_buffer ch addr;
       sim.max_sig_buffer <-
@@ -609,12 +716,14 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
     ;
     signal_scalar =
       (fun _ _ ch v ->
-        if my_channel ch then
+        if my_channel ch then begin
           Hashtbl.replace e.sent ch
             {
               se_payload = P_scalar v;
               se_avail = sim.cycle + sim.cfg.Config.forward_latency;
-            });
+            };
+          note_fwd_peak sim st e
+        end);
     wait_mem =
       (fun _ _ ch ->
         if not (my_channel ch) then true
@@ -661,9 +770,9 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
     sync_load =
       (fun _ i ch addr ->
         let iid = i.Ir.Instr.iid in
-        if not (my_channel ch) then speculative_load sim e iid addr
+        if not (my_channel ch) then speculative_load sim st e iid addr
         else if not sim.cfg.Config.stall_compiler_sync then
-          speculative_load sim e iid addr
+          speculative_load sim st e iid addr
         else begin
           match sim.cfg.Config.forward_timing with
           | Config.Forward_perfect -> begin
@@ -671,13 +780,13 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
             | Some v ->
               sim.extra_latency <- 0;
               v
-            | None -> speculative_load sim e iid addr
+            | None -> speculative_load sim st e iid addr
           end
           | Config.Forward_at_commit ->
             (* We are the oldest epoch here (the wait stalled us). *)
-            speculative_load sim e iid addr
+            speculative_load sim st e iid addr
           | Config.Forward_normal -> begin
-            if channel_filtered sim ch then speculative_load sim e iid addr
+            if channel_filtered sim ch then speculative_load sim st e iid addr
             else
               match Hashtbl.find_opt e.consumed ch with
               | Some (P_mem (a, v)) when a <> 0 && a = addr ->
@@ -697,7 +806,7 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
                 (* NULL signal or non-matching address: violation-protected
                    fallback, exactly as the paper's NULL signals. *)
                 note_channel_outcome sim ch ~matched:false;
-                speculative_load sim e iid addr
+                speculative_load sim st e iid addr
               | None ->
                 (* Nothing was ever received on this channel, so no
                    Wait_mem dominated this load — the compiler's sync
@@ -713,7 +822,7 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
                        (stuck_diag_of sim st (Missing_wait { channel = ch; iid })))
                 else begin
                   note_channel_outcome sim ch ~matched:false;
-                  speculative_load sim e iid addr
+                  speculative_load sim st e iid addr
                 end
           end
         end)
@@ -728,24 +837,28 @@ let epoch_hooks sim st e : Runtime.Thread.hooks =
         then epoch_signal_mem sim st e ch addr);
     signal_null =
       (fun _ _ ch ->
-        if my_channel ch && sim.cfg.Config.stall_compiler_sync then
+        if my_channel ch && sim.cfg.Config.stall_compiler_sync then begin
           Hashtbl.replace e.sent ch
             {
               se_payload = P_mem (0, 0);
               se_avail = sim.cycle + sim.cfg.Config.forward_latency;
-            });
+            };
+          note_fwd_peak sim st e
+        end);
     signal_null_if_unsent =
       (fun _ _ ch ->
         if
           my_channel ch
           && sim.cfg.Config.stall_compiler_sync
           && not (Hashtbl.mem e.sent ch)
-        then
+        then begin
           Hashtbl.replace e.sent ch
             {
               se_payload = P_mem (0, 0);
               se_avail = sim.cycle + sim.cfg.Config.forward_latency;
-            });
+            };
+          note_fwd_peak sim st e
+        end);
     control =
       (fun t ~target ->
         if Runtime.Thread.depth t > 1 then true
@@ -779,6 +892,34 @@ let hw_stall_next sim st e =
          && Int_set.mem iid st.ts_comp_loads)
   | Some _ | None -> false
 
+(* Would the next instruction of [e] post a signal on a fresh channel of
+   this region?  Used by forwarding-queue backpressure: only signals that
+   need a new queue entry can be stalled — updates in place (the channel
+   is already in [sent]) and nested-region or unhonored signals pass
+   freely. *)
+let next_signal_channel sim st e =
+  if sim.cfg.Config.fwd_queue_depth = max_int then None
+  else
+    match Runtime.Thread.next_instr e.ep_thread with
+    | Some { Ir.Instr.kind; _ } -> begin
+      let mem_sync = sim.cfg.Config.stall_compiler_sync in
+      let candidate =
+        match kind with
+        | Ir.Instr.Signal_scalar (ch, _) -> Some ch
+        | Ir.Instr.Signal_mem (ch, _) when mem_sync -> Some ch
+        | Ir.Instr.Signal_mem_if_unsent (ch, _) when mem_sync -> Some ch
+        | Ir.Instr.Signal_null ch when mem_sync -> Some ch
+        | Ir.Instr.Signal_null_if_unsent ch when mem_sync -> Some ch
+        | _ -> None
+      in
+      match candidate with
+      | Some ch
+        when Int_set.mem ch st.ts_channels && not (Hashtbl.mem e.sent ch) ->
+        Some ch
+      | _ -> None
+    end
+    | None -> None
+
 
 let graduate sim st e =
   let width = sim.cfg.Config.issue_width in
@@ -797,13 +938,46 @@ let graduate sim st e =
       e.a_other <- e.a_other + !slots;
       slots := 0
     end
+    else if e.overflow_hold && not (is_oldest st e) then begin
+      (* Speculative-state overflow under Overflow_stall: parked until
+         oldest, when the footprint may drain non-speculatively. *)
+      e.blocked <- true;
+      e.wake_at <- max_int;
+      e.a_other <- e.a_other + !slots;
+      slots := 0
+    end
     else if hw_stall_next sim st e then begin
       e.blocked <- true;
       e.wake_at <- max_int;
       e.a_sync <- e.a_sync + !slots;
       slots := 0
     end
+    else if
+      match next_signal_channel sim st e with
+      | Some _ ->
+        fwd_queue_occupancy st e >= sim.cfg.Config.fwd_queue_depth
+      | None -> false
+    then begin
+      (* Forwarding-queue backpressure: the interconnect cannot accept a
+         new signal until the successor consumes.  If the whole region
+         wedges in this state, the watchdog refines Stuck into the typed
+         Resource_deadlock (see tls_cycle). *)
+      let ch =
+        match next_signal_channel sim st e with Some c -> c | None -> -1
+      in
+      let rs = sim.resources in
+      if e.bp_channel = None then
+        rs.Simstats.rs_bp_signals <- rs.Simstats.rs_bp_signals + 1;
+      rs.Simstats.rs_bp_slots <- rs.Simstats.rs_bp_slots + !slots;
+      e.bp_channel <- Some ch;
+      e.blocked <- true;
+      e.wake_at <- max_int;
+      e.last_block <- Some ch;
+      e.a_sync <- e.a_sync + !slots;
+      slots := 0
+    end
     else begin
+      e.bp_channel <- None;
       sim.extra_latency <- 0;
       let hooks =
         match e.hooks with
@@ -836,7 +1010,19 @@ let graduate sim st e =
         in
         let extra = max sim.extra_latency unit_latency in
         if extra > 0 then e.stall_until <- sim.cycle + extra;
-        if e.status = Running && e.attempt_instrs > sim.cfg.Config.epoch_max_instrs
+        if e.status = Running && e.overflow_squash_pending then begin
+          (* Speculative-state overflow under Overflow_squash: discard
+             the oversized footprint and re-run once oldest.  The squash
+             must cascade: younger epochs may have consumed values this
+             epoch forwarded from its (pre-commit) speculative state, and
+             the re-run as oldest can legitimately produce different
+             ones. *)
+          cascade_squash sim st e.ep_index;
+          e.hold_until_oldest <- true;
+          continue_ := false
+        end
+        else if
+          e.status = Running && e.attempt_instrs > sim.cfg.Config.epoch_max_instrs
         then begin
           if is_oldest st e then
             (* A wrong value prediction can send even the oldest epoch down
@@ -1050,11 +1236,34 @@ let tls_cycle sim st =
      wake-up, ...) — raise a typed diagnostic instead of spinning to the
      cycle budget.  Legitimate stalls (cache misses, forwarding latency,
      staggered restarts) are orders of magnitude shorter than the window. *)
-  if sim.cycle - sim.last_progress > sim.cfg.Config.watchdog_window then
+  if sim.cycle - sim.last_progress > sim.cfg.Config.watchdog_window then begin
+    (* Backpressure refinement: a producer stalled on a full forwarding
+       queue when the watchdog expires means the consumer side can never
+       drain it — a resource deadlock, typed as such.  Anything else
+       stays Stuck.  Detection latency is bounded by the window, so
+       "never a hang" holds either way. *)
+    (match
+       List.find_opt (fun e -> e.bp_channel <> None) (active_epochs st)
+     with
+    | Some e ->
+      raise
+        (Resource_deadlock
+           {
+             rd_cycle = sim.cycle;
+             rd_region = st.ts_region.Ir.Region.id;
+             rd_func = st.ts_region.Ir.Region.func;
+             rd_producer = e.ep_index;
+             rd_channel =
+               (match e.bp_channel with Some c -> c | None -> -1);
+             rd_depth = sim.cfg.Config.fwd_queue_depth;
+             rd_epochs = List.map epoch_diag_of (active_epochs st);
+           })
+    | None -> ());
     raise
       (Stuck
          (stuck_diag_of sim st
-            (No_progress { window = sim.cfg.Config.watchdog_window })));
+            (No_progress { window = sim.cfg.Config.watchdog_window })))
+  end;
   Hwsync.tick sim.hwsync ~now:sim.cycle;
   fast_forward sim st;
   sim.slots.Simstats.s_total <- sim.slots.Simstats.s_total + procs_slots sim;
@@ -1322,6 +1531,7 @@ let create_sim cfg code ~input ~oracle ~tls_enabled =
     f_blocked_waits = 0;
     fired = Hashtbl.create 4;
     dropped_wakeups = Hashtbl.create 4;
+    resources = Simstats.fresh_resources ();
   }
 
 (* Host-side measurement of one run: wall time and words allocated.
@@ -1361,6 +1571,8 @@ let run ?max_cycles cfg code ~input ?oracle () =
   done;
   drain_thread_output sim sim.seq_thread;
   let l1_accesses = Memsys.l1_hits sim.memsys + Memsys.l1_misses sim.memsys in
+  sim.resources.Simstats.rs_hw_evictions <- Hwsync.evictions sim.hwsync;
+  sim.resources.Simstats.rs_peak_hw_table <- Hwsync.peak sim.hwsync;
   {
     Simstats.total_cycles = sim.cycle;
     seq_cycles = sim.seq_cycles;
@@ -1386,6 +1598,7 @@ let run ?max_cycles cfg code ~input ?oracle () =
     vpred_predictions = Vpred.predictions sim.vpred;
     faults_fired = Hashtbl.length sim.fired;
     runtime = Simstats.no_runtime;
+    resources = sim.resources;
   }
   in
   { result with Simstats.runtime }

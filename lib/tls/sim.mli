@@ -62,8 +62,29 @@ exception Stuck of stuck_diag
     as {!Stuck} or {!Deadlock} long before. *)
 exception Cycle_limit of { max_cycles : int; cycle : int; where : string }
 
+(** A backpressure cycle under a finite {!Config.t.fwd_queue_depth}
+    (DESIGN §12): a producer was stalled on a full forwarding queue when
+    the progress watchdog expired, i.e. the consumer side can never drain
+    the queue.  Raised in place of {!Stuck} — detection latency is
+    bounded by the watchdog window, so a full queue can degrade
+    throughput but never hang the simulator. *)
+type resource_diag = {
+  rd_cycle : int;
+  rd_region : int;                (* region id *)
+  rd_func : string;               (* function owning the region *)
+  rd_producer : int;              (* backpressure-stalled producer epoch *)
+  rd_channel : Ir.Instr.channel;  (* channel it cannot enqueue *)
+  rd_depth : int;                 (* configured fwd_queue_depth *)
+  rd_epochs : epoch_diag list;    (* all in-flight epochs, oldest first *)
+}
+
+exception Resource_deadlock of resource_diag
+
 (** One-line rendering of a {!stuck_diag} for CLI error messages. *)
 val describe_stuck : stuck_diag -> string
+
+(** One-line rendering of a {!resource_diag} for CLI error messages. *)
+val describe_resource_deadlock : resource_diag -> string
 
 (** Run a whole program under TLS.
     @param oracle required when [cfg.oracle <> Oracle_none] or
@@ -73,7 +94,9 @@ val describe_stuck : stuck_diag -> string
     @raise Stuck when a region makes no progress for
     [cfg.watchdog_window] cycles or a protocol check fails.
     @raise Cycle_limit when the cycle budget — [max_cycles] if given,
-    else [cfg.max_cycles] — is exhausted. *)
+    else [cfg.max_cycles] — is exhausted.
+    @raise Resource_deadlock when a finite forwarding queue backpressures
+    a producer into a cycle (detected at watchdog expiry). *)
 val run :
   ?max_cycles:int ->
   Config.t ->

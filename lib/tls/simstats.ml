@@ -49,6 +49,39 @@ type runtime_counters = {
 
 let no_runtime = { rt_wall_ns = 0; rt_minor_words = 0.0; rt_major_words = 0.0 }
 
+(* Finite-resource accounting (DESIGN §12): degradation events and peak
+   occupancies of the bounded hardware structures.  Deterministic for a
+   given configuration, but — like [runtime] — excluded from fingerprints:
+   with default (unbounded) limits every counter is zero and tightening a
+   limit must change the digest only through its architectural effects
+   (extra violations, stall cycles), not through the bookkeeping itself. *)
+type resources = {
+  mutable rs_sig_drops : int;        (* signals degraded to NULL: full buffer *)
+  mutable rs_spec_overflows : int;   (* lines tracked past the epoch limit *)
+  mutable rs_spec_stalls : int;      (* epochs parked until oldest (stall) *)
+  mutable rs_spec_squashes : int;    (* epochs squashed by policy (squash) *)
+  mutable rs_bp_signals : int;       (* signals that hit backpressure *)
+  mutable rs_bp_slots : int;         (* issue slots spent producer-stalled *)
+  mutable rs_peak_spec_lines : int;  (* peak speculative lines of any epoch *)
+  mutable rs_peak_fwd_queue : int;   (* peak unconsumed-signal queue depth *)
+  mutable rs_hw_evictions : int;     (* LRU evictions from the hw sync table *)
+  mutable rs_peak_hw_table : int;    (* peak hw sync table occupancy *)
+}
+
+let fresh_resources () =
+  {
+    rs_sig_drops = 0;
+    rs_spec_overflows = 0;
+    rs_spec_stalls = 0;
+    rs_spec_squashes = 0;
+    rs_bp_signals = 0;
+    rs_bp_slots = 0;
+    rs_peak_spec_lines = 0;
+    rs_peak_fwd_queue = 0;
+    rs_hw_evictions = 0;
+    rs_peak_hw_table = 0;
+  }
+
 type result = {
   total_cycles : int;
   seq_cycles : int;               (* cycles outside speculative regions *)
@@ -68,6 +101,7 @@ type result = {
   vpred_predictions : int;
   faults_fired : int;             (* injected faults that actually armed *)
   runtime : runtime_counters;
+  resources : resources;
 }
 
 type seq_result = {
@@ -96,13 +130,34 @@ let canonical_memory m =
 
 (* Byte-exact digest of everything deterministic in a result.  Two runs
    of the same configuration over the same program and input must agree
-   on this digest; host-side runtime counters are excluded. *)
+   on this digest; host-side runtime counters and resource bookkeeping
+   are excluded.  The tuple below mirrors, field for field, the result
+   record as it stood before [resources] existed — records and tuples
+   share their Marshal representation, so digests remain byte-comparable
+   across that addition. *)
 let fingerprint r =
   let r = strip_runtime r in
   Digest.to_hex
     (Digest.string
        (Marshal.to_string
-          ( { r with final_memory = Runtime.Memory.create () },
+          ( ( r.total_cycles,
+              r.seq_cycles,
+              r.region_cycles,
+              r.slots,
+              r.violations,
+              r.attribution,
+              r.epochs_committed,
+              r.epochs_squashed,
+              r.output,
+              Runtime.Memory.create (),
+              r.max_signal_buffer,
+              r.region_cycle_by_id,
+              r.region_instances,
+              r.l1_miss_rate,
+              r.hw_marked_loads,
+              r.vpred_predictions,
+              r.faults_fired,
+              r.runtime ),
             canonical_memory r.final_memory )
           []))
 

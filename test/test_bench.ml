@@ -91,7 +91,7 @@ let replace ~from ~into s =
 
 let schema_violations_are_rejected () =
   rejects "wrong version"
-    (replace ~from:"\"schema_version\": 3" ~into:"\"schema_version\": 2")
+    (replace ~from:"\"schema_version\": 4" ~into:"\"schema_version\": 2")
     "schema_version";
   rejects "wrong wall unit"
     (replace ~from:"\"wall\": \"ns\"" ~into:"\"wall\": \"ms\"")
@@ -121,6 +121,83 @@ let schema_violations_are_rejected () =
         { (doc ()) with Harness.Bench.bench_workloads = [] })
     "workloads"
 
+(* ------------------------------------------------------------------ *)
+(* Atomic baseline writes                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_temp_target f =
+  let path = Filename.temp_file "bench_atomic" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (path
+        :: List.map
+             (Filename.concat (Filename.dirname path))
+             (Array.to_list (Sys.readdir (Filename.dirname path))
+             |> List.filter (fun n ->
+                    String.length n > String.length (Filename.basename path)
+                    && String.sub n 0 (String.length (Filename.basename path))
+                       = Filename.basename path))))
+    (fun () -> f path)
+
+let atomic_write_roundtrip () =
+  with_temp_target (fun path ->
+      Harness.Bench.write_file_atomic path "first\n";
+      Alcotest.(check string) "first write lands" "first\n" (read_file path);
+      Harness.Bench.write_file_atomic path "second\n";
+      Alcotest.(check string) "overwrite replaces" "second\n" (read_file path);
+      let dir = Filename.dirname path and base = Filename.basename path in
+      let strays =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun n ->
+               String.length n > String.length base
+               && String.sub n 0 (String.length base) = base)
+      in
+      Alcotest.(check (list string)) "no temp files left" [] strays)
+
+(* Kill a writer between the temp write and the rename: the reader must
+   still see the complete old contents (never a truncated or partial
+   file), which is the whole point of write-then-rename. *)
+let atomic_write_survives_kill () =
+  with_temp_target (fun path ->
+      Harness.Bench.write_file_atomic path "old baseline\n";
+      match Unix.fork () with
+      | 0 ->
+        (* Child: start the new write but block before the rename until
+           SIGKILL arrives.  _exit, not exit: no at_exit/flush side
+           effects in the forked runtime. *)
+        (try
+           Harness.Bench.write_file_atomic path
+             ~before_rename:(fun () -> Unix.sleepf 30.0)
+             "new baseline\n"
+         with _ -> ());
+        Unix._exit 0
+      | pid ->
+        let tmp = Printf.sprintf "%s.tmp.%d" path pid in
+        (* Wait for the child to finish the temp write (it then blocks in
+           before_rename), but never longer than ~5s. *)
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while
+          (not (Sys.file_exists tmp)) && Unix.gettimeofday () < deadline
+        do
+          Unix.sleepf 0.01
+        done;
+        Alcotest.(check bool) "writer reached the temp file" true
+          (Sys.file_exists tmp);
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        Alcotest.(check string) "old contents survive a mid-write kill"
+          "old baseline\n" (read_file path);
+        (try Sys.remove tmp with Sys_error _ -> ()))
+
 let () =
   Alcotest.run "bench-schema"
     [
@@ -130,5 +207,12 @@ let () =
             roundtrip_validates;
           Alcotest.test_case "violations rejected with field names" `Quick
             schema_violations_are_rejected;
+        ] );
+      ( "atomic-write",
+        [
+          Alcotest.test_case "write and overwrite, no strays" `Quick
+            atomic_write_roundtrip;
+          Alcotest.test_case "kill mid-write keeps the old file" `Quick
+            atomic_write_survives_kill;
         ] );
     ]

@@ -52,7 +52,7 @@ let jobs_serial_pool_is_serial () =
   let trace = ref [] in
   let self = Domain.self () in
   let _ =
-    (Harness.Jobs.create ~jobs:1).Harness.Jobs.map
+    (Harness.Jobs.create ~jobs:1 ()).Harness.Jobs.map
       (fun i ->
         check_bool "runs on calling domain" true (Domain.self () = self);
         trace := i :: !trace;
@@ -114,6 +114,60 @@ let fingerprints_separate_programs () =
   check_bool "sequential fingerprints differ across programs" false
     (String.equal (Tls.Simstats.seq_fingerprint s5) (Tls.Simstats.seq_fingerprint s6))
 
+(* Fingerprints digest only what the simulated machine did: host-side
+   runtime counters and the DESIGN §12 resource accounting must both be
+   invisible.  The perturbation mutates every excluded counter to an
+   arbitrary value and the digest must not move; strip_runtime must be
+   idempotent (stripping is a projection, not an accumulating edit). *)
+let fingerprint_ignores_host_counters =
+  QCheck.Test.make ~count:16
+    ~name:"fingerprint invariant under runtime/resource perturbation"
+    QCheck.(pair (int_range 0 10) (int_range 1 1_000_000))
+    (fun (seed, k) ->
+      let (r, _), (s, _) = sim_runs_for_seed seed in
+      let fp = Tls.Simstats.fingerprint r in
+      let sfp = Tls.Simstats.seq_fingerprint s in
+      let stripped = Tls.Simstats.strip_runtime r in
+      let perturbed =
+        {
+          r with
+          Tls.Simstats.runtime =
+            {
+              Tls.Simstats.rt_wall_ns = k;
+              rt_minor_words = float_of_int k *. 1.5;
+              rt_major_words = float_of_int k *. 0.25;
+            };
+        }
+      in
+      (* The resource counters are mutable on purpose (the sim bumps
+         them in place); scribbling over every one of them must leave
+         the digest untouched. *)
+      let rs = perturbed.Tls.Simstats.resources in
+      rs.Tls.Simstats.rs_sig_drops <- k;
+      rs.Tls.Simstats.rs_spec_overflows <- k + 1;
+      rs.Tls.Simstats.rs_spec_stalls <- k + 2;
+      rs.Tls.Simstats.rs_spec_squashes <- k + 3;
+      rs.Tls.Simstats.rs_bp_signals <- k + 4;
+      rs.Tls.Simstats.rs_bp_slots <- k + 5;
+      rs.Tls.Simstats.rs_peak_spec_lines <- k + 6;
+      rs.Tls.Simstats.rs_peak_fwd_queue <- k + 7;
+      rs.Tls.Simstats.rs_hw_evictions <- k + 8;
+      rs.Tls.Simstats.rs_peak_hw_table <- k + 9;
+      let s_perturbed =
+        {
+          s with
+          Tls.Simstats.sq_runtime =
+            {
+              Tls.Simstats.rt_wall_ns = k;
+              rt_minor_words = float_of_int k;
+              rt_major_words = float_of_int k;
+            };
+        }
+      in
+      String.equal fp (Tls.Simstats.fingerprint perturbed)
+      && String.equal sfp (Tls.Simstats.seq_fingerprint s_perturbed)
+      && Tls.Simstats.strip_runtime stripped = stripped [@warning "-57"])
+
 let runtime_counters_populated () =
   (* The counters exist (wall time advanced, the sim allocated), and
      stripping them is what makes reruns identical. *)
@@ -160,7 +214,7 @@ let render_matrix map =
 
 let parallel_chaos_is_byte_identical () =
   let serial = render_matrix (fun f l -> List.map f l) in
-  let pool = Harness.Jobs.create ~jobs:4 in
+  let pool = Harness.Jobs.create ~jobs:4 () in
   let parallel = render_matrix pool.Harness.Jobs.map in
   check_str "chaos log+table bytes" serial parallel
 
@@ -173,7 +227,7 @@ let parallel_figures_are_byte_identical () =
         | None -> Alcotest.fail ("missing bundled benchmark " ^ name))
       [ "mcf"; "twolf" ]
   in
-  let pool = Harness.Jobs.create ~jobs:4 in
+  let pool = Harness.Jobs.create ~jobs:4 () in
   List.iter
     (fun (label, render) ->
       check_str (label ^ " bytes")
@@ -200,6 +254,7 @@ let () =
       ( "simulator",
         [
           QCheck_alcotest.to_alcotest same_seed_same_fingerprint;
+          QCheck_alcotest.to_alcotest fingerprint_ignores_host_counters;
           Alcotest.test_case "fingerprints separate programs" `Quick
             fingerprints_separate_programs;
           Alcotest.test_case "runtime counters populated" `Quick

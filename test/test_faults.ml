@@ -306,6 +306,126 @@ let spurious_violation_squashes_once () =
     r.Tls.Simstats.violations
 
 (* ------------------------------------------------------------------ *)
+(* Finite resources: graceful degradation (DESIGN §12)                 *)
+(* ------------------------------------------------------------------ *)
+
+let sig_buffer_drop_absorbed () =
+  let compiled = compile_synced chain_src [||] in
+  let expected = seq_output chain_src [||] in
+  let cfg = { Tls.Config.c_mode with Tls.Config.sig_buffer_entries = 0 } in
+  let r = run_tls cfg compiled.Tlscore.Pipeline.code [||] in
+  Alcotest.(check (list int)) "output still sequential" expected
+    r.Tls.Simstats.output;
+  check_bool "signals were dropped" true
+    (r.Tls.Simstats.resources.Tls.Simstats.rs_sig_drops >= 1)
+
+let spec_overflow_stall_absorbed () =
+  (* U mode: without compiler sync the epochs run far enough ahead to
+     pile up speculative lines (under C the chain serializes on its
+     forwarded channel before any epoch accumulates state). *)
+  let compiled = compile_synced chain_src [||] in
+  let expected = seq_output chain_src [||] in
+  let cfg = { Tls.Config.u_mode with Tls.Config.spec_lines_per_epoch = 1 } in
+  let r = run_tls cfg compiled.Tlscore.Pipeline.code [||] in
+  let rs = r.Tls.Simstats.resources in
+  Alcotest.(check (list int)) "output still sequential" expected
+    r.Tls.Simstats.output;
+  check_bool "overflowed" true (rs.Tls.Simstats.rs_spec_overflows >= 1);
+  check_bool "stalled, per policy" true (rs.Tls.Simstats.rs_spec_stalls >= 1);
+  check_int "never squashed under Overflow_stall" 0
+    rs.Tls.Simstats.rs_spec_squashes
+
+let spec_overflow_squash_absorbed () =
+  let compiled = compile_synced chain_src [||] in
+  let expected = seq_output chain_src [||] in
+  let cfg =
+    {
+      Tls.Config.u_mode with
+      Tls.Config.spec_lines_per_epoch = 1;
+      overflow_policy = Tls.Config.Overflow_squash;
+    }
+  in
+  let r = run_tls cfg compiled.Tlscore.Pipeline.code [||] in
+  let rs = r.Tls.Simstats.resources in
+  Alcotest.(check (list int)) "output still sequential" expected
+    r.Tls.Simstats.output;
+  check_bool "squashed, per policy" true (rs.Tls.Simstats.rs_spec_squashes >= 1);
+  (* Every overflow squash is an epoch squash (violation squashes may
+     add more on top, but never fewer). *)
+  check_bool "squashes show up in the epoch stats" true
+    (r.Tls.Simstats.epochs_squashed >= rs.Tls.Simstats.rs_spec_squashes)
+
+let fwd_queue_deadlock_is_typed () =
+  let compiled = compile_synced chain_src [||] in
+  let cfg = { Tls.Config.c_mode with Tls.Config.fwd_queue_depth = 0 } in
+  match run_tls cfg compiled.Tlscore.Pipeline.code [||] with
+  | _ -> Alcotest.fail "expected Resource_deadlock"
+  | exception Tls.Sim.Resource_deadlock d ->
+    check_int "carries the configured depth" 0 d.Tls.Sim.rd_depth;
+    Alcotest.(check string) "names the owning function" "main" d.Tls.Sim.rd_func;
+    check_bool "cycle recorded" true (d.Tls.Sim.rd_cycle > 0);
+    check_bool "epoch snapshots attached" true (d.Tls.Sim.rd_epochs <> []);
+    check_bool "renders" true
+      (String.length (Tls.Sim.describe_resource_deadlock d) > 0)
+
+let unreached_limits_are_invisible () =
+  (* Finite limits the run never reaches must be byte-identical to the
+     unbounded defaults — the accounting is pure observation. *)
+  let compiled = compile_synced chain_src [||] in
+  let base = run_tls Tls.Config.c_mode compiled.Tlscore.Pipeline.code [||] in
+  let cfg =
+    {
+      Tls.Config.c_mode with
+      Tls.Config.sig_buffer_entries = 1_000;
+      spec_lines_per_epoch = 1_000;
+      fwd_queue_depth = 1_000;
+    }
+  in
+  let r = run_tls cfg compiled.Tlscore.Pipeline.code [||] in
+  Alcotest.(check string) "fingerprints agree"
+    (Tls.Simstats.fingerprint base)
+    (Tls.Simstats.fingerprint r);
+  let rs = r.Tls.Simstats.resources in
+  check_int "no drops" 0 rs.Tls.Simstats.rs_sig_drops;
+  check_int "no overflows" 0 rs.Tls.Simstats.rs_spec_overflows;
+  check_int "no backpressure" 0 rs.Tls.Simstats.rs_bp_signals;
+  check_bool "peaks observed anyway" true
+    (rs.Tls.Simstats.rs_peak_spec_lines > 0)
+
+let capacity_sweep_clean () =
+  let programs =
+    {
+      Faults.Chaos.p_name = "chain";
+      p_source = chain_src;
+      p_train = [||];
+      p_ref = [||];
+      p_select_main = false;
+    }
+    :: Faults.Chaos.fuzz_programs ~count:1 ~seed:11
+  in
+  let cells =
+    Faults.Chaos.run_capacity
+      ~modes:[ ("U", Tls.Config.u_mode); ("C", Tls.Config.c_mode) ]
+      programs
+  in
+  check_int "cells = programs x modes x axes"
+    (List.length programs * 2 * List.length Faults.Chaos.capacity_axes)
+    (List.length cells);
+  check_int "zero FAILED" 0 (Faults.Chaos.count_capacity_failed cells);
+  check_bool "some axis absorbed" true
+    (List.exists (fun c -> c.Faults.Chaos.cc_outcome = Faults.Chaos.Absorbed) cells);
+  check_bool "forwarding axis detected" true
+    (List.exists
+       (fun c ->
+         c.Faults.Chaos.cc_axis = Faults.Chaos.Cap_fwd_queue
+         && match c.Faults.Chaos.cc_outcome with
+            | Faults.Chaos.Detected _ -> true
+            | _ -> false)
+       cells);
+  check_bool "renders with tally" true
+    (String.length (Faults.Chaos.render_capacity_table cells) > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Static <-> dynamic agreement                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -455,6 +575,20 @@ let () =
           Alcotest.test_case "sim faults absorbed" `Quick absorbable_sim_faults;
           Alcotest.test_case "spurious violation squashes once" `Quick
             spurious_violation_squashes_once;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "signal-buffer drops absorbed" `Quick
+            sig_buffer_drop_absorbed;
+          Alcotest.test_case "spec-line overflow stalls absorbed" `Quick
+            spec_overflow_stall_absorbed;
+          Alcotest.test_case "spec-line overflow squashes absorbed" `Quick
+            spec_overflow_squash_absorbed;
+          Alcotest.test_case "forwarding-queue deadlock is typed" `Quick
+            fwd_queue_deadlock_is_typed;
+          Alcotest.test_case "unreached limits are invisible" `Quick
+            unreached_limits_are_invisible;
+          Alcotest.test_case "capacity sweep clean" `Quick capacity_sweep_clean;
         ] );
       ( "agreement",
         [

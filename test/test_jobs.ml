@@ -1,0 +1,105 @@
+(* Per-job timeouts in the Harness.Jobs pool (DESIGN §12 satellite):
+   a wedged job must surface as Job_timeout naming its input index —
+   within roughly the bound, never a hang — while every other job still
+   completes and results keep input order.  The optional retry gets one
+   second attempt at double the bound. *)
+
+let check_int = Alcotest.(check int)
+
+(* A job that spins [s] seconds of wall time (not sleep: a sleeping
+   domain would also be descheduled by the monitor, but spinning is the
+   honest model of a wedged simulation). *)
+let spin s x =
+  let until = Unix.gettimeofday () +. s in
+  while Unix.gettimeofday () < until do
+    ignore (Sys.opaque_identity (x * x))
+  done;
+  x
+
+let timeout_fires () =
+  (* Job 2 of five spins far past the 50ms bound; the rest are instant.
+     The pool must raise Job_timeout for index 2 (the lowest-index
+     error), after the other four completed. *)
+  let pool = Harness.Jobs.create ~timeout:0.05 ~jobs:2 () in
+  let completed = Atomic.make 0 in
+  let job x =
+    if x = 2 then ignore (spin 2.0 x)
+    else begin
+      Atomic.incr completed;
+      ignore (Sys.opaque_identity x)
+    end;
+    x * 10
+  in
+  let t0 = Unix.gettimeofday () in
+  (match pool.Harness.Jobs.map job [ 0; 1; 2; 3; 4 ] with
+  | _ -> Alcotest.fail "expected Job_timeout"
+  | exception Harness.Jobs.Job_timeout { index; timeout_s } ->
+    check_int "timed-out job is named by input index" 2 index;
+    Alcotest.(check (float 1e-9)) "carries the configured bound" 0.05 timeout_s);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Surfacing must be bounded: well before the 2s spin finishes.  (The
+     abandoned domain keeps spinning in the background; we only assert
+     when the *caller* got its answer.) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "surfaced in %.3fs, within 2x-ish of the bound" elapsed)
+    true (elapsed < 1.5);
+  check_int "all other jobs completed" 4 (Atomic.get completed)
+
+let retry_succeeds () =
+  (* First attempt exceeds the 100ms bound, the retry (double budget)
+     finishes: the map must succeed, in order, with two attempts made. *)
+  let attempts = Atomic.make 0 in
+  let job x =
+    if x = 1 then begin
+      let n = Atomic.fetch_and_add attempts 1 in
+      if n = 0 then ignore (spin 0.5 x) else ignore (spin 0.01 x)
+    end;
+    x + 100
+  in
+  let pool = Harness.Jobs.create ~timeout:0.1 ~retry:true ~jobs:2 () in
+  Alcotest.(check (list int))
+    "retry rescues the slow job, order preserved" [ 100; 101; 102 ]
+    (pool.Harness.Jobs.map job [ 0; 1; 2 ]);
+  check_int "exactly two attempts at the slow job" 2 (Atomic.get attempts)
+
+let retry_exhausted () =
+  (* Both the attempt and its doubled-budget retry spin past the bound:
+     Job_timeout, and exactly two attempts were made. *)
+  let attempts = Atomic.make 0 in
+  let job x =
+    if x = 0 then begin
+      Atomic.incr attempts;
+      ignore (spin 2.0 x)
+    end;
+    x
+  in
+  let pool = Harness.Jobs.create ~timeout:0.05 ~retry:true ~jobs:1 () in
+  (match pool.Harness.Jobs.map job [ 0; 1 ] with
+  | _ -> Alcotest.fail "expected Job_timeout"
+  | exception Harness.Jobs.Job_timeout { index; _ } ->
+    check_int "names the wedged index" 0 index);
+  (* The second attempt may still be starting when the error surfaces;
+     give the monitor domain a beat before counting. *)
+  Unix.sleepf 0.05;
+  check_int "one attempt + one retry" 2 (Atomic.get attempts)
+
+let no_timeout_unchanged () =
+  (* Without ?timeout the pool is the plain deterministic mapper. *)
+  let pool = Harness.Jobs.create ~jobs:3 () in
+  Alcotest.(check (list int))
+    "plain parallel map" [ 0; 1; 4; 9; 16 ]
+    (pool.Harness.Jobs.map (fun x -> x * x) [ 0; 1; 2; 3; 4 ])
+
+let () =
+  Alcotest.run "jobs"
+    [
+      ( "timeout",
+        [
+          Alcotest.test_case "fires with the input index" `Quick timeout_fires;
+          Alcotest.test_case "retry at double budget succeeds" `Quick
+            retry_succeeds;
+          Alcotest.test_case "retry exhausted still times out" `Quick
+            retry_exhausted;
+          Alcotest.test_case "no timeout: plain map" `Quick no_timeout_unchanged;
+        ] );
+    ]
