@@ -10,6 +10,10 @@
      mrvcc lint                            # lint every bundled benchmark
      mrvcc simulate prog.c --in 1,2,3 --mode C   # TLS simulation
      mrvcc simulate --bench parser --mode H      # a bundled benchmark
+     mrvcc simulate --bench mcf --sync-sched     # with the sync scheduler
+     mrvcc analyze --bench mcf                   # static stall + violation model
+     mrvcc analyze --bench mcf --validate        # ... checked against the sim
+     mrvcc analyze --bench mcf --json            # machine-readable estimates
      mrvcc simulate --bench parser --mutate drop-wait  # fault injection
      mrvcc chaos --bench all                     # full resilience matrix
      mrvcc chaos --bench all --jobs 4            # same matrix, 4 domains
@@ -225,11 +229,11 @@ let cmd_profile file bench input threshold =
               (Profiler.Profile.frequent_deps dp ~threshold))
         selected)
 
-let cmd_compile file bench input threshold =
+let cmd_compile file bench input threshold sync_sched =
   let source, input = resolve_program file bench input in
   with_errors (fun () ->
       let compiled =
-        Tlscore.Pipeline.compile ~source ~profile_input:input
+        Tlscore.Pipeline.compile ~sync_sched ~source ~profile_input:input
           ~memory_sync:
             (Tlscore.Pipeline.Profiled { dep_input = input; threshold })
           ()
@@ -254,6 +258,9 @@ let cmd_compile file bench input threshold =
             stats.Tlscore.Memsync.ms_instrs_added stats.Tlscore.Memsync.ms_null_signals
             stats.Tlscore.Memsync.ms_elided_nulls)
         compiled.Tlscore.Pipeline.mem_stats;
+      if sync_sched then
+        Printf.printf "sync scheduler: %s\n"
+          (Analysis.Syncsched.to_string compiled.Tlscore.Pipeline.sched_stats);
       print_newline ();
       print_string (Ir.Pp.program compiled.Tlscore.Pipeline.prog))
 
@@ -369,7 +376,8 @@ let apply_limits (sig_buffer, spec_lines, fwd_queue, policy) cfg =
   |> bound "fwd-queue" fwd_queue (fun cfg n ->
          { cfg with Tls.Config.fwd_queue_depth = n })
 
-let cmd_simulate file bench input threshold mode mutate max_cycles limits =
+let cmd_simulate file bench input threshold mode mutate max_cycles limits
+    sync_sched =
   let source, input = resolve_program file bench input in
   with_errors (fun () ->
       let memory_sync =
@@ -378,7 +386,8 @@ let cmd_simulate file bench input threshold mode mutate max_cycles limits =
         | _ -> Tlscore.Pipeline.Profiled { dep_input = input; threshold }
       in
       let compiled =
-        Tlscore.Pipeline.compile ~source ~profile_input:input ~memory_sync ()
+        Tlscore.Pipeline.compile ~sync_sched ~source ~profile_input:input
+          ~memory_sync ()
       in
       let code =
         match mutate with
@@ -404,6 +413,9 @@ let cmd_simulate file bench input threshold mode mutate max_cycles limits =
               ~input ~track:compiled.Tlscore.Pipeline.code.Runtime.Code.regions)
       in
       Printf.printf "mode %s\n" mode;
+      if sync_sched then
+        Printf.printf "sync scheduler:      %s\n"
+          (Analysis.Syncsched.to_string compiled.Tlscore.Pipeline.sched_stats);
       Printf.printf "sequential cycles:   %d\n" seq.Tls.Simstats.sq_cycles;
       Printf.printf "TLS cycles:          %d (%.2fx)\n" r.Tls.Simstats.total_cycles
         (Support.Stats.ratio
@@ -434,6 +446,248 @@ let cmd_simulate file bench input threshold mode mutate max_cycles limits =
       if r.Tls.Simstats.output <> seq.Tls.Simstats.sq_output then begin
         prerr_endline "ERROR: TLS output differs from sequential!";
         exit 1
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* analyze: static stall estimation + violation-risk prediction        *)
+(* ------------------------------------------------------------------ *)
+
+let params_of_config (cfg : Tls.Config.t) =
+  {
+    Analysis.Staticcost.issue_width = cfg.Tls.Config.issue_width;
+    lat_mul = cfg.Tls.Config.lat_mul;
+    lat_div = cfg.Tls.Config.lat_div;
+    forward_latency = cfg.Tls.Config.forward_latency;
+    spawn_overhead = cfg.Tls.Config.spawn_overhead;
+    track_line_words =
+      (if cfg.Tls.Config.word_level_tracking then None
+       else Some cfg.Tls.Config.line_words);
+  }
+
+(* Relative error of a prediction against a measurement, with a floor of
+   one cycle so zero-stall channels don't divide by zero. *)
+let rel_err ~predicted ~measured =
+  Float.abs (predicted -. measured) /. Float.max 1.0 measured
+
+let cmd_analyze file bench input threshold mode sync_sched json validate
+    max_cycles =
+  let source, input = resolve_program file bench input in
+  with_errors (fun () ->
+      let compiled =
+        Tlscore.Pipeline.compile ~sync_sched ~source ~profile_input:input
+          ~memory_sync:
+            (Tlscore.Pipeline.Profiled { dep_input = input; threshold })
+          ()
+      in
+      let prog = compiled.Tlscore.Pipeline.prog in
+      (* Profile the transformed program: the estimator's trip counts must
+         describe the unrolled, synchronized loops it walks (waits are the
+         identity and signals no-ops under sequential semantics, so the
+         sync instructions don't perturb the profile). *)
+      let profile = Profiler.Runner.run prog ~input ~watch:[] in
+      let cfg = apply_budget max_cycles (config_of_mode mode) in
+      let params = params_of_config cfg in
+      let costs = Analysis.Staticcost.analyze params profile prog in
+      (* Optional differential validation: run the same artifact through
+         the simulator and put its per-channel sync-stall counters (issue
+         slots, divided by the issue width to get cycles) and observed
+         violations next to the predictions. *)
+      let measured =
+        if not validate then None
+        else
+          let r =
+            guarded (fun () ->
+                Tls.Sim.run cfg compiled.Tlscore.Pipeline.code ~input ())
+          in
+          Some r
+      in
+      let measured_stall ch =
+        match measured with
+        | None -> None
+        | Some r ->
+          Some
+            (float_of_int
+               (Option.value ~default:0
+                  (List.assoc_opt ch r.Tls.Simstats.sync_stall_by_channel))
+            /. float_of_int cfg.Tls.Config.issue_width)
+      in
+      let observed_violations () =
+        match measured with
+        | None -> []
+        | Some r ->
+          List.filter (fun (iid, _) -> iid >= 0)
+            r.Tls.Simstats.violated_load_counts
+      in
+      let predicted_all =
+        List.concat_map
+          (fun (rc : Analysis.Staticcost.region_cost) ->
+            rc.Analysis.Staticcost.rc_violations)
+          costs
+      in
+      (* Acceptance gate of the predictor: every simulator-observed
+         violated load must be in the predicted superset. *)
+      let missed =
+        List.filter
+          (fun (iid, _) -> not (List.mem iid predicted_all))
+          (observed_violations ())
+      in
+      if json then begin
+        let b = Buffer.create 4096 in
+        Buffer.add_string b "{\n";
+        Buffer.add_string b
+          (Printf.sprintf
+             "  \"mode\": %S, \"issue_width\": %d, \"forward_latency\": %d, \
+              \"spawn_overhead\": %d,\n"
+             mode cfg.Tls.Config.issue_width cfg.Tls.Config.forward_latency
+             cfg.Tls.Config.spawn_overhead);
+        if sync_sched then
+          Buffer.add_string b
+            (Printf.sprintf "  \"sync_sched\": { %s },\n"
+               (let s = compiled.Tlscore.Pipeline.sched_stats in
+                Printf.sprintf
+                  "\"waits_sunk\": %d, \"mem_sunk\": %d, \
+                   \"signals_hoisted\": %d, \"signals_inlined\": %d, \
+                   \"slots\": %d"
+                  s.Analysis.Syncsched.ss_waits_sunk
+                  s.Analysis.Syncsched.ss_mem_sunk
+                  s.Analysis.Syncsched.ss_signals_hoisted
+                  s.Analysis.Syncsched.ss_signals_inlined
+                  s.Analysis.Syncsched.ss_slots));
+        Buffer.add_string b "  \"regions\": [\n";
+        List.iteri
+          (fun i (rc : Analysis.Staticcost.region_cost) ->
+            if i > 0 then Buffer.add_string b ",\n";
+            Buffer.add_string b
+              (Printf.sprintf
+                 "    { \"id\": %d, \"func\": %S, \"header\": %d, \
+                  \"epochs\": %d,\n      \"channels\": ["
+                 rc.Analysis.Staticcost.rc_id rc.Analysis.Staticcost.rc_func
+                 rc.Analysis.Staticcost.rc_header
+                 rc.Analysis.Staticcost.rc_epochs);
+            List.iteri
+              (fun j (cc : Analysis.Staticcost.channel_cost) ->
+                if j > 0 then Buffer.add_string b ",";
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "\n        { \"channel\": %d, \"kind\": %S, \
+                      \"producer\": %.2f, \"consumer\": %.2f, \
+                      \"stall\": %.2f, \"total\": %.2f"
+                     cc.Analysis.Staticcost.cc_channel
+                     (Analysis.Staticcost.kind_string
+                        cc.Analysis.Staticcost.cc_kind)
+                     cc.Analysis.Staticcost.cc_producer
+                     cc.Analysis.Staticcost.cc_consumer
+                     cc.Analysis.Staticcost.cc_stall
+                     cc.Analysis.Staticcost.cc_total);
+                (match measured_stall cc.Analysis.Staticcost.cc_channel with
+                | Some m ->
+                  Buffer.add_string b
+                    (Printf.sprintf
+                       ", \"measured\": %.2f, \"rel_err\": %.3f" m
+                       (rel_err
+                          ~predicted:cc.Analysis.Staticcost.cc_total
+                          ~measured:m))
+                | None -> ());
+                Buffer.add_string b " }")
+              rc.Analysis.Staticcost.rc_channels;
+            Buffer.add_string b
+              (Printf.sprintf "\n      ],\n      \"predicted_violations\": [%s] }"
+                 (String.concat ", "
+                    (List.map string_of_int
+                       rc.Analysis.Staticcost.rc_violations))))
+          costs;
+        Buffer.add_string b "\n  ]";
+        (match measured with
+        | None -> ()
+        | Some r ->
+          Buffer.add_string b
+            (Printf.sprintf
+               ",\n  \"observed_violations\": [%s], \"sim_sync_slots\": %d, \
+                \"violation_superset_ok\": %b"
+               (String.concat ", "
+                  (List.map
+                     (fun (iid, _) -> string_of_int iid)
+                     (observed_violations ())))
+               r.Tls.Simstats.slots.Tls.Simstats.s_sync (missed = [])));
+        Buffer.add_string b "\n}\n";
+        print_string (Buffer.contents b);
+        if missed <> [] then exit 1
+      end
+      else begin
+        let label =
+          match (bench, file) with
+          | Some b, _ -> b
+          | _, Some path -> path
+          | None, None -> "program"
+        in
+        Printf.printf
+          "%s: static cost model (mode %s: issue %d, forward %d, spawn %d)\n"
+          label mode
+          cfg.Tls.Config.issue_width cfg.Tls.Config.forward_latency
+          cfg.Tls.Config.spawn_overhead;
+        if sync_sched then
+          Printf.printf "sync scheduler: %s\n"
+            (Analysis.Syncsched.to_string compiled.Tlscore.Pipeline.sched_stats);
+        List.iter
+          (fun (rc : Analysis.Staticcost.region_cost) ->
+            Printf.printf "region %d %s/L%d: %d epochs\n"
+              rc.Analysis.Staticcost.rc_id rc.Analysis.Staticcost.rc_func
+              rc.Analysis.Staticcost.rc_header rc.Analysis.Staticcost.rc_epochs;
+            List.iter
+              (fun (cc : Analysis.Staticcost.channel_cost) ->
+                Printf.printf
+                  "  ch %-3d %-6s producer %7.1f  consumer %7.1f  \
+                   stall/epoch %7.1f  total %9.1f"
+                  cc.Analysis.Staticcost.cc_channel
+                  (Analysis.Staticcost.kind_string
+                     cc.Analysis.Staticcost.cc_kind)
+                  cc.Analysis.Staticcost.cc_producer
+                  cc.Analysis.Staticcost.cc_consumer
+                  cc.Analysis.Staticcost.cc_stall
+                  cc.Analysis.Staticcost.cc_total;
+                (match measured_stall cc.Analysis.Staticcost.cc_channel with
+                | Some m ->
+                  Printf.printf "  measured %9.1f  rel-err %.3f" m
+                    (rel_err
+                       ~predicted:cc.Analysis.Staticcost.cc_total ~measured:m)
+                | None -> ());
+                print_newline ())
+              rc.Analysis.Staticcost.rc_channels;
+            let vs = rc.Analysis.Staticcost.rc_violations in
+            Printf.printf "  predicted violations: %d load%s%s\n"
+              (List.length vs)
+              (if List.length vs = 1 then "" else "s")
+              (if vs = [] then ""
+               else
+                 " ("
+                 ^ String.concat " "
+                     (List.map (Printf.sprintf "i%d") vs)
+                 ^ ")"))
+          costs;
+        match measured with
+        | None -> ()
+        | Some r ->
+          let observed = observed_violations () in
+          let sentinel =
+            List.fold_left
+              (fun acc (iid, n) -> if iid < 0 then acc + n else acc)
+              0 r.Tls.Simstats.violated_load_counts
+          in
+          Printf.printf
+            "simulator: %d violations (%d distinct loads, %d unattributed), \
+             %d sync slots\n"
+            r.Tls.Simstats.violations (List.length observed) sentinel
+            r.Tls.Simstats.slots.Tls.Simstats.s_sync;
+          if missed = [] then
+            Printf.printf
+              "violation superset: ok (%d predicted >= %d observed)\n"
+              (List.length predicted_all) (List.length observed)
+          else begin
+            Printf.printf "violation superset: FAILED — observed but not predicted:%s\n"
+              (String.concat ""
+                 (List.map (fun (iid, _) -> Printf.sprintf " i%d" iid) missed));
+            exit 1
+          end
       end)
 
 (* ------------------------------------------------------------------ *)
@@ -474,7 +728,8 @@ let chaos_modes s =
          let m = String.trim m in
          (m, config_of_mode m))
 
-let cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry =
+let cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
+    sync_sched =
   let programs = chaos_programs bench fuzz seed in
   if programs = [] then begin
     prerr_endline "nothing to run: pass --bench all, --bench NAME[,NAME...], and/or --fuzz N";
@@ -489,7 +744,7 @@ let cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry =
       if capacity then begin
         let cells =
           Faults.Chaos.run_capacity ~log:print_endline
-            ~map:pool.Harness.Jobs.map ~modes programs
+            ~map:pool.Harness.Jobs.map ~sync_sched ~modes programs
         in
         print_newline ();
         print_string (Faults.Chaos.render_capacity_table cells);
@@ -498,7 +753,7 @@ let cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry =
       else begin
         let cells =
           Faults.Chaos.run_matrix ~log:print_endline ~map:pool.Harness.Jobs.map
-            ~modes ~faults:Faults.Fault.catalog programs
+            ~sync_sched ~modes ~faults:Faults.Fault.catalog programs
         in
         print_newline ();
         print_string (Faults.Chaos.render_table cells);
@@ -662,6 +917,26 @@ let max_cycles_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
+let sync_sched_arg =
+  Arg.(
+    value & flag
+    & info [ "sync-sched" ]
+        ~doc:
+          "Run the sync scheduler after the sync passes: hoist each \
+           store+signal pair toward the stored value's definition and sink \
+           each wait toward its first use, guarded by epoch dominance and \
+           points-to facts.")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:
+          "After the static analysis, run the simulator on the same artifact \
+           and report each channel's measured sync stall with the relative \
+           error of the prediction, plus the violation superset check \
+           (exit 1 if a simulator-observed violation was not predicted).")
+
 let out_arg =
   Arg.(
     value
@@ -744,7 +1019,8 @@ let action_arg =
     & pos 0 (some (enum
         [ ("dump-ir", `Dump_ir); ("run", `Run); ("profile", `Profile);
           ("depgraph", `Depgraph); ("compile", `Compile); ("lint", `Lint);
-          ("simulate", `Simulate); ("chaos", `Chaos); ("bench", `Bench) ])) None
+          ("simulate", `Simulate); ("analyze", `Analyze); ("chaos", `Chaos);
+          ("bench", `Bench) ])) None
     & info [] ~docv:"ACTION")
 
 (* The four DESIGN §12 resource knobs travel together. *)
@@ -755,17 +1031,24 @@ let limits_term =
     $ sig_buffer_arg $ spec_lines_arg $ fwd_queue_arg $ overflow_policy_arg)
 
 let main action file bench input threshold mode mutate modes fuzz seed jobs
-    max_cycles json out matrix capacity timeout retry limits =
+    max_cycles json out matrix capacity timeout retry limits sync_sched
+    validate =
   match action with
   | `Dump_ir -> cmd_dump_ir file bench input
   | `Run -> cmd_run file bench input
   | `Profile -> cmd_profile file bench input threshold
   | `Depgraph -> cmd_depgraph file bench input threshold
-  | `Compile -> cmd_compile file bench input threshold
+  | `Compile -> cmd_compile file bench input threshold sync_sched
   | `Lint -> cmd_lint file bench input threshold mutate
   | `Simulate ->
     cmd_simulate file bench input threshold mode mutate max_cycles limits
-  | `Chaos -> cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
+      sync_sched
+  | `Analyze ->
+    cmd_analyze file bench input threshold mode sync_sched json validate
+      max_cycles
+  | `Chaos ->
+    cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
+      sync_sched
   | `Bench -> cmd_bench bench json out jobs matrix timeout retry
 
 let cmd =
@@ -776,6 +1059,7 @@ let cmd =
       const main $ action_arg $ file_arg $ bench_arg $ input_arg
       $ threshold_arg $ mode_arg $ mutate_arg $ modes_arg $ fuzz_arg
       $ seed_arg $ jobs_arg $ max_cycles_arg $ json_arg $ out_arg
-      $ matrix_arg $ capacity_arg $ timeout_arg $ retry_arg $ limits_term)
+      $ matrix_arg $ capacity_arg $ timeout_arg $ retry_arg $ limits_term
+      $ sync_sched_arg $ validate_arg)
 
 let () = exit (Cmd.eval cmd)

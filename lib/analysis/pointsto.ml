@@ -42,6 +42,7 @@ type t = {
 let num_objects t = Array.length t.objs
 
 let object_name t k = t.objs.(k).o_name
+let object_extent t k = (t.objs.(k).o_addr, t.objs.(k).o_words)
 
 let object_containing t a =
   let n = Array.length t.objs in

@@ -30,6 +30,9 @@ val num_objects : t -> int
 
 val object_name : t -> int -> string
 
+(** Base word address and size in words of object [k]. *)
+val object_extent : t -> int -> int * int
+
 (** Object whose word range contains the given address, if any. *)
 val object_containing : t -> int -> int option
 

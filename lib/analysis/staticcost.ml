@@ -1,0 +1,456 @@
+(* Static stall-cycle estimation and violation-risk prediction for the
+   synchronized regions — the per-dependence classification the
+   Prophet-style pre-computation model (arXiv 1412.3224) consumes,
+   computed without running the simulator.
+
+   Per-channel stall model.  Let d_p be the estimated number of cycles
+   from the start of an epoch to its (last) signal on channel c, and d_c
+   the estimated cycles to its (first) wait on c.  Successive epochs start
+   about [spawn_overhead] cycles apart, and a forwarded value becomes
+   visible [forward_latency] cycles after the signal, so the predicted
+   stall per epoch is
+
+     stall(c) = max(0, d_p + forward_latency - spawn_overhead - d_c)
+
+   and the whole-run prediction multiplies by the number of consumer
+   epochs (profiled iterations minus one per loop instance).  Distances
+   are computed over the epoch DAG — the loop body with all back edges
+   removed — with equal branch weighting; a block nested in an inner loop
+   contributes its cost times the inner loop's profiled average trip
+   count.  Instruction cost is 1/issue_width cycles, plus the extra
+   latency of multiplies and divides, plus the (memoized, transitive)
+   body cost of called functions.
+
+   Violation prediction is a deliberate over-approximation: every load
+   executed by the region (in the loop body or any transitively called
+   function) whose address may conflict with some store the region may
+   execute is flagged.  Soundness direction matters here — the set must
+   be a superset of the violations the simulator observes, so an
+   alias-unknown load counts against every store, and under line-granular
+   dependence tracking ([track_line_words]) "conflict" means sharing a
+   cache line, not just aliasing: the simulator's speculative read/write
+   sets are keyed by line, so false sharing between adjacent objects
+   violates too and must be predicted. *)
+
+module ISet = Set.Make (Int)
+
+type params = {
+  issue_width : int;
+  lat_mul : int;
+  lat_div : int;
+  forward_latency : int;
+  spawn_overhead : int;
+  track_line_words : int option;
+      (* Some w: the simulator tracks speculative state at w-word cache
+         line granularity; None: word-level tracking *)
+}
+
+type channel_kind =
+  | Scalar
+  | Mem
+
+type channel_cost = {
+  cc_channel : Ir.Instr.channel;
+  cc_kind : channel_kind;
+  cc_producer : float;   (* est. cycles from epoch start to the signal *)
+  cc_consumer : float;   (* est. cycles from epoch start to the wait *)
+  cc_stall : float;      (* predicted stall cycles per consumer epoch *)
+  cc_total : float;      (* predicted stall cycles over the whole run *)
+}
+
+type region_cost = {
+  rc_id : int;
+  rc_func : string;
+  rc_header : Ir.Instr.label;
+  rc_epochs : int;       (* profiled epochs (header arrivals) *)
+  rc_channels : channel_cost list;
+  rc_violations : Ir.Instr.iid list;  (* predicted-violation superset *)
+}
+
+let kind_string = function
+  | Scalar -> "scalar"
+  | Mem -> "mem"
+
+(* ------------------------------------------------------------------ *)
+(* Instruction and block costs                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Transitive cost of calling each function: the sum of its instruction
+   costs, callees included, each function's body counted once (recursion
+   contributes a single unrolling). *)
+let func_costs params (prog : Ir.Prog.t) =
+  let costs = Hashtbl.create 16 in
+  let base_cost (i : Ir.Instr.t) =
+    1.0 /. float_of_int (max 1 params.issue_width)
+    +.
+    match i.Ir.Instr.kind with
+    | Ir.Instr.Bin (Ir.Instr.Mul, _, _, _) ->
+      float_of_int (params.lat_mul - 1)
+    | Ir.Instr.Bin ((Ir.Instr.Div | Ir.Instr.Rem), _, _, _) ->
+      float_of_int (params.lat_div - 1)
+    | _ -> 0.0
+  in
+  let rec cost_of visiting fname =
+    match Hashtbl.find_opt costs fname with
+    | Some c -> c
+    | None ->
+      if List.mem fname visiting then 0.0
+      else begin
+        match Ir.Prog.func_opt prog fname with
+        | None -> 0.0
+        | Some f ->
+          let acc = ref 0.0 in
+          Ir.Func.iter_instrs f (fun _ i ->
+              acc := !acc +. base_cost i;
+              match i.Ir.Instr.kind with
+              | Ir.Instr.Call (_, callee, _) ->
+                acc := !acc +. cost_of (fname :: visiting) callee
+              | _ -> ());
+          Hashtbl.replace costs fname !acc;
+          !acc
+      end
+  in
+  List.iter (fun (fname, _) -> ignore (cost_of [] fname)) prog.Ir.Prog.funcs;
+  fun fname -> Option.value (Hashtbl.find_opt costs fname) ~default:0.0
+
+let instr_cost params callee_cost (i : Ir.Instr.t) =
+  1.0 /. float_of_int (max 1 params.issue_width)
+  +.
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Bin (Ir.Instr.Mul, _, _, _) -> float_of_int (params.lat_mul - 1)
+  | Ir.Instr.Bin ((Ir.Instr.Div | Ir.Instr.Rem), _, _, _) ->
+    float_of_int (params.lat_div - 1)
+  | Ir.Instr.Call (_, callee, _) -> callee_cost callee
+  | _ -> 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Epoch DAG distances                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Average trip count of a profiled loop (1 if it never ran). *)
+let avg_trips (profile : Profiler.Profile.t) fname header =
+  let st =
+    Profiler.Profile.stats profile
+      { Profiler.Profile.lk_func = fname; lk_header = header }
+  in
+  if st.Profiler.Profile.instances = 0 then 1.0
+  else
+    float_of_int st.Profiler.Profile.iterations
+    /. float_of_int st.Profiler.Profile.instances
+
+(* Estimated cycles from the start of an epoch (top of [loop]'s header)
+   to each (block, position) point of the loop body; returns a function
+   of (block, pos).  Back edges (any edge into a loop header from inside
+   that loop) are removed; remaining edges are averaged with equal
+   weight; blocks inside an inner loop are weighted by its profiled
+   average trip count relative to the region loop. *)
+let epoch_distances params profile callee_cost fname (f : Ir.Func.t)
+    (loops : Dataflow.Loops.loop list) (loop : Dataflow.Loops.loop) =
+  let body = loop.Dataflow.Loops.body in
+  let header = loop.Dataflow.Loops.header in
+  let in_body l = List.mem l body in
+  (* Multiplier of a block: product of the average trip counts of the
+     loops strictly inside the region loop that contain it. *)
+  let mult b =
+    List.fold_left
+      (fun acc (l : Dataflow.Loops.loop) ->
+        if
+          l.Dataflow.Loops.header <> header
+          && List.mem l.Dataflow.Loops.header body
+          && List.mem b l.Dataflow.Loops.body
+        then acc *. avg_trips profile fname l.Dataflow.Loops.header
+        else acc)
+      1.0 loops
+  in
+  let block_cost l =
+    List.fold_left
+      (fun acc i -> acc +. instr_cost params callee_cost i)
+      0.0 (Ir.Func.block f l).Ir.Func.instrs
+  in
+  let is_back_edge u v =
+    (* an edge into the header of any loop containing its source *)
+    List.exists
+      (fun (l : Dataflow.Loops.loop) ->
+        v = l.Dataflow.Loops.header && List.mem u l.Dataflow.Loops.body)
+      loops
+  in
+  let succs l =
+    Ir.Func.successors f l
+    |> List.filter (fun s -> in_body s && not (is_back_edge l s))
+  in
+  let preds = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun s ->
+          Hashtbl.replace preds s
+            (l :: Option.value (Hashtbl.find_opt preds s) ~default:[]))
+        (succs l))
+    body;
+  (* Topological order of the epoch DAG by DFS from the header. *)
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      List.iter visit (succs l);
+      order := l :: !order
+    end
+  in
+  visit header;
+  let dist = Hashtbl.create 16 in
+  Hashtbl.replace dist header 0.0;
+  List.iter
+    (fun l ->
+      if l <> header then begin
+        let ps =
+          Option.value (Hashtbl.find_opt preds l) ~default:[]
+          |> List.filter (Hashtbl.mem dist)
+        in
+        match ps with
+        | [] -> ()
+        | _ ->
+          let sum =
+            List.fold_left
+              (fun acc p ->
+                acc +. Hashtbl.find dist p +. (block_cost p *. mult p))
+              0.0 ps
+          in
+          Hashtbl.replace dist l (sum /. float_of_int (List.length ps))
+      end)
+    !order;
+  fun (l, pos) ->
+    match Hashtbl.find_opt dist l with
+    | None -> None
+    | Some d ->
+      let instrs = (Ir.Func.block f l).Ir.Func.instrs in
+      let partial = ref 0.0 in
+      List.iteri
+        (fun k i ->
+          if k < pos then partial := !partial +. instr_cost params callee_cost i)
+        instrs;
+      Some (d +. (!partial *. mult l))
+
+(* ------------------------------------------------------------------ *)
+(* Violation prediction                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Functions the region may execute: the region's own function restricted
+   to the loop body, plus every transitively called function (whole
+   bodies). *)
+let region_scope (prog : Ir.Prog.t) (region : Ir.Region.t) =
+  let f = Ir.Prog.func prog region.Ir.Region.func in
+  let callees = ref [] in
+  let rec add_callee name =
+    if not (List.mem name !callees) then begin
+      callees := name :: !callees;
+      match Ir.Prog.func_opt prog name with
+      | None -> ()
+      | Some g ->
+        Ir.Func.iter_instrs g (fun _ i ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Call (_, c, _) -> add_callee c
+            | _ -> ())
+    end
+  in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun (i : Ir.Instr.t) ->
+          match i.Ir.Instr.kind with
+          | Ir.Instr.Call (_, c, _) -> add_callee c
+          | _ -> ())
+        (Ir.Func.block f l).Ir.Func.instrs)
+    region.Ir.Region.blocks;
+  (* accesses: (fname, instr) in scope *)
+  let acc = ref [] in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun (i : Ir.Instr.t) -> acc := (region.Ir.Region.func, i) :: !acc)
+        (Ir.Func.block f l).Ir.Func.instrs)
+    region.Ir.Region.blocks;
+  List.iter
+    (fun name ->
+      match Ir.Prog.func_opt prog name with
+      | None -> ()
+      | Some g -> Ir.Func.iter_instrs g (fun _ i -> acc := (name, i) :: !acc))
+    !callees;
+  List.rev !acc
+
+(* The lines an abstract address may touch, mirroring the simulator's
+   speculative-set key ([Memsys.line_of]; layout addresses are
+   non-negative, so plain division matches its floor semantics).
+   [`All] conflicts with everything. *)
+let lines_of_addr pt w = function
+  | Pointsto.Unknown -> `All
+  | Pointsto.Exact a -> `Lines (ISet.singleton (a / w))
+  | Pointsto.Objects s ->
+    `Lines
+      (Pointsto.Int_set.fold
+         (fun k acc ->
+           let base, words = Pointsto.object_extent pt k in
+           let rec add l acc =
+             if l > (base + words - 1) / w then acc
+             else add (l + 1) (ISet.add l acc)
+           in
+           add (base / w) acc)
+         s ISet.empty)
+
+let predicted_violations pt params (prog : Ir.Prog.t) (region : Ir.Region.t) =
+  let scope = region_scope prog region in
+  let conflict =
+    match params.track_line_words with
+    | None -> fun sa la -> Pointsto.may_alias pt sa la
+    | Some w -> (
+      fun sa la ->
+        match (lines_of_addr pt w sa, lines_of_addr pt w la) with
+        | `All, _ | _, `All -> true
+        | `Lines s1, `Lines s2 -> not (ISet.disjoint s1 s2))
+  in
+  let loads =
+    List.filter_map
+      (fun (fname, (i : Ir.Instr.t)) ->
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Load (_, a) | Ir.Instr.Sync_load (_, _, a) ->
+          Some (i.Ir.Instr.iid, Pointsto.operand_addr pt fname a)
+        | _ -> None)
+      scope
+  in
+  let stores =
+    List.filter_map
+      (fun (fname, (i : Ir.Instr.t)) ->
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Store (a, _) -> Some (Pointsto.operand_addr pt fname a)
+        | _ -> None)
+      scope
+  in
+  List.filter_map
+    (fun (iid, la) ->
+      if List.exists (fun sa -> conflict sa la) stores then Some iid
+      else None)
+    loads
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Per-region analysis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sync_points (f : Ir.Func.t) (body : int list) =
+  let waits = Hashtbl.create 8 and signals = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      List.iteri
+        (fun pos (i : Ir.Instr.t) ->
+          match i.Ir.Instr.kind with
+          | Ir.Instr.Wait_scalar (ch, _) | Ir.Instr.Wait_mem ch ->
+            if not (Hashtbl.mem waits ch) then Hashtbl.replace waits ch (l, pos)
+          | Ir.Instr.Signal_scalar (ch, _)
+          | Ir.Instr.Signal_mem (ch, _)
+          | Ir.Instr.Signal_mem_if_unsent (ch, _)
+          | Ir.Instr.Signal_null ch
+          | Ir.Instr.Signal_null_if_unsent ch ->
+            Hashtbl.replace signals ch
+              ((l, pos)
+              :: Option.value (Hashtbl.find_opt signals ch) ~default:[])
+          | _ -> ())
+        (Ir.Func.block f l).Ir.Func.instrs)
+    body;
+  (waits, signals)
+
+let analyze_region pt params profile (prog : Ir.Prog.t)
+    (region : Ir.Region.t) =
+  let fname = region.Ir.Region.func in
+  let f = Ir.Prog.func prog fname in
+  let loops = Dataflow.Loops.find f in
+  let callee_cost = func_costs params prog in
+  let stats =
+    Profiler.Profile.stats profile
+      { Profiler.Profile.lk_func = fname; lk_header = region.Ir.Region.header }
+  in
+  let epochs = stats.Profiler.Profile.iterations in
+  let consumer_epochs =
+    max 0 (stats.Profiler.Profile.iterations - stats.Profiler.Profile.instances)
+  in
+  let channels =
+    match Dataflow.Loops.loop_of loops region.Ir.Region.header with
+    | None -> []
+    | Some loop ->
+      let dist =
+        epoch_distances params profile callee_cost fname f loops loop
+      in
+      let body_cost =
+        (* fallback producer distance: the average full epoch length,
+           approximated by the distance to the latest latch end *)
+        List.fold_left
+          (fun acc l ->
+            match dist (l, List.length (Ir.Func.block f l).Ir.Func.instrs) with
+            | Some d -> Float.max acc d
+            | None -> acc)
+          0.0 loop.Dataflow.Loops.back_edges
+      in
+      let waits, signals = sync_points f loop.Dataflow.Loops.body in
+      let kinds =
+        List.map
+          (fun (sc : Ir.Region.scalar_channel) -> (sc.Ir.Region.sc_id, Scalar))
+          region.Ir.Region.scalar_channels
+        @ List.map
+            (fun (g : Ir.Region.mem_group) -> (g.Ir.Region.mg_id, Mem))
+            region.Ir.Region.mem_groups
+      in
+      List.filter_map
+        (fun (ch, kind) ->
+          match Hashtbl.find_opt waits ch with
+          | None -> None
+          | Some wp ->
+            let d_c = Option.value (dist wp) ~default:0.0 in
+            let d_p =
+              match Hashtbl.find_opt signals ch with
+              | None | Some [] ->
+                (* signals live in clones (pointer groups): assume the
+                   value is complete only at epoch end *)
+                body_cost
+              | Some sites ->
+                List.fold_left
+                  (fun acc site ->
+                    match dist site with
+                    | Some d -> Float.max acc d
+                    | None -> acc)
+                  0.0 sites
+            in
+            let stall =
+              Float.max 0.0
+                (d_p
+                +. float_of_int params.forward_latency
+                -. float_of_int params.spawn_overhead
+                -. d_c)
+            in
+            Some
+              {
+                cc_channel = ch;
+                cc_kind = kind;
+                cc_producer = d_p;
+                cc_consumer = d_c;
+                cc_stall = stall;
+                cc_total = stall *. float_of_int consumer_epochs;
+              })
+        kinds
+      |> List.sort (fun a b -> compare a.cc_channel b.cc_channel)
+  in
+  {
+    rc_id = region.Ir.Region.id;
+    rc_func = fname;
+    rc_header = region.Ir.Region.header;
+    rc_epochs = epochs;
+    rc_channels = channels;
+    rc_violations = predicted_violations pt params prog region;
+  }
+
+let analyze ?pointsto params profile (prog : Ir.Prog.t) =
+  let pt =
+    match pointsto with Some p -> p | None -> Pointsto.analyze prog
+  in
+  List.map
+    (fun r -> analyze_region pt params profile prog r)
+    prog.Ir.Prog.regions
+  |> List.sort (fun a b -> compare a.rc_id b.rc_id)

@@ -1,0 +1,70 @@
+(** Static per-dependence stall estimation and violation-risk prediction
+    for synchronized regions, computed from the CFG, loop structure,
+    profile trip counts and points-to facts — without running the
+    simulator.
+
+    The per-channel model: with [d_p] the estimated cycles from epoch
+    start to the signal and [d_c] to the wait,
+
+      stall = max(0, d_p + forward_latency - spawn_overhead - d_c)
+
+    per consumer epoch (successive epochs start ~[spawn_overhead] cycles
+    apart).  Distances average over the epoch DAG (loop body minus back
+    edges, equal branch weights), weighting inner-loop blocks by their
+    profiled average trip counts.  Simulator sync-stall counters are kept
+    in issue slots; divide them by the issue width before comparing.
+
+    The predicted-violation set over-approximates: every load the region
+    may execute (transitively through calls) whose address may alias a
+    reachable store is flagged, so the set is a superset of the
+    violations the simulator can observe. *)
+
+type params = {
+  issue_width : int;
+  lat_mul : int;
+  lat_div : int;
+  forward_latency : int;
+  spawn_overhead : int;
+  track_line_words : int option;
+      (* Some w: the simulator detects conflicts at w-word cache-line
+         granularity (so false sharing counts); None: word-level *)
+}
+
+type channel_kind =
+  | Scalar
+  | Mem
+
+type channel_cost = {
+  cc_channel : Ir.Instr.channel;
+  cc_kind : channel_kind;
+  cc_producer : float;   (* est. cycles from epoch start to the signal *)
+  cc_consumer : float;   (* est. cycles from epoch start to the wait *)
+  cc_stall : float;      (* predicted stall cycles per consumer epoch *)
+  cc_total : float;      (* predicted stall cycles over the whole run *)
+}
+
+type region_cost = {
+  rc_id : int;
+  rc_func : string;
+  rc_header : Ir.Instr.label;
+  rc_epochs : int;       (* profiled epochs (header arrivals) *)
+  rc_channels : channel_cost list;
+  rc_violations : Ir.Instr.iid list;  (* predicted-violation superset *)
+}
+
+val kind_string : channel_kind -> string
+
+(** Conservative superset of the loads the simulator may flag as
+    violated while executing [region], at the conflict granularity given
+    by [params.track_line_words]. *)
+val predicted_violations :
+  Pointsto.t -> params -> Ir.Prog.t -> Ir.Region.t -> Ir.Instr.iid list
+
+val analyze_region :
+  Pointsto.t -> params -> Profiler.Profile.t -> Ir.Prog.t -> Ir.Region.t ->
+  region_cost
+
+(** Analyze every region, sorted by region id. *)
+val analyze :
+  ?pointsto:Pointsto.t -> params -> Profiler.Profile.t -> Ir.Prog.t ->
+  region_cost list

@@ -673,13 +673,21 @@ let run_region pt iid_index prog (region : Ir.Region.t) ~dep_profile =
   | Some dp -> coverage_findings pt prog region dp
   | None -> []
 
-let run ?dep_profile (prog : Ir.Prog.t) (region : Ir.Region.t) =
-  let pt = Pointsto.analyze prog in
+(* Re-running the linter after an IR rewrite (e.g. sync scheduling) can
+   reuse the points-to analysis computed before it: the flow-insensitive
+   facts depend only on the instruction set, not on instruction order. *)
+let resolve_pointsto pointsto prog =
+  match pointsto with
+  | Some pt -> pt
+  | None -> Pointsto.analyze prog
+
+let run ?pointsto ?dep_profile (prog : Ir.Prog.t) (region : Ir.Region.t) =
+  let pt = resolve_pointsto pointsto prog in
   let iid_index = build_iid_index prog in
   List.sort_uniq compare (run_region pt iid_index prog region ~dep_profile)
 
-let run_prog ?(dep_profiles = []) (prog : Ir.Prog.t) =
-  let pt = Pointsto.analyze prog in
+let run_prog ?pointsto ?(dep_profiles = []) (prog : Ir.Prog.t) =
+  let pt = resolve_pointsto pointsto prog in
   let iid_index = build_iid_index prog in
   let per_region =
     List.concat_map

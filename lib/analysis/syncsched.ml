@@ -1,0 +1,650 @@
+(* Sync scheduling: hoist signals toward the definition of the value they
+   forward, sink waits toward the first use of the value they receive
+   (the sync-optimization of arXiv 1211.4101 applied to this IR).
+
+   The memory-sync pass already places each static-group signal at the
+   final store point of its epoch, so the producer-side slack is the
+   distance between a store+signal pair and the instructions that compute
+   the stored value; the consumer side is where the big win lives: the
+   scalar pass parks every [Wait_scalar] at the top of the region header,
+   so each epoch stalls at cycle 0 on every carried scalar whether or not
+   it needs the value yet.
+
+   Three kinds of scheduling unit, each moved as a whole:
+   - a [Wait_scalar (ch, r)] sinks toward the first use of [r], in-block
+     and across blocks (see the epoch-dominance rules below);
+   - an adjacent [Wait_mem ch; Sync_load (ch, d, a)] pair sinks within its
+     block toward the first use of [d];
+   - an adjacent [Store (a, v); Signal_mem (ch, a')] pair hoists within
+     its block toward the definitions of [a]/[v] (the backward slice over
+     the forwarded value), alias-checked so no may-alias access crosses.
+
+   Safety is purely static.  Under sequential semantics a wait is the
+   identity and signals are no-ops, so any single-unit reordering that
+   respects register def/use crossings and memory may-alias order is
+   sequentially invisible.  Speculatively, a sunk wait must still execute
+   before every same-epoch use of its register and before every same-epoch
+   instruction the forwarded value flows into; both are enforced with
+   *epoch dominance*: dominance computed over the loop body with back
+   edges removed, entry at the header, so "s epoch-dominates b" means
+   every same-iteration path from the header to [b] passes [s].  Plain
+   block dominance is iteration-blind (a path may satisfy it by passing
+   [s] in an *earlier* iteration) and would be unsound here.
+
+   A sunk wait may leave some epoch paths wait-free (e.g. the loop-exit
+   test path of a rotated loop).  That is safe when (a) every path to a
+   latch still passes the wait — each committed epoch consumes exactly one
+   signal, so bounded forwarding queues cannot fill with unconsumed
+   signals — and (b) on every exit edge the wait either already executed
+   or the register is dead outside the loop, so the final epoch cannot
+   publish a stale value to post-loop code. *)
+
+module ISet = Set.Make (Int)
+
+type stats = {
+  ss_waits_sunk : int;       (* scalar waits moved at least one slot *)
+  ss_mem_sunk : int;         (* wait_mem + sync_load pairs moved *)
+  ss_signals_hoisted : int;  (* store + signal_mem pairs moved *)
+  ss_signals_inlined : int;  (* post-call signals moved into the callee *)
+  ss_slots : int;            (* total instruction slots crossed *)
+}
+
+let zero =
+  {
+    ss_waits_sunk = 0;
+    ss_mem_sunk = 0;
+    ss_signals_hoisted = 0;
+    ss_signals_inlined = 0;
+    ss_slots = 0;
+  }
+
+let add a b =
+  {
+    ss_waits_sunk = a.ss_waits_sunk + b.ss_waits_sunk;
+    ss_mem_sunk = a.ss_mem_sunk + b.ss_mem_sunk;
+    ss_signals_hoisted = a.ss_signals_hoisted + b.ss_signals_hoisted;
+    ss_signals_inlined = a.ss_signals_inlined + b.ss_signals_inlined;
+    ss_slots = a.ss_slots + b.ss_slots;
+  }
+
+let total s =
+  s.ss_waits_sunk + s.ss_mem_sunk + s.ss_signals_hoisted + s.ss_signals_inlined
+
+let to_string s =
+  Printf.sprintf
+    "%d wait(s) sunk, %d mem pair(s) sunk, %d signal(s) hoisted, %d \
+     inlined, %d slot(s)"
+    s.ss_waits_sunk s.ss_mem_sunk s.ss_signals_hoisted s.ss_signals_inlined
+    s.ss_slots
+
+(* ------------------------------------------------------------------ *)
+(* Epoch dominance                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Dominators of the "epoch subgraph": the loop body restricted to edges
+   that do not re-enter the header.  Entry is the header; a block's epoch
+   dominators are the blocks every same-iteration path from the header
+   must pass.  Reflexive. *)
+let epoch_dominators (f : Ir.Func.t) (loop : Dataflow.Loops.loop) =
+  let body = loop.Dataflow.Loops.body in
+  let header = loop.Dataflow.Loops.header in
+  let in_body l = List.mem l body in
+  let succs l =
+    Ir.Func.successors f l |> List.filter (fun s -> in_body s && s <> header)
+  in
+  let preds = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun s ->
+          Hashtbl.replace preds s
+            (l :: Option.value (Hashtbl.find_opt preds s) ~default:[]))
+        (succs l))
+    body;
+  let all = ISet.of_list body in
+  let dom = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace dom l
+        (if l = header then ISet.singleton header else all))
+    body;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> header then begin
+          let ps = Option.value (Hashtbl.find_opt preds l) ~default:[] in
+          let meet =
+            match ps with
+            | [] -> ISet.empty  (* unreachable within the epoch subgraph *)
+            | p :: rest ->
+              List.fold_left
+                (fun acc q -> ISet.inter acc (Hashtbl.find dom q))
+                (Hashtbl.find dom p) rest
+          in
+          let next = ISet.add l meet in
+          if not (ISet.equal next (Hashtbl.find dom l)) then begin
+            Hashtbl.replace dom l next;
+            changed := true
+          end
+        end)
+      body
+  done;
+  fun a b ->
+    match Hashtbl.find_opt dom b with
+    | Some s -> ISet.mem a s
+    | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Memory effect of an instruction: addresses it may read / may write.
+   Memory-forwarding signals read [mem[addr]] when they execute, so they
+   count as reads. *)
+let mem_reads (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Load (_, a)
+  | Ir.Instr.Sync_load (_, _, a)
+  | Ir.Instr.Signal_mem (_, a)
+  | Ir.Instr.Signal_mem_if_unsent (_, a) ->
+    [ a ]
+  | _ -> []
+
+let mem_writes (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Store (a, _) -> [ a ]
+  | _ -> []
+
+let is_call (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Call _ -> true
+  | _ -> false
+
+let may_alias_any pt fname ops addr =
+  let a = Pointsto.operand_addr pt fname addr in
+  List.exists
+    (fun o -> Pointsto.may_alias pt (Pointsto.operand_addr pt fname o) a)
+    ops
+
+(* Swap the instructions at positions [idx] and [idx + 1] of block [l]. *)
+let swap_down f l idx =
+  let b = Ir.Func.block f l in
+  let arr = Array.of_list b.Ir.Func.instrs in
+  let tmp = arr.(idx) in
+  arr.(idx) <- arr.(idx + 1);
+  arr.(idx + 1) <- tmp;
+  b.Ir.Func.instrs <- Array.to_list arr
+
+(* Move the adjacent pair at [idx, idx+1] one slot down (past [idx+2]) or
+   one slot up (past [idx-1]). *)
+let move_pair f l idx ~down =
+  let b = Ir.Func.block f l in
+  let arr = Array.of_list b.Ir.Func.instrs in
+  if down then begin
+    let crossed = arr.(idx + 2) in
+    arr.(idx + 2) <- arr.(idx + 1);
+    arr.(idx + 1) <- arr.(idx);
+    arr.(idx) <- crossed
+  end
+  else begin
+    let crossed = arr.(idx - 1) in
+    arr.(idx - 1) <- arr.(idx);
+    arr.(idx) <- arr.(idx + 1);
+    arr.(idx + 1) <- crossed
+  end;
+  b.Ir.Func.instrs <- Array.to_list arr
+
+(* ------------------------------------------------------------------ *)
+(* Scalar wait sinking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Blocks of the loop body holding a def or use of [r] (instruction or
+   terminator). *)
+let reg_blocks (f : Ir.Func.t) (body : int list) r =
+  List.filter
+    (fun l ->
+      let b = Ir.Func.block f l in
+      List.exists
+        (fun (i : Ir.Instr.t) ->
+          List.mem r (Ir.Instr.defs i) || List.mem r (Ir.Instr.uses i))
+        b.Ir.Func.instrs
+      || List.mem r (Ir.Instr.term_uses b.Ir.Func.term))
+    body
+
+let sink_scalar_wait f (loop : Dataflow.Loops.loop) ~edom ~live ~exits ~loops
+    ch r =
+  let header = loop.Dataflow.Loops.header in
+  let latches = loop.Dataflow.Loops.back_edges in
+  let loops_containing b =
+    List.filter_map
+      (fun (l : Dataflow.Loops.loop) ->
+        if List.mem b l.Dataflow.Loops.body then Some l.Dataflow.Loops.header
+        else None)
+      loops
+    |> List.sort compare
+  in
+  let header_loops = loops_containing header in
+  let rblocks = reg_blocks f loop.Dataflow.Loops.body r in
+  let target_ok s =
+    s <> header
+    && List.mem s loop.Dataflow.Loops.body
+    && loops_containing s = header_loops
+    && List.for_all (fun latch -> edom s latch) latches
+    && List.for_all
+         (fun (u, v) -> edom s u || not (Dataflow.Liveness.is_live_in live v r))
+         exits
+    && List.for_all (fun b -> b = s || edom s b) rblocks
+  in
+  (* Find the wait. *)
+  let pos = ref None in
+  List.iter
+    (fun l ->
+      List.iteri
+        (fun idx (i : Ir.Instr.t) ->
+          match i.Ir.Instr.kind with
+          | Ir.Instr.Wait_scalar (c, r') when c = ch && r' = r && !pos = None
+            ->
+            pos := Some (l, idx)
+          | _ -> ())
+        (Ir.Func.block f l).Ir.Func.instrs)
+    loop.Dataflow.Loops.body;
+  match !pos with
+  | None -> (false, 0)
+  | Some (l0, idx0) ->
+    let slots = ref 0 in
+    let l = ref l0 and idx = ref idx0 in
+    let continue = ref true in
+    while !continue do
+      let b = Ir.Func.block f !l in
+      let len = List.length b.Ir.Func.instrs in
+      if !idx + 1 < len then begin
+        let next = List.nth b.Ir.Func.instrs (!idx + 1) in
+        let safe =
+          Ir.Instr.channel_of next <> Some ch
+          && (not (List.mem r (Ir.Instr.defs next)))
+          && not (List.mem r (Ir.Instr.uses next))
+        in
+        if safe then begin
+          swap_down f !l !idx;
+          incr idx;
+          incr slots
+        end
+        else continue := false
+      end
+      else if List.mem r (Ir.Instr.term_uses b.Ir.Func.term) then
+        continue := false
+      else begin
+        (* At the bottom of the block: step into a successor from which
+           every remaining latch, exit, use and def is still covered. *)
+        match List.find_opt target_ok (Ir.Func.successors f !l) with
+        | Some s ->
+          let wait = Ir.Edit.remove_at f !l !idx in
+          Ir.Edit.insert_at f s 0 [ wait ];
+          l := s;
+          idx := 0;
+          incr slots
+        | None -> continue := false
+      end
+    done;
+    (((!l, !idx) <> (l0, idx0)), !slots)
+
+(* ------------------------------------------------------------------ *)
+(* Memory wait+load pair sinking (within block)                        *)
+(* ------------------------------------------------------------------ *)
+
+let sink_mem_pairs pt fname f (region : Ir.Region.t) =
+  let moved = ref 0 and slots = ref 0 in
+  List.iter
+    (fun l ->
+      (* Re-scan the block until no pair moves (positions shift as pairs
+         sink). *)
+      let progress = ref true in
+      let already = Hashtbl.create 4 in
+      while !progress do
+        progress := false;
+        let instrs = Array.of_list (Ir.Func.block f l).Ir.Func.instrs in
+        let n = Array.length instrs in
+        let i = ref 0 in
+        while !i + 1 < n && not !progress do
+          (match (instrs.(!i).Ir.Instr.kind, instrs.(!i + 1).Ir.Instr.kind) with
+          | Ir.Instr.Wait_mem ch, Ir.Instr.Sync_load (ch', d, a)
+            when ch = ch'
+                 && List.exists
+                      (fun (g : Ir.Region.mem_group) -> g.Ir.Region.mg_id = ch)
+                      region.Ir.Region.mem_groups ->
+            let load_iid = instrs.(!i + 1).Ir.Instr.iid in
+            let cur = ref !i in
+            let moved_this = ref 0 in
+            let continue = ref true in
+            while !continue && !cur + 2 < n do
+              let k = instrs.(!cur + 2) in
+              let addr_regs =
+                match a with Ir.Instr.Reg r -> [ r ] | Ir.Instr.Imm _ -> []
+              in
+              let safe =
+                Ir.Instr.channel_of k <> Some ch
+                && (not (is_call k))
+                && (not
+                      (List.exists
+                         (fun rg -> rg = d || List.mem rg addr_regs)
+                         (Ir.Instr.defs k)))
+                && (not (List.mem d (Ir.Instr.uses k)))
+                && not (may_alias_any pt fname (mem_writes k) a)
+              in
+              if safe then begin
+                move_pair f l !cur ~down:true;
+                (* refresh the local array view *)
+                let fresh = Array.of_list (Ir.Func.block f l).Ir.Func.instrs in
+                Array.blit fresh 0 instrs 0 n;
+                incr cur;
+                incr moved_this;
+                incr slots
+              end
+              else continue := false
+            done;
+            if !moved_this > 0 && not (Hashtbl.mem already load_iid) then begin
+              Hashtbl.replace already load_iid ();
+              incr moved;
+              progress := true  (* rescan from a consistent view *)
+            end
+          | _ -> ());
+          incr i
+        done
+      done)
+    region.Ir.Region.blocks;
+  (!moved, !slots)
+
+(* ------------------------------------------------------------------ *)
+(* Store+signal pair hoisting (within block)                           *)
+(* ------------------------------------------------------------------ *)
+
+let hoist_signal_pairs pt fname f (region : Ir.Region.t) =
+  let moved = ref 0 and slots = ref 0 in
+  List.iter
+    (fun l ->
+      let progress = ref true in
+      let already = Hashtbl.create 4 in
+      while !progress do
+        progress := false;
+        let instrs = Array.of_list (Ir.Func.block f l).Ir.Func.instrs in
+        let n = Array.length instrs in
+        let i = ref 0 in
+        while !i + 1 < n && not !progress do
+          (match (instrs.(!i).Ir.Instr.kind, instrs.(!i + 1).Ir.Instr.kind) with
+          | Ir.Instr.Store (sa, sv), Ir.Instr.Signal_mem (ch, ga)
+            when List.exists
+                   (fun (g : Ir.Region.mem_group) -> g.Ir.Region.mg_id = ch)
+                   region.Ir.Region.mem_groups ->
+            let sig_iid = instrs.(!i + 1).Ir.Instr.iid in
+            let unit_regs =
+              List.concat_map
+                (function Ir.Instr.Reg r -> [ r ] | Ir.Instr.Imm _ -> [])
+                [ sa; sv; ga ]
+            in
+            let cur = ref !i in
+            let moved_this = ref 0 in
+            let continue = ref true in
+            while !continue && !cur > 0 do
+              let p = instrs.(!cur - 1) in
+              let safe =
+                Ir.Instr.channel_of p <> Some ch
+                && (not (is_call p))
+                && (not
+                      (List.exists
+                         (fun rg -> List.mem rg unit_regs)
+                         (Ir.Instr.defs p)))
+                (* a read that may alias the store must keep seeing the
+                   pre-store value *)
+                && (not (may_alias_any pt fname (mem_reads p) sa))
+                (* write/write order on the stored address, and the signal
+                   must still read memory after every earlier store that
+                   may alias its forwarded address *)
+                && (not (may_alias_any pt fname (mem_writes p) sa))
+                && not (may_alias_any pt fname (mem_writes p) ga)
+              in
+              if safe then begin
+                move_pair f l !cur ~down:false;
+                let fresh = Array.of_list (Ir.Func.block f l).Ir.Func.instrs in
+                Array.blit fresh 0 instrs 0 n;
+                decr cur;
+                incr moved_this;
+                incr slots
+              end
+              else continue := false
+            done;
+            if !moved_this > 0 && not (Hashtbl.mem already sig_iid) then begin
+              Hashtbl.replace already sig_iid ();
+              incr moved;
+              progress := true
+            end
+          | _ -> ());
+          incr i
+        done
+      done)
+    region.Ir.Region.blocks;
+  (!moved, !slots)
+
+(* ------------------------------------------------------------------ *)
+(* Post-call signal hoisting into single-call-site callees             *)
+(* ------------------------------------------------------------------ *)
+
+(* A [Signal_mem (ch, [a])] that directly follows a call fires only after
+   the whole callee tail has executed, even when the callee's store to
+   [a] completes early — the consumer epoch then stalls for the entire
+   remainder of the callee.  When the callee is a dedicated clone (one
+   call site in the whole program, no nested calls, no sync on [ch]),
+   the signal can instead fire inside the callee, at the top of the
+   earliest block that post-dominates the callee entry, executes at most
+   once per call (not in a cycle), and from which no may-alias store to
+   [a] is reachable: at that point the forwarded value is final on every
+   path and the per-epoch signal count is unchanged.
+
+   The caller keeps a guarded [Signal_mem_if_unsent] at the original
+   position (same iid), so the region's signal-exactness invariant —
+   checked by [Synclint], whose per-channel epoch dataflow treats calls
+   as channel-neutral — still holds syntactically; at run time the guard
+   is a no-op because the callee has always signaled first. *)
+
+let call_counts (prog : Ir.Prog.t) =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (_, f) ->
+      Ir.Func.iter_instrs f (fun _ (i : Ir.Instr.t) ->
+          match i.Ir.Instr.kind with
+          | Ir.Instr.Call (_, g, _) ->
+            Hashtbl.replace counts g
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts g))
+          | _ -> ()))
+    prog.Ir.Prog.funcs;
+  counts
+
+(* Labels reachable from the start of [l0], inclusive. *)
+let reachable_from (g : Ir.Func.t) l0 =
+  let seen = Hashtbl.create 16 in
+  let rec go l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      List.iter go (Ir.Func.successors g l)
+    end
+  in
+  go l0;
+  seen
+
+let is_signal_family (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with
+  | Ir.Instr.Signal_mem _ | Ir.Instr.Signal_mem_if_unsent _
+  | Ir.Instr.Signal_scalar _ | Ir.Instr.Signal_null _
+  | Ir.Instr.Signal_null_if_unsent _ ->
+    true
+  | _ -> false
+
+(* The earliest block of [g] where [Signal_mem (ch, ga)] may fire: post-
+   dominates the entry (fires on every call), not in a cycle (fires at
+   most once), and from its top no may-alias store to [ga] and no other
+   instruction on channel [ch] is reachable — the callee may well wait on
+   [ch] itself (it consumes the predecessor epoch's value before storing
+   the new one), and the inserted signal must stay after that wait and
+   after every store on every path. *)
+let callee_signal_point pt ~caller gname (g : Ir.Func.t) ch ga =
+  let has_call = ref false in
+  Ir.Func.iter_instrs g (fun _ i -> if is_call i then has_call := true);
+  if !has_call then None
+  else begin
+    let target = Pointsto.operand_addr pt caller ga in
+    let pdom = Dataflow.Dominance.compute_post g in
+    let n = Ir.Func.num_blocks g in
+    let blocked = Hashtbl.create 8 in
+    let conflict_from l =
+      match Hashtbl.find_opt blocked l with
+      | Some b -> b
+      | None ->
+        let seen = reachable_from g l in
+        let conflict =
+          Hashtbl.fold
+            (fun b () acc ->
+              acc
+              || List.exists
+                   (fun (i : Ir.Instr.t) ->
+                     Ir.Instr.channel_of i = Some ch
+                     || List.exists
+                          (fun w ->
+                            Pointsto.may_alias pt
+                              (Pointsto.operand_addr pt gname w)
+                              target)
+                          (mem_writes i))
+                   (Ir.Func.block g b).Ir.Func.instrs)
+            seen false
+        in
+        Hashtbl.replace blocked l conflict;
+        conflict
+    in
+    let in_cycle l =
+      List.exists
+        (fun s -> Hashtbl.mem (reachable_from g s) l)
+        (Ir.Func.successors g l)
+    in
+    let candidates = ref [] in
+    for l = 0 to n - 1 do
+      if
+        Dataflow.Dominance.post_dominates pdom l Ir.Func.entry
+        && (not (in_cycle l))
+        && not (conflict_from l)
+      then candidates := l :: !candidates
+    done;
+    (* Post-dominators of the entry form a chain; the earliest candidate
+       is the one every other candidate post-dominates. *)
+    List.find_opt
+      (fun c ->
+        List.for_all
+          (fun c' -> c' = c || Dataflow.Dominance.post_dominates pdom c' c)
+          !candidates)
+      !candidates
+  end
+
+let hoist_signals_into_callees pt (prog : Ir.Prog.t) (region : Ir.Region.t) =
+  let caller = region.Ir.Region.func in
+  let f = Ir.Prog.func prog caller in
+  let counts = call_counts prog in
+  let moved = ref 0 and slots = ref 0 in
+  List.iter
+    (fun l ->
+      (* Collect (callee, signal) pairs first: rewrites keep positions
+         stable in the caller (replace-in-place) and only grow callees. *)
+      let pending = ref [] in
+      let instrs = Array.of_list (Ir.Func.block f l).Ir.Func.instrs in
+      Array.iteri
+        (fun i (ins : Ir.Instr.t) ->
+          match ins.Ir.Instr.kind with
+          | Ir.Instr.Call (_, gname, _) ->
+            let j = ref (i + 1) in
+            while !j < Array.length instrs && is_signal_family instrs.(!j) do
+              (match instrs.(!j).Ir.Instr.kind with
+              | Ir.Instr.Signal_mem (ch, (Ir.Instr.Imm _ as ga))
+                when List.exists
+                       (fun (g : Ir.Region.mem_group) ->
+                         g.Ir.Region.mg_id = ch)
+                       region.Ir.Region.mem_groups ->
+                pending := (gname, instrs.(!j).Ir.Instr.iid, ch, ga) :: !pending
+              | _ -> ());
+              incr j
+            done
+          | _ -> ())
+        instrs;
+      List.iter
+        (fun (gname, sig_iid, ch, ga) ->
+          if gname <> caller && Hashtbl.find_opt counts gname = Some 1 then
+            match Ir.Prog.func_opt prog gname with
+            | None -> ()
+            | Some g -> (
+              match callee_signal_point pt ~caller gname g ch ga with
+              | None -> ()
+              | Some b ->
+                (* Slots gained: every instruction from the insertion
+                   point to the callee's exit now runs after the signal
+                   instead of before it. *)
+                Hashtbl.iter
+                  (fun bl () ->
+                    slots :=
+                      !slots
+                      + List.length (Ir.Func.block g bl).Ir.Func.instrs)
+                  (reachable_from g b);
+                Ir.Edit.replace_kind f ~anchor:sig_iid
+                  (Ir.Instr.Signal_mem_if_unsent (ch, ga));
+                Ir.Edit.prepend g b
+                  [
+                    {
+                      Ir.Instr.iid =
+                        Ir.Prog.fresh_iid prog ~in_func:gname
+                          ~what:(Printf.sprintf "hoisted signal ch%d" ch);
+                      kind = Ir.Instr.Signal_mem (ch, ga);
+                    };
+                  ];
+                incr moved))
+        (List.rev !pending))
+    region.Ir.Region.blocks;
+  (!moved, !slots)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let apply_region pt (prog : Ir.Prog.t) (region : Ir.Region.t) =
+  let fname = region.Ir.Region.func in
+  let f = Ir.Prog.func prog fname in
+  let loops = Dataflow.Loops.find f in
+  match Dataflow.Loops.loop_of loops region.Ir.Region.header with
+  | None -> zero
+  | Some loop ->
+    let edom = epoch_dominators f loop in
+    let live = Dataflow.Liveness.compute f in
+    let exits = Dataflow.Loops.exit_edges f loop in
+    let waits_sunk = ref 0 and wait_slots = ref 0 in
+    List.iter
+      (fun (sc : Ir.Region.scalar_channel) ->
+        let moved, slots =
+          sink_scalar_wait f loop ~edom ~live ~exits ~loops sc.Ir.Region.sc_id
+            sc.Ir.Region.sc_reg
+        in
+        if moved then incr waits_sunk;
+        wait_slots := !wait_slots + slots)
+      region.Ir.Region.scalar_channels;
+    let mem_moved, mem_slots = sink_mem_pairs pt fname f region in
+    let sig_moved, sig_slots = hoist_signal_pairs pt fname f region in
+    let inl_moved, inl_slots = hoist_signals_into_callees pt prog region in
+    {
+      ss_waits_sunk = !waits_sunk;
+      ss_mem_sunk = mem_moved;
+      ss_signals_hoisted = sig_moved;
+      ss_signals_inlined = inl_moved;
+      ss_slots = !wait_slots + mem_slots + sig_slots + inl_slots;
+    }
+
+let apply ?pointsto (prog : Ir.Prog.t) =
+  let pt =
+    match pointsto with Some p -> p | None -> Pointsto.analyze prog
+  in
+  List.fold_left
+    (fun acc r -> add acc (apply_region pt prog r))
+    zero prog.Ir.Prog.regions

@@ -1,0 +1,44 @@
+(** Sync scheduling: dataflow-driven signal hoisting and wait sinking
+    (the sync-optimization pass of arXiv 1211.4101 for this IR).
+
+    Sinks each [Wait_scalar] toward the first use of its register (in
+    block and across blocks, guarded by epoch dominance over the loop
+    body, loop-exit liveness, and latch coverage), sinks each adjacent
+    [Wait_mem]+[Sync_load] pair toward the first use of the loaded
+    register, hoists each adjacent [Store]+[Signal_mem] pair toward
+    the definition of the stored value, and moves each post-call
+    [Signal_mem] into its single-call-site callee at the earliest block
+    where the forwarded location's stores are complete (leaving a guarded
+    signal at the original site so signal-exactness still holds) — all
+    alias-checked through {!Pointsto} so no may-alias access is
+    reordered.
+
+    All rewrites are sequentially invisible (waits are the identity and
+    signals no-ops under sequential semantics, and no register def/use or
+    may-alias memory pair is reordered); the caller should still re-run
+    [Ir.Verify] and {!Synclint} afterwards, which the pipeline does. *)
+
+type stats = {
+  ss_waits_sunk : int;       (* scalar waits moved at least one slot *)
+  ss_mem_sunk : int;         (* wait_mem + sync_load pairs moved *)
+  ss_signals_hoisted : int;  (* store + signal_mem pairs moved *)
+  ss_signals_inlined : int;  (* post-call signals moved into the callee *)
+  ss_slots : int;            (* total instruction slots crossed *)
+}
+
+val zero : stats
+val add : stats -> stats -> stats
+
+(** Total number of units moved. *)
+val total : stats -> int
+
+val to_string : stats -> string
+
+(** Schedule one region in place. *)
+val apply_region : Pointsto.t -> Ir.Prog.t -> Ir.Region.t -> stats
+
+(** Schedule every region of the program in place.  [pointsto] may be a
+    precomputed analysis of [prog] (the pass only reorders instructions,
+    which cannot change flow-insensitive points-to facts, so computing it
+    once before scheduling stays valid afterwards). *)
+val apply : ?pointsto:Pointsto.t -> Ir.Prog.t -> stats

@@ -6,18 +6,18 @@ type t = {
   idoms : Ir.Instr.label option array;
 }
 
-let compute (f : Ir.Func.t) =
-  let n = Ir.Func.num_blocks f in
-  let preds = Ir.Func.predecessors f in
-  (* Reachability from entry. *)
+(* Iterative dominator fixpoint over an explicit graph.  Shared by the
+   forward computation (the function's CFG) and the post-dominance one
+   (the reversed CFG with a virtual exit). *)
+let solve ~n ~entry ~(succs : int -> int list) ~(preds : int list array) =
   let reach = Array.make n false in
   let rec visit l =
     if not reach.(l) then begin
       reach.(l) <- true;
-      List.iter visit (Ir.Func.successors f l)
+      List.iter visit (succs l)
     end
   in
-  if n > 0 then visit Ir.Func.entry;
+  if n > 0 then visit entry;
   let all =
     List.init n Fun.id
     |> List.filter (fun l -> reach.(l))
@@ -26,15 +26,14 @@ let compute (f : Ir.Func.t) =
   let dom = Array.make n Int_set.empty in
   for l = 0 to n - 1 do
     if reach.(l) then
-      dom.(l) <-
-        (if l = Ir.Func.entry then Int_set.singleton l else all)
+      dom.(l) <- (if l = entry then Int_set.singleton l else all)
     else dom.(l) <- Int_set.singleton l
   done;
   let changed = ref true in
   while !changed do
     changed := false;
     for l = 0 to n - 1 do
-      if reach.(l) && l <> Ir.Func.entry then begin
+      if reach.(l) && l <> entry then begin
         let reachable_preds = List.filter (fun p -> reach.(p)) preds.(l) in
         let meet =
           match reachable_preds with
@@ -55,7 +54,7 @@ let compute (f : Ir.Func.t) =
   (* Immediate dominator: the strict dominator dominated by all others. *)
   let idoms =
     Array.init n (fun l ->
-        if (not reach.(l)) || l = Ir.Func.entry then None
+        if (not reach.(l)) || l = entry then None
         else begin
           let strict = Int_set.remove l dom.(l) in
           Int_set.fold
@@ -70,6 +69,11 @@ let compute (f : Ir.Func.t) =
   in
   { dom; reach; idoms }
 
+let compute (f : Ir.Func.t) =
+  let n = Ir.Func.num_blocks f in
+  let preds = Ir.Func.predecessors f in
+  solve ~n ~entry:Ir.Func.entry ~succs:(Ir.Func.successors f) ~preds
+
 let dominates t a b = Int_set.mem a t.dom.(b)
 
 (* Instruction-point dominance: within one block, program order decides;
@@ -82,3 +86,44 @@ let dominates_point t (la, ia) (lb, ib) =
 let idom t l = t.idoms.(l)
 
 let reachable t l = t.reach.(l)
+
+(* ------------------------------------------------------------------ *)
+(* Post-dominance: dominators of the reversed CFG.  Multi-exit          *)
+(* functions get a virtual exit node (label [num_blocks f]) fed by      *)
+(* every block without successors; post-dominator sets are computed     *)
+(* from it.  Blocks that cannot reach any exit (infinite loops) are     *)
+(* unreachable in the reversed graph and post-dominate only themselves. *)
+(* ------------------------------------------------------------------ *)
+
+let virtual_exit (f : Ir.Func.t) = Ir.Func.num_blocks f
+
+let compute_post (f : Ir.Func.t) =
+  let n = Ir.Func.num_blocks f in
+  let exit = n in
+  (* Reversed graph over n+1 nodes: each original edge u->v becomes v->u,
+     and every block with no successors grows an edge to the virtual exit
+     (reversed: exit -> block). *)
+  let rsuccs = Array.make (n + 1) [] in
+  let rpreds = Array.make (n + 1) [] in
+  let add_edge u v =
+    (* reversed edge v -> u for original u -> v *)
+    rsuccs.(v) <- u :: rsuccs.(v);
+    rpreds.(u) <- v :: rpreds.(u)
+  in
+  for l = 0 to n - 1 do
+    match Ir.Func.successors f l with
+    | [] -> add_edge l exit
+    | ss -> List.iter (fun s -> add_edge l s) ss
+  done;
+  solve ~n:(n + 1) ~entry:exit ~succs:(fun l -> rsuccs.(l)) ~preds:rpreds
+
+let post_dominates t a b = Int_set.mem a t.dom.(b)
+
+(* Strict point-wise variant, mirroring [dominates_point]: within one
+   block the later instruction post-dominates the earlier one. *)
+let post_dominates_point t (la, ia) (lb, ib) =
+  if la = lb then ia > ib else post_dominates t la lb
+
+let ipdom t l = t.idoms.(l)
+
+let reaches_exit t l = t.reach.(l)

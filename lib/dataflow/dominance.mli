@@ -1,7 +1,10 @@
-(** Dominator computation (iterative algorithm over dominator sets).
+(** Dominator and post-dominator computation (iterative algorithm over
+    dominator sets).
 
     Blocks unreachable from the entry dominate nothing and are reported as
-    dominated only by themselves. *)
+    dominated only by themselves.  Post-dominance is dominance over the
+    reversed CFG with a virtual exit node joining all [Ret] blocks, so it
+    is well-defined for multi-exit functions too. *)
 
 type t
 
@@ -20,3 +23,29 @@ val dominates_point :
 val idom : t -> Ir.Instr.label -> Ir.Instr.label option
 
 val reachable : t -> Ir.Instr.label -> bool
+
+(** Post-dominators of every block of [f].  The result covers
+    [num_blocks f + 1] labels: label [virtual_exit f] is the synthetic
+    exit fed by every block without successors.  Query it only through
+    the post accessors below. *)
+val compute_post : Ir.Func.t -> t
+
+(** The label of the virtual exit node used by [compute_post]. *)
+val virtual_exit : Ir.Func.t -> Ir.Instr.label
+
+(** [post_dominates t a b] — does every path from [b] to the exit pass
+    through [a]?  (Reflexive, like [dominates].) *)
+val post_dominates : t -> Ir.Instr.label -> Ir.Instr.label -> bool
+
+(** Strict point-wise post-dominance: within one block, the later
+    instruction post-dominates the earlier one. *)
+val post_dominates_point :
+  t -> Ir.Instr.label * int -> Ir.Instr.label * int -> bool
+
+(** Immediate post-dominator; [None] for the virtual exit and for blocks
+    that cannot reach any exit. *)
+val ipdom : t -> Ir.Instr.label -> Ir.Instr.label option
+
+(** Can this block reach an exit?  ([false] for blocks stuck in infinite
+    loops and for blocks unreachable in the reversed graph.) *)
+val reaches_exit : t -> Ir.Instr.label -> bool

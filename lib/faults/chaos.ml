@@ -35,7 +35,7 @@ let seq_output source input =
   let mem = Runtime.Memory.create () in
   Runtime.Thread.run_sequential code ~input mem
 
-let compile ?profile_fault p =
+let compile ?profile_fault ?(sync_sched = false) p =
   let selection =
     if not p.p_select_main then None
     else
@@ -45,7 +45,7 @@ let compile ?profile_fault p =
            (fun k -> String.equal k.Profiler.Profile.lk_func "main")
            (Profiler.Runner.all_loops prog))
   in
-  Tlscore.Pipeline.compile ?selection ?profile_fault ~lint:false
+  Tlscore.Pipeline.compile ?selection ?profile_fault ~lint:false ~sync_sched
     ~source:p.p_source ~profile_input:p.p_train
     ~memory_sync:
       (Tlscore.Pipeline.Profiled { dep_input = p.p_train; threshold = 0.05 })
@@ -90,7 +90,8 @@ let evaluate ~kind ~expected ?(armed = fun _ -> true) run =
          cycle)
   | exception e -> Failed (Printexc.to_string e)
 
-let run_program ?(log = fun _ -> ()) ?watchdog ~modes ~faults p =
+let run_program ?(log = fun _ -> ()) ?watchdog ?(sync_sched = false) ~modes
+    ~faults p =
   let tune cfg =
     match watchdog with
     | None -> cfg
@@ -98,7 +99,7 @@ let run_program ?(log = fun _ -> ()) ?watchdog ~modes ~faults p =
   in
   let seq_train = seq_output p.p_source p.p_train in
   let seq_ref = lazy (seq_output p.p_source p.p_ref) in
-  let base = compile p in
+  let base = compile ~sync_sched p in
   (* Shared across modes: profile-fault recompiles and IR mutations are
      mode-independent, so build each at most once per program. *)
   let profile_compiles : (string, (Tlscore.Pipeline.compiled, string) result) Hashtbl.t =
@@ -109,7 +110,7 @@ let run_program ?(log = fun _ -> ()) ?watchdog ~modes ~faults p =
     | Some r -> r
     | None ->
       let r =
-        try Ok (compile ~profile_fault:(Proffault.apply pf) p)
+        try Ok (compile ~profile_fault:(Proffault.apply pf) ~sync_sched p)
         with e -> Error ("compile: " ^ Printexc.to_string e)
       in
       Hashtbl.replace profile_compiles name r;
@@ -198,7 +199,7 @@ let run_program ?(log = fun _ -> ()) ?watchdog ~modes ~faults p =
    the bytes sent to [log] are identical whatever mapper runs the cells
    — the property the determinism suite pins. *)
 let run_matrix ?(log = fun _ -> ()) ?(map = fun f l -> List.map f l) ?watchdog
-    ~modes ~faults programs =
+    ?sync_sched ~modes ~faults programs =
   let per_program =
     map
       (fun p ->
@@ -206,7 +207,7 @@ let run_matrix ?(log = fun _ -> ()) ?(map = fun f l -> List.map f l) ?watchdog
         let cells =
           run_program
             ~log:(fun s -> lines := s :: !lines)
-            ?watchdog ~modes ~faults p
+            ?watchdog ?sync_sched ~modes ~faults p
         in
         (List.rev !lines, cells))
       programs
@@ -355,14 +356,15 @@ let sweep_axis ~expected ~cfg ~code ~input ~program ~mode axis peak =
     in
     go (peak / 2)
 
-let run_capacity_program ?(log = fun _ -> ()) ?watchdog ~modes p =
+let run_capacity_program ?(log = fun _ -> ()) ?watchdog ?(sync_sched = false)
+    ~modes p =
   let tune cfg =
     match watchdog with
     | None -> cfg
     | Some w -> { cfg with Tls.Config.watchdog_window = w }
   in
   let expected = seq_output p.p_source p.p_train in
-  let base = compile p in
+  let base = compile ~sync_sched p in
   let code = base.Tlscore.Pipeline.code in
   let input = p.p_train in
   let run_mode (mode_name, cfg0) =
@@ -404,7 +406,7 @@ let run_capacity_program ?(log = fun _ -> ()) ?watchdog ~modes p =
   cells
 
 let run_capacity ?(log = fun _ -> ()) ?(map = fun f l -> List.map f l)
-    ?watchdog ~modes programs =
+    ?watchdog ?sync_sched ~modes programs =
   let per_program =
     map
       (fun p ->
@@ -412,7 +414,7 @@ let run_capacity ?(log = fun _ -> ()) ?(map = fun f l -> List.map f l)
         let cells =
           run_capacity_program
             ~log:(fun s -> lines := s :: !lines)
-            ?watchdog ~modes p
+            ?watchdog ?sync_sched ~modes p
         in
         (List.rev !lines, cells))
       programs

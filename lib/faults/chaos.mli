@@ -42,10 +42,14 @@ type cell = {
 val default_modes : (string * Tls.Config.t) list
 
 (** All cells for one program: the baseline plus every fault in [faults],
-    under every mode.  [watchdog] overrides the watchdog window. *)
+    under every mode.  [watchdog] overrides the watchdog window;
+    [sync_sched] compiles every artifact (baseline, profile-fault
+    recompiles, IR-mutation bases) with the sync scheduler on (default
+    false). *)
 val run_program :
   ?log:(string -> unit) ->
   ?watchdog:int ->
+  ?sync_sched:bool ->
   modes:(string * Tls.Config.t) list ->
   faults:Fault.spec list ->
   program ->
@@ -62,6 +66,7 @@ val run_matrix :
         program list ->
         (string list * cell list) list) ->
   ?watchdog:int ->
+  ?sync_sched:bool ->
   modes:(string * Tls.Config.t) list ->
   faults:Fault.spec list ->
   program list ->
@@ -125,6 +130,7 @@ val run_capacity :
         program list ->
         (string list * capacity_cell list) list) ->
   ?watchdog:int ->
+  ?sync_sched:bool ->
   modes:(string * Tls.Config.t) list ->
   program list ->
   capacity_cell list

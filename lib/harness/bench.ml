@@ -22,12 +22,12 @@ type t = {
   bench_matrix : matrix_bench option;
 }
 
-let schema_version = 4
+let schema_version = 5
 
 let phase_names =
   [
     "frontend"; "lower"; "profile"; "pass"; "sim_seq"; "sim_tls";
-    "sim_tls_bounded";
+    "sim_tls_sched"; "sim_tls_bounded";
   ]
 
 (* The finite-resource configuration of the [sim_tls_bounded] phase:
@@ -103,6 +103,18 @@ let bench_workload (w : Workloads.Workload.t) =
     Tls.Sim.run Tls.Config.c_mode compiled.Tlscore.Pipeline.code
       ~input:ref_input ()
   in
+  (* Same configuration with the sync scheduler on: how much of the sync
+     stall the signal-hoisting / wait-sinking pass recovers. *)
+  let scheduled =
+    Tlscore.Pipeline.compile ~sync_sched:true ~source ~profile_input:train
+      ~memory_sync:
+        (Tlscore.Pipeline.Profiled { dep_input = ref_input; threshold = 0.05 })
+      ()
+  in
+  let tls_sched =
+    Tls.Sim.run Tls.Config.c_mode scheduled.Tlscore.Pipeline.code
+      ~input:ref_input ()
+  in
   let tls_bounded =
     Tls.Sim.run bounded_cfg compiled.Tlscore.Pipeline.code ~input:ref_input ()
   in
@@ -118,6 +130,8 @@ let bench_workload (w : Workloads.Workload.t) =
           ~cycles:seq.Tls.Simstats.sq_cycles;
         sim_phase "sim_tls" tls.Tls.Simstats.runtime
           ~cycles:tls.Tls.Simstats.total_cycles;
+        sim_phase "sim_tls_sched" tls_sched.Tls.Simstats.runtime
+          ~cycles:tls_sched.Tls.Simstats.total_cycles;
         sim_phase "sim_tls_bounded" tls_bounded.Tls.Simstats.runtime
           ~cycles:tls_bounded.Tls.Simstats.total_cycles;
       ];
@@ -363,7 +377,9 @@ let check_phase ~workload p =
   let* _ = as_num (ctx "minor_words") minor in
   let* major = require (ctx "major_words") (field p "major_words") in
   let* _ = as_num (ctx "major_words") major in
-  let sim = List.mem name [ "sim_seq"; "sim_tls"; "sim_tls_bounded" ] in
+  let sim =
+    List.mem name [ "sim_seq"; "sim_tls"; "sim_tls_sched"; "sim_tls_bounded" ]
+  in
   match field p "cycles" with
   | Some c ->
     let* cycles = as_int (ctx "cycles") c in

@@ -1,0 +1,79 @@
+let find_instr (f : Func.t) iid =
+  let found = ref None in
+  Array.iteri
+    (fun l (b : Func.block) ->
+      match !found with
+      | Some _ -> ()
+      | None ->
+        List.iteri
+          (fun idx (i : Instr.t) ->
+            if i.Instr.iid = iid then found := Some (l, idx))
+          b.Func.instrs)
+    f.Func.blocks;
+  !found
+
+let splice f ~anchor instrs ~after =
+  match find_instr f anchor with
+  | None -> raise Not_found
+  | Some (l, idx) ->
+    let b = Func.block f l in
+    let before, at_and_rest =
+      List.filteri (fun i _ -> i < idx) b.Func.instrs,
+      List.filteri (fun i _ -> i >= idx) b.Func.instrs
+    in
+    (match at_and_rest with
+    | at :: rest ->
+      b.Func.instrs <-
+        (if after then before @ (at :: instrs) @ rest
+         else before @ instrs @ (at :: rest))
+    | [] -> assert false)
+
+let insert_before f ~anchor instrs = splice f ~anchor instrs ~after:false
+
+let insert_after f ~anchor instrs = splice f ~anchor instrs ~after:true
+
+let prepend f l instrs =
+  let b = Func.block f l in
+  b.Func.instrs <- instrs @ b.Func.instrs
+
+let append f l instrs =
+  let b = Func.block f l in
+  b.Func.instrs <- b.Func.instrs @ instrs
+
+let insert_at f l idx instrs =
+  let b = Func.block f l in
+  let before = List.filteri (fun i _ -> i < idx) b.Func.instrs in
+  let rest = List.filteri (fun i _ -> i >= idx) b.Func.instrs in
+  b.Func.instrs <- before @ instrs @ rest
+
+let remove f iid =
+  match find_instr f iid with
+  | None -> None
+  | Some (l, idx) ->
+    let b = Func.block f l in
+    let removed = List.nth b.Func.instrs idx in
+    b.Func.instrs <- List.filteri (fun i _ -> i <> idx) b.Func.instrs;
+    Some removed
+
+let remove_at f l idx =
+  let b = Func.block f l in
+  let removed = List.nth b.Func.instrs idx in
+  b.Func.instrs <- List.filteri (fun i _ -> i <> idx) b.Func.instrs;
+  removed
+
+let replace_kind f ~anchor kind =
+  match find_instr f anchor with
+  | None -> raise Not_found
+  | Some (l, idx) ->
+    let b = Func.block f l in
+    b.Func.instrs <-
+      List.mapi
+        (fun i (ins : Instr.t) ->
+          if i = idx then { ins with Instr.kind } else ins)
+        b.Func.instrs
+
+let instr f iid =
+  let found = ref None in
+  Func.iter_instrs f (fun _ i ->
+      if i.Instr.iid = iid then found := Some i);
+  !found

@@ -1,0 +1,35 @@
+(** In-place IR editing utilities shared by the synchronization passes
+    and the sync scheduler. *)
+
+(** Location of a static instruction: block label and index within it. *)
+val find_instr : Func.t -> Instr.iid -> (Instr.label * int) option
+
+(** [insert_before f ~anchor instrs] splices [instrs] immediately before the
+    instruction with id [anchor].  @raise Not_found if absent. *)
+val insert_before : Func.t -> anchor:Instr.iid -> Instr.t list -> unit
+
+(** [insert_after f ~anchor instrs] splices immediately after [anchor]. *)
+val insert_after : Func.t -> anchor:Instr.iid -> Instr.t list -> unit
+
+(** Prepend instructions at the top of a block. *)
+val prepend : Func.t -> Instr.label -> Instr.t list -> unit
+
+(** Append instructions at the bottom of a block (before the terminator). *)
+val append : Func.t -> Instr.label -> Instr.t list -> unit
+
+(** [insert_at f l idx instrs] splices [instrs] so the first lands at
+    position [idx] of block [l] ([idx] may equal the block length). *)
+val insert_at : Func.t -> Instr.label -> int -> Instr.t list -> unit
+
+(** Remove the instruction with the given id, returning it. *)
+val remove : Func.t -> Instr.iid -> Instr.t option
+
+(** Remove and return the instruction at a known position. *)
+val remove_at : Func.t -> Instr.label -> int -> Instr.t
+
+(** Replace the kind of instruction [anchor], keeping its id.
+    @raise Not_found if absent. *)
+val replace_kind : Func.t -> anchor:Instr.iid -> Instr.kind -> unit
+
+(** The instruction with the given id, if present. *)
+val instr : Func.t -> Instr.iid -> Instr.t option

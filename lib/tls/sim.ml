@@ -110,6 +110,9 @@ type epoch = {
   mutable a_busy : int;
   mutable a_sync : int;
   mutable a_other : int;
+  a_sync_chan : (Ir.Instr.channel, int) Hashtbl.t;
+      (* attempt sync slots split by blocking channel (compiler sync only;
+         hardware-sync stalls have no channel and stay unattributed) *)
   mutable attempt_instrs : int;
   mutable restarts : int;
   mutable hold_until_oldest : bool;
@@ -171,6 +174,11 @@ type sim = {
   (* Forwarding usefulness per channel, for the filter_useless_sync
      enhancement: how often the forwarded address matched the load. *)
   chan_stats : (Ir.Instr.channel, int * int) Hashtbl.t;  (* matched, seen *)
+  (* Committed sync-stall slots per blocking compiler channel, and
+     violation counts per flagged load — the measurements {!Staticcost}
+     predictions are validated against. *)
+  sync_by_channel : (Ir.Instr.channel, int) Hashtbl.t;
+  violated_loads : (Ir.Instr.iid, int) Hashtbl.t;
   (* Robustness harness (DESIGN §11): watchdog + fault injection. *)
   mutable last_progress : int;     (* cycle of the last graduation/commit *)
   mutable f_mem_signals : int;     (* dynamic memory-signal counter *)
@@ -286,6 +294,7 @@ let fresh_epoch sim st index =
     a_busy = 0;
     a_sync = 0;
     a_other = 0;
+    a_sync_chan = Hashtbl.create 4;
     attempt_instrs = 0;
     restarts = 0;
     hold_until_oldest = false;
@@ -295,12 +304,23 @@ let fresh_epoch sim st index =
     hooks = None;
   }
 
+(* Attribute [n] of the attempt's sync slots to compiler channel [ch]
+   (None = a hardware-sync or channel-less stall, left unattributed). *)
+let add_sync_chan e ch n =
+  match ch with
+  | None -> ()
+  | Some ch ->
+    if n > 0 then
+      Hashtbl.replace e.a_sync_chan ch
+        (n + Option.value ~default:0 (Hashtbl.find_opt e.a_sync_chan ch))
+
 let reset_attempt sim st e =
   sim.slots.Simstats.s_fail <-
     sim.slots.Simstats.s_fail + e.a_busy + e.a_sync + e.a_other;
   e.a_busy <- 0;
   e.a_sync <- 0;
   e.a_other <- 0;
+  Hashtbl.reset e.a_sync_chan;
   e.attempt_instrs <- 0;
   Hashtbl.reset e.spec_writes;
   Hashtbl.reset e.read_lines;
@@ -361,6 +381,8 @@ let violate sim st ~victim_idx ~load_iid =
   | false, false -> a.Simstats.v_neither <- a.Simstats.v_neither + 1);
   Hwsync.record_violation sim.hwsync load_iid;
   Hashtbl.replace sim.ever_marked load_iid ();
+  Hashtbl.replace sim.violated_loads load_iid
+    (1 + Option.value ~default:0 (Hashtbl.find_opt sim.violated_loads load_iid));
   cascade_squash sim st victim_idx
 
 (* ------------------------------------------------------------------ *)
@@ -935,6 +957,7 @@ let graduate sim st e =
     else if e.hold_until_oldest && not (is_oldest st e) then begin
       e.blocked <- true;
       e.wake_at <- max_int;
+      e.last_block <- None;
       e.a_other <- e.a_other + !slots;
       slots := 0
     end
@@ -943,12 +966,15 @@ let graduate sim st e =
          oldest, when the footprint may drain non-speculatively. *)
       e.blocked <- true;
       e.wake_at <- max_int;
+      e.last_block <- None;
       e.a_other <- e.a_other + !slots;
       slots := 0
     end
     else if hw_stall_next sim st e then begin
       e.blocked <- true;
       e.wake_at <- max_int;
+      (* Hardware-sync stall: no compiler channel to attribute to. *)
+      e.last_block <- None;
       e.a_sync <- e.a_sync + !slots;
       slots := 0
     end
@@ -974,6 +1000,7 @@ let graduate sim st e =
       e.wake_at <- max_int;
       e.last_block <- Some ch;
       e.a_sync <- e.a_sync + !slots;
+      add_sync_chan e (Some ch) !slots;
       slots := 0
     end
     else begin
@@ -1043,6 +1070,7 @@ let graduate sim st e =
         end
       | Runtime.Thread.Blocked ->
         e.a_sync <- e.a_sync + !slots;
+        add_sync_chan e e.last_block !slots;
         slots := 0
       | Runtime.Thread.Suspended ->
         e.status <- Done;
@@ -1078,7 +1106,12 @@ let accumulate_attempt sim e =
   sim.slots.Simstats.s_busy <- sim.slots.Simstats.s_busy + e.a_busy;
   sim.slots.Simstats.s_sync <- sim.slots.Simstats.s_sync + e.a_sync;
   sim.slots.Simstats.s_other_stall <-
-    sim.slots.Simstats.s_other_stall + e.a_other
+    sim.slots.Simstats.s_other_stall + e.a_other;
+  Hashtbl.iter
+    (fun ch n ->
+      Hashtbl.replace sim.sync_by_channel ch
+        (n + Option.value ~default:0 (Hashtbl.find_opt sim.sync_by_channel ch)))
+    e.a_sync_chan
 
 (* Spurious_violation fault targeting the next commit, if one is armed and
    unfired.  Keyed on the global commit counter, which does not advance on
@@ -1220,7 +1253,10 @@ let fast_forward sim st =
       List.iter
         (fun e ->
           if e.status = Running then
-            if e.blocked then e.a_sync <- e.a_sync + (skip * w)
+            if e.blocked then begin
+              e.a_sync <- e.a_sync + (skip * w);
+              add_sync_chan e e.last_block (skip * w)
+            end
             else e.a_other <- e.a_other + (skip * w))
         actives;
       sim.slots.Simstats.s_total <-
@@ -1526,6 +1562,8 @@ let create_sim cfg code ~input ~oracle ~tls_enabled =
     ever_marked = Hashtbl.create 64;
     region_wall_by_id = Hashtbl.create 8;
     chan_stats = Hashtbl.create 32;
+    sync_by_channel = Hashtbl.create 32;
+    violated_loads = Hashtbl.create 16;
     last_progress = 0;
     f_mem_signals = 0;
     f_blocked_waits = 0;
@@ -1599,6 +1637,12 @@ let run ?max_cycles cfg code ~input ?oracle () =
     faults_fired = Hashtbl.length sim.fired;
     runtime = Simstats.no_runtime;
     resources = sim.resources;
+    sync_stall_by_channel =
+      Hashtbl.fold (fun ch n acc -> (ch, n) :: acc) sim.sync_by_channel []
+      |> List.sort compare;
+    violated_load_counts =
+      Hashtbl.fold (fun iid n acc -> (iid, n) :: acc) sim.violated_loads []
+      |> List.sort compare;
   }
   in
   { result with Simstats.runtime }

@@ -102,6 +102,12 @@ type result = {
   faults_fired : int;             (* injected faults that actually armed *)
   runtime : runtime_counters;
   resources : resources;
+  (* Per-channel committed sync-stall slots and per-load violation counts
+     (sorted assoc lists).  Like [resources], excluded from fingerprints:
+     they are pure bookkeeping refinements of [slots.s_sync] and
+     [violations], consumed by the static-cost validator. *)
+  sync_stall_by_channel : (int * int) list;
+  violated_load_counts : (int * int) list;
 }
 
 type seq_result = {

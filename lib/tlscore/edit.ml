@@ -1,58 +1,3 @@
-let find_instr (f : Ir.Func.t) iid =
-  let found = ref None in
-  Array.iteri
-    (fun l (b : Ir.Func.block) ->
-      match !found with
-      | Some _ -> ()
-      | None ->
-        List.iteri
-          (fun idx (i : Ir.Instr.t) ->
-            if i.Ir.Instr.iid = iid then found := Some (l, idx))
-          b.Ir.Func.instrs)
-    f.Ir.Func.blocks;
-  !found
-
-let splice f ~anchor instrs ~after =
-  match find_instr f anchor with
-  | None -> raise Not_found
-  | Some (l, idx) ->
-    let b = Ir.Func.block f l in
-    let before, at_and_rest =
-      List.filteri (fun i _ -> i < idx) b.Ir.Func.instrs,
-      List.filteri (fun i _ -> i >= idx) b.Ir.Func.instrs
-    in
-    (match at_and_rest with
-    | at :: rest ->
-      b.Ir.Func.instrs <-
-        (if after then before @ (at :: instrs) @ rest
-         else before @ instrs @ (at :: rest))
-    | [] -> assert false)
-
-let insert_before f ~anchor instrs = splice f ~anchor instrs ~after:false
-
-let insert_after f ~anchor instrs = splice f ~anchor instrs ~after:true
-
-let prepend f l instrs =
-  let b = Ir.Func.block f l in
-  b.Ir.Func.instrs <- instrs @ b.Ir.Func.instrs
-
-let append f l instrs =
-  let b = Ir.Func.block f l in
-  b.Ir.Func.instrs <- b.Ir.Func.instrs @ instrs
-
-let replace_kind f ~anchor kind =
-  match find_instr f anchor with
-  | None -> raise Not_found
-  | Some (l, idx) ->
-    let b = Ir.Func.block f l in
-    b.Ir.Func.instrs <-
-      List.mapi
-        (fun i (ins : Ir.Instr.t) ->
-          if i = idx then { ins with Ir.Instr.kind } else ins)
-        b.Ir.Func.instrs
-
-let instr f iid =
-  let found = ref None in
-  Ir.Func.iter_instrs f (fun _ i ->
-      if i.Ir.Instr.iid = iid then found := Some i);
-  !found
+(* The editing helpers moved to [Ir.Edit] so the analysis layer can rewrite
+   IR too; this alias keeps the historical [Tlscore.Edit] path working. *)
+include Ir.Edit

@@ -1,24 +1,3 @@
-(** In-place IR editing utilities shared by the synchronization passes. *)
+(** Alias of [Ir.Edit] (the helpers moved so [lib/analysis] can use them). *)
 
-(** Location of a static instruction: block label and index within it. *)
-val find_instr : Ir.Func.t -> Ir.Instr.iid -> (Ir.Instr.label * int) option
-
-(** [insert_before f ~anchor instrs] splices [instrs] immediately before the
-    instruction with id [anchor].  @raise Not_found if absent. *)
-val insert_before : Ir.Func.t -> anchor:Ir.Instr.iid -> Ir.Instr.t list -> unit
-
-(** [insert_after f ~anchor instrs] splices immediately after [anchor]. *)
-val insert_after : Ir.Func.t -> anchor:Ir.Instr.iid -> Ir.Instr.t list -> unit
-
-(** Prepend instructions at the top of a block. *)
-val prepend : Ir.Func.t -> Ir.Instr.label -> Ir.Instr.t list -> unit
-
-(** Append instructions at the bottom of a block (before the terminator). *)
-val append : Ir.Func.t -> Ir.Instr.label -> Ir.Instr.t list -> unit
-
-(** Replace the kind of instruction [anchor], keeping its id.
-    @raise Not_found if absent. *)
-val replace_kind : Ir.Func.t -> anchor:Ir.Instr.iid -> Ir.Instr.kind -> unit
-
-(** The instruction with the given id, if present. *)
-val instr : Ir.Func.t -> Ir.Instr.iid -> Ir.Instr.t option
+include module type of Ir.Edit

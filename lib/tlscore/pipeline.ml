@@ -12,13 +12,14 @@ type compiled = {
   scalar_infos : (Profiler.Profile.loop_key * Regions.scalar_info list) list;
   unroll_factors : (Profiler.Profile.loop_key * int) list;
   lint_findings : Analysis.Synclint.finding list;
+  sched_stats : Analysis.Syncsched.stats;
 }
 
 let original ~source = Ir.Lower.compile_source source
 
 let compile ?thresholds ?selection ?(unroll = true) ?(optimize = false)
-    ?(eager_signals = true) ?(lint = true) ?profile_fault ~source
-    ~profile_input ~memory_sync () =
+    ?(eager_signals = true) ?(lint = true) ?(sync_sched = false)
+    ?profile_fault ~source ~profile_input ~memory_sync () =
   (* Profile the untransformed program. *)
   let reference = Ir.Lower.compile_source source in
   if optimize then ignore (Ir.Opt.run reference);
@@ -96,8 +97,21 @@ let compile ?thresholds ?selection ?(unroll = true) ?(optimize = false)
         regions_and_infos
   in
   Ir.Verify.check_exn prog;
+  (* Sync scheduling (signal hoisting / wait sinking) runs after both sync
+     passes; its points-to analysis stays valid across the reordering, so
+     the lint pass reuses it instead of recomputing. *)
+  let shared_pt, sched_stats =
+    if sync_sched then begin
+      let pt = Analysis.Pointsto.analyze prog in
+      let stats = Analysis.Syncsched.apply ~pointsto:pt prog in
+      Ir.Verify.check_exn prog;
+      (Some pt, stats)
+    end
+    else (None, Analysis.Syncsched.zero)
+  in
   let lint_findings =
-    if lint then Analysis.Synclint.run_prog ~dep_profiles prog else []
+    if lint then Analysis.Synclint.run_prog ?pointsto:shared_pt ~dep_profiles prog
+    else []
   in
   let code = Runtime.Code.of_prog prog in
   {
@@ -110,4 +124,5 @@ let compile ?thresholds ?selection ?(unroll = true) ?(optimize = false)
     scalar_infos;
     unroll_factors;
     lint_findings;
+    sched_stats;
   }

@@ -26,6 +26,9 @@ type compiled = {
   lint_findings : Analysis.Synclint.finding list;
       (* synclint report on the transformed program (empty when clean or
          when [~lint:false]) *)
+  sched_stats : Analysis.Syncsched.stats;
+      (* what the sync scheduler moved ({!Analysis.Syncsched.zero} when
+         [~sync_sched:false]) *)
 }
 
 (** Compile one configuration.
@@ -45,6 +48,12 @@ type compiled = {
     @param profile_fault distorts each collected dependence profile before
     the memory-sync pass consumes it (the chaos harness's profile-fault
     layer); the reference execution itself is untouched.
+    @param sync_sched run {!Analysis.Syncsched} after the sync passes —
+    hoist signals toward their value definitions and sink waits toward
+    their first uses (default false; off, the generated code is
+    byte-identical to previous releases).  The rewritten program is
+    re-checked by {!Ir.Verify}, and the lint pass reuses the scheduler's
+    points-to analysis.
     The resulting program is always checked by {!Ir.Verify}. *)
 val compile :
   ?thresholds:Selection.thresholds ->
@@ -53,6 +62,7 @@ val compile :
   ?optimize:bool ->
   ?eager_signals:bool ->
   ?lint:bool ->
+  ?sync_sched:bool ->
   ?profile_fault:
     (Profiler.Profile.dep_profile -> Profiler.Profile.dep_profile) ->
   source:string ->

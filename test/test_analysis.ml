@@ -317,6 +317,335 @@ let lint_flags_profile_under_coverage () =
     true
     (trained.Tlscore.Pipeline.lint_findings = [])
 
+(* ------------------------------------------------------------------ *)
+(* Sync scheduling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let seq_output prog input =
+  let code = Runtime.Code.of_prog prog in
+  let mem = Runtime.Memory.create () in
+  Runtime.Thread.run_sequential code ~input mem
+
+(* Flat program-order position of the first instruction satisfying
+   [pred]. *)
+let flat_index (f : Ir.Func.t) pred =
+  let n = ref 0 and found = ref None in
+  Ir.Func.iter_instrs f (fun _ i ->
+      if !found = None && pred i then found := Some !n;
+      incr n);
+  match !found with
+  | Some k -> k
+  | None -> Alcotest.fail "expected instruction not found"
+
+let main_loops src =
+  List.filter
+    (fun (k : Profiler.Profile.loop_key) ->
+      String.equal k.Profiler.Profile.lk_func "main")
+    (Profiler.Runner.all_loops (Ir.Lower.compile_source src))
+
+(* Force selection of main's loops: the scheduling tests use bodies too
+   small for the selection heuristics. *)
+let compile_forced ?(sync_sched = false) src input =
+  Tlscore.Pipeline.compile ~selection:(main_loops src) ~sync_sched
+    ~source:src ~profile_input:input
+    ~memory_sync:
+      (Tlscore.Pipeline.Profiled { dep_input = input; threshold = 0.05 })
+    ()
+
+(* The forwarded value [w] is computed at the top of the epoch but
+   stored (and signaled) only at the bottom: hoisting the store + signal
+   pair past the independent filler is exactly the slack the scheduler
+   must find. *)
+let slack_src =
+  "int g; int a[64];\n\
+   void main() {\n\
+  \  int i; int v; int w; int t;\n\
+  \  for (i = 0; i < 30; i = i + 1) {\n\
+  \    v = g;\n\
+  \    w = v + 1;\n\
+  \    t = i * 3;\n\
+  \    t = (t ^ 5) + i;\n\
+  \    t = t + (i << 2);\n\
+  \    a[i % 64] = t;\n\
+  \    g = w;\n\
+  \  }\n\
+  \  print(g);\n\
+   }"
+
+let is_signal_mem (i : Ir.Instr.t) =
+  match i.Ir.Instr.kind with Ir.Instr.Signal_mem _ -> true | _ -> false
+
+let sched_hoists_and_preserves () =
+  let naive = compile_forced slack_src [||] in
+  let sched = compile_forced ~sync_sched:true slack_src [||] in
+  let s = sched.Tlscore.Pipeline.sched_stats in
+  check_bool "hoisted a store+signal pair" true
+    (s.Analysis.Syncsched.ss_signals_hoisted >= 1);
+  check_bool "crossed at least one slot" true
+    (s.Analysis.Syncsched.ss_slots >= 1);
+  let pos c =
+    flat_index (Ir.Prog.func c.Tlscore.Pipeline.prog "main") is_signal_mem
+  in
+  check_bool "signal hoisted past the filler" true (pos sched < pos naive);
+  Alcotest.(check (list string))
+    "scheduled program lints clean" []
+    (List.map Analysis.Synclint.to_string sched.Tlscore.Pipeline.lint_findings);
+  Alcotest.(check (list int))
+    "sequential output preserved"
+    (seq_output (Tlscore.Pipeline.original ~source:slack_src) [||])
+    (seq_output sched.Tlscore.Pipeline.prog [||])
+
+let sched_blocked_by_may_alias_store () =
+  (* Same program, but with a store to the forwarded location planted
+     right above the store+signal pair: the may-alias check must pin the
+     pair below it (contrast with [sched_hoists_and_preserves], where the
+     same pair hoists). *)
+  let naive = compile_forced slack_src [||] in
+  let prog = naive.Tlscore.Pipeline.prog in
+  let f = Ir.Prog.func prog "main" in
+  let ga = Ir.Layout.global_addr prog.Ir.Prog.layout "g" in
+  let plant_iid = Ir.Prog.fresh_iid prog ~in_func:"main" ~what:"alias store" in
+  let plant =
+    {
+      Ir.Instr.iid = plant_iid;
+      kind = Ir.Instr.Store (Ir.Instr.Imm ga, Ir.Instr.Imm 123);
+    }
+  in
+  let planted = ref false in
+  Array.iter
+    (fun (b : Ir.Func.block) ->
+      let rec rewrite = function
+        | ({ Ir.Instr.kind = Ir.Instr.Store (Ir.Instr.Imm a, _); _ } as st)
+          :: (sg :: _ as rest)
+          when a = ga && is_signal_mem sg ->
+          planted := true;
+          plant :: st :: rewrite rest
+        | i :: rest -> i :: rewrite rest
+        | [] -> []
+      in
+      b.Ir.Func.instrs <- rewrite b.Ir.Func.instrs)
+    f.Ir.Func.blocks;
+  check_bool "setup: planted above the pair" true !planted;
+  let stats = Analysis.Syncsched.apply prog in
+  check_int "pair not hoisted" 0 stats.Analysis.Syncsched.ss_signals_hoisted;
+  check_bool "signal still below the may-alias store" true
+    (flat_index f (fun i -> i.Ir.Instr.iid = plant_iid)
+    < flat_index f is_signal_mem)
+
+let sched_stops_at_redefinition () =
+  (* Carried scalars whose rotation follows independent filler: the waits
+     sink past the filler but must stop exactly at the first definition
+     or use of their register (the loop-carried redefinition). *)
+  let src =
+    "int a[32];\n\
+     void main() {\n\
+    \  int i; int last; int t;\n\
+    \  last = 0;\n\
+    \  for (i = 0; i < 8; i = i + 1) {\n\
+    \    last = last + 3;\n\
+    \    t = i * 5;\n\
+    \    t = t ^ 9;\n\
+    \    a[i % 32] = t + last;\n\
+    \  }\n\
+    \  print(last);\n\
+     }"
+  in
+  let c = compile_forced src [||] in
+  let prog = c.Tlscore.Pipeline.prog in
+  let f = Ir.Prog.func prog "main" in
+  let stats = Analysis.Syncsched.apply prog in
+  check_bool "a wait sank" true (stats.Analysis.Syncsched.ss_waits_sunk >= 1);
+  (* Every wait sank as far as its register allows: the instruction now
+     below it defines or uses that register. *)
+  let checked = ref 0 in
+  Array.iter
+    (fun (b : Ir.Func.block) ->
+      let rec scan = function
+        | ({ Ir.Instr.kind = Ir.Instr.Wait_scalar (_, r); _ } : Ir.Instr.t)
+          :: (next :: _ as rest) ->
+          incr checked;
+          check_bool "wait stopped at its register's def/use" true
+            (List.mem r (Ir.Instr.defs next @ Ir.Instr.uses next));
+          scan rest
+        | _ :: rest -> scan rest
+        | [] -> ()
+      in
+      scan b.Ir.Func.instrs)
+    f.Ir.Func.blocks;
+  check_bool "setup: saw scalar waits" true (!checked >= 1);
+  Alcotest.(check (list int))
+    "sequential output preserved"
+    (seq_output (Tlscore.Pipeline.original ~source:src) [||])
+    (seq_output prog [||])
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  scan 0
+
+let sched_inlines_post_call_signal () =
+  (* The go workload's record__clone call produces the forwarded value
+     well before returning: the scheduler moves the post-call signal into
+     the (single-call-site) clone and leaves a guarded signal behind. *)
+  let w =
+    match Workloads.Registry.find "go" with
+    | Some w -> w
+    | None -> Alcotest.fail "go workload missing"
+  in
+  let input = w.Workloads.Workload.ref_input in
+  let sched =
+    Tlscore.Pipeline.compile ~sync_sched:true
+      ~source:w.Workloads.Workload.source ~profile_input:input
+      ~memory_sync:
+        (Tlscore.Pipeline.Profiled { dep_input = input; threshold = 0.05 })
+      ()
+  in
+  let s = sched.Tlscore.Pipeline.sched_stats in
+  check_bool "inlined a post-call signal" true
+    (s.Analysis.Syncsched.ss_signals_inlined >= 1);
+  let prog = sched.Tlscore.Pipeline.prog in
+  let func_has (f : Ir.Func.t) pred =
+    let found = ref false in
+    Ir.Func.iter_instrs f (fun _ i -> if pred i.Ir.Instr.kind then found := true);
+    !found
+  in
+  check_bool "signal moved into a clone" true
+    (List.exists
+       (fun (name, f) ->
+         contains name "__clone"
+         && func_has f (function Ir.Instr.Signal_mem _ -> true | _ -> false))
+       prog.Ir.Prog.funcs);
+  check_bool "guarded signal left at the call site" true
+    (List.exists
+       (fun (_, f) ->
+         func_has f (function
+           | Ir.Instr.Signal_mem_if_unsent _ -> true
+           | _ -> false))
+       prog.Ir.Prog.funcs);
+  Alcotest.(check (list string))
+    "scheduled go lints clean" []
+    (List.map Analysis.Synclint.to_string sched.Tlscore.Pipeline.lint_findings);
+  Alcotest.(check (list int))
+    "sequential output preserved"
+    (seq_output (Tlscore.Pipeline.original ~source:w.Workloads.Workload.source)
+       input)
+    (seq_output prog input)
+
+(* ------------------------------------------------------------------ *)
+(* Static cost model                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_params =
+  {
+    Analysis.Staticcost.issue_width = 4;
+    lat_mul = 3;
+    lat_div = 12;
+    forward_latency = 10;
+    spawn_overhead = 10;
+    track_line_words = Some 8;
+  }
+
+let staticcost_estimates_are_sane () =
+  let c = compile memsync_src [||] in
+  let prog = c.Tlscore.Pipeline.prog in
+  let profile = Profiler.Runner.run prog ~input:[||] ~watch:[] in
+  match Analysis.Staticcost.analyze test_params profile prog with
+  | [ rc ] ->
+    check_bool "profiled epochs" true (rc.Analysis.Staticcost.rc_epochs > 0);
+    check_bool "has channels" true
+      (rc.Analysis.Staticcost.rc_channels <> []);
+    List.iter
+      (fun (cc : Analysis.Staticcost.channel_cost) ->
+        check_bool "distances nonnegative" true
+          (cc.Analysis.Staticcost.cc_producer >= 0.
+          && cc.Analysis.Staticcost.cc_consumer >= 0.);
+        check_bool "stall nonnegative" true
+          (cc.Analysis.Staticcost.cc_stall >= 0.);
+        check_bool "total nonnegative" true
+          (cc.Analysis.Staticcost.cc_total >= 0.))
+      rc.Analysis.Staticcost.rc_channels;
+    check_bool "violation set sorted and valid" true
+      (let v = rc.Analysis.Staticcost.rc_violations in
+       List.sort compare v = v)
+  | l ->
+    Alcotest.fail
+      (Printf.sprintf "expected one region cost, got %d" (List.length l))
+
+let falseshare_src =
+  "int g;\n\
+   int pad0;\n\
+   int work(int x) { int j; int t; t = x; for (j = 0; j < 8; j = j + 1) { \
+   t = t + ((t << 1) ^ j) % 53; } return t; }\n\
+   int a[64];\n\
+   void main() {\n\
+  \  int i; int v; int w;\n\
+  \  for (i = 0; i < 30; i = i + 1) {\n\
+  \    v = g;\n\
+  \    w = pad0;\n\
+  \    a[i % 64] = work(v + w + i);\n\
+  \    g = v + 1;\n\
+  \  }\n\
+  \  print(g);\n\
+   }"
+
+let staticcost_predicts_false_sharing () =
+  (* pad0 is never stored, so its load cannot conflict at word
+     granularity — but it shares a cache line with g, whose store the
+     line-granular simulator will see as a conflict. *)
+  let c = compile falseshare_src [||] in
+  let prog = c.Tlscore.Pipeline.prog in
+  let region =
+    match prog.Ir.Prog.regions with
+    | r :: _ -> r
+    | [] -> Alcotest.fail "setup: expected a region"
+  in
+  let pt = Analysis.Pointsto.analyze prog in
+  let ga = Ir.Layout.global_addr prog.Ir.Prog.layout "g" in
+  let pa = Ir.Layout.global_addr prog.Ir.Prog.layout "pad0" in
+  check_int "setup: g and pad0 share a cache line" (ga / 8) (pa / 8);
+  let pad_load = ref None in
+  Ir.Func.iter_instrs (Ir.Prog.func prog "main") (fun _ i ->
+      match i.Ir.Instr.kind with
+      | Ir.Instr.Load (_, Ir.Instr.Imm a) when a = pa ->
+        pad_load := Some i.Ir.Instr.iid
+      | _ -> ());
+  let pad_load =
+    match !pad_load with
+    | Some iid -> iid
+    | None -> Alcotest.fail "setup: expected a load of pad0"
+  in
+  let by_line =
+    Analysis.Staticcost.predicted_violations pt test_params prog region
+  in
+  let by_word =
+    Analysis.Staticcost.predicted_violations pt
+      { test_params with Analysis.Staticcost.track_line_words = None }
+      prog region
+  in
+  check_bool "false sharing predicted at line granularity" true
+    (List.mem pad_load by_line);
+  check_bool "not flagged at word granularity" false
+    (List.mem pad_load by_word)
+
+let lint_precomputed_pointsto_matches () =
+  (* Break the group so the lint has findings, then check the
+     precomputed-points-to entry point agrees with the self-computed
+     one. *)
+  let _, prog, _ = compiled_region () in
+  let pad = Ir.Layout.global_addr prog.Ir.Prog.layout "pad0" in
+  map_kinds (Ir.Prog.func prog "main") (function
+    | Ir.Instr.Sync_load (ch, d, _) ->
+      Ir.Instr.Sync_load (ch, d, Ir.Instr.Imm pad)
+    | k -> k);
+  let pt = Analysis.Pointsto.analyze prog in
+  let self = Analysis.Synclint.run_prog prog in
+  let pre = Analysis.Synclint.run_prog ~pointsto:pt prog in
+  check_bool "findings nonempty" true (self <> []);
+  Alcotest.(check (list string))
+    "identical findings"
+    (List.map Analysis.Synclint.to_string self)
+    (List.map Analysis.Synclint.to_string pre)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -344,5 +673,25 @@ let () =
           Alcotest.test_case "dead sync group" `Quick lint_catches_dead_group;
           Alcotest.test_case "profile under-coverage" `Quick
             lint_flags_profile_under_coverage;
+          Alcotest.test_case "precomputed points-to" `Quick
+            lint_precomputed_pointsto_matches;
+        ] );
+      ( "syncsched",
+        [
+          Alcotest.test_case "hoists and preserves" `Quick
+            sched_hoists_and_preserves;
+          Alcotest.test_case "may-alias store blocks" `Quick
+            sched_blocked_by_may_alias_store;
+          Alcotest.test_case "stops at redefinition" `Quick
+            sched_stops_at_redefinition;
+          Alcotest.test_case "inlines post-call signal" `Quick
+            sched_inlines_post_call_signal;
+        ] );
+      ( "staticcost",
+        [
+          Alcotest.test_case "sane estimates" `Quick
+            staticcost_estimates_are_sane;
+          Alcotest.test_case "false sharing" `Quick
+            staticcost_predicts_false_sharing;
         ] );
     ]

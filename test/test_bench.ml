@@ -91,7 +91,7 @@ let replace ~from ~into s =
 
 let schema_violations_are_rejected () =
   rejects "wrong version"
-    (replace ~from:"\"schema_version\": 4" ~into:"\"schema_version\": 2")
+    (replace ~from:"\"schema_version\": 5" ~into:"\"schema_version\": 2")
     "schema_version";
   rejects "wrong wall unit"
     (replace ~from:"\"wall\": \"ns\"" ~into:"\"wall\": \"ms\"")

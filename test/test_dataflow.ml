@@ -85,6 +85,75 @@ let dom_unreachable () =
   check_bool "dead block" false (Dataflow.Dominance.reachable d 1)
 
 (* ------------------------------------------------------------------ *)
+(* Post-dominance                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pdom_diamond () =
+  let f = diamond () in
+  let p = Dataflow.Dominance.compute_post f in
+  check_bool "3 pdom 0" true (Dataflow.Dominance.post_dominates p 3 0);
+  check_bool "3 pdom 1" true (Dataflow.Dominance.post_dominates p 3 1);
+  check_bool "1 !pdom 0" false (Dataflow.Dominance.post_dominates p 1 0);
+  check_bool "exit pdom all" true
+    (Dataflow.Dominance.post_dominates p (Dataflow.Dominance.virtual_exit f) 0);
+  Alcotest.(check (option int)) "ipdom 0" (Some 3) (Dataflow.Dominance.ipdom p 0);
+  Alcotest.(check (option int)) "ipdom 3"
+    (Some (Dataflow.Dominance.virtual_exit f))
+    (Dataflow.Dominance.ipdom p 3)
+
+let pdom_loop () =
+  let f = simple_loop () in
+  let p = Dataflow.Dominance.compute_post f in
+  check_bool "header pdom body" true (Dataflow.Dominance.post_dominates p 1 2);
+  check_bool "body !pdom header" false (Dataflow.Dominance.post_dominates p 2 1);
+  check_bool "exit block pdom header" true
+    (Dataflow.Dominance.post_dominates p 3 1)
+
+let pdom_multi_exit () =
+  (* Two returns: 0 -> 1 | 2, both Ret.  Only the virtual exit
+     post-dominates the entry. *)
+  let f =
+    build_func
+      [
+        ([], Ir.Instr.Br (Ir.Instr.Imm 1, 1, 2));
+        ([], Ir.Instr.Ret None);
+        ([], Ir.Instr.Ret None);
+      ]
+  in
+  let p = Dataflow.Dominance.compute_post f in
+  let exit = Dataflow.Dominance.virtual_exit f in
+  check_int "virtual exit label" 3 exit;
+  check_bool "1 !pdom 0" false (Dataflow.Dominance.post_dominates p 1 0);
+  check_bool "2 !pdom 0" false (Dataflow.Dominance.post_dominates p 2 0);
+  check_bool "exit pdom 0" true (Dataflow.Dominance.post_dominates p exit 0);
+  Alcotest.(check (option int)) "ipdom 0" (Some exit)
+    (Dataflow.Dominance.ipdom p 0);
+  check_bool "all reach exit" true
+    (List.for_all (Dataflow.Dominance.reaches_exit p) [ 0; 1; 2 ])
+
+let pdom_infinite_loop () =
+  (* 0 -> 1 -> 1 (never returns): no block reaches an exit, so each
+     post-dominates only itself. *)
+  let f =
+    build_func [ ([], Ir.Instr.Jmp 1); ([], Ir.Instr.Jmp 1) ]
+  in
+  let p = Dataflow.Dominance.compute_post f in
+  check_bool "0 stuck" false (Dataflow.Dominance.reaches_exit p 0);
+  check_bool "1 stuck" false (Dataflow.Dominance.reaches_exit p 1);
+  check_bool "self only" true (Dataflow.Dominance.post_dominates p 1 1);
+  check_bool "1 !pdom 0" false (Dataflow.Dominance.post_dominates p 1 0)
+
+let pdom_points () =
+  let f = diamond () in
+  let p = Dataflow.Dominance.compute_post f in
+  check_bool "later pdoms earlier in block" true
+    (Dataflow.Dominance.post_dominates_point p (1, 3) (1, 0));
+  check_bool "earlier !pdom later" false
+    (Dataflow.Dominance.post_dominates_point p (1, 0) (1, 3));
+  check_bool "join pdoms branch point" true
+    (Dataflow.Dominance.post_dominates_point p (3, 0) (0, 5))
+
+(* ------------------------------------------------------------------ *)
 (* Loops                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -224,6 +293,14 @@ let () =
           Alcotest.test_case "diamond" `Quick dom_diamond;
           Alcotest.test_case "loop" `Quick dom_loop;
           Alcotest.test_case "unreachable" `Quick dom_unreachable;
+        ] );
+      ( "post-dominance",
+        [
+          Alcotest.test_case "diamond" `Quick pdom_diamond;
+          Alcotest.test_case "loop" `Quick pdom_loop;
+          Alcotest.test_case "multi-exit" `Quick pdom_multi_exit;
+          Alcotest.test_case "infinite loop" `Quick pdom_infinite_loop;
+          Alcotest.test_case "points" `Quick pdom_points;
         ] );
       ( "loops",
         [

@@ -527,6 +527,68 @@ let chaos_matrix_clean () =
      let rec scan i = i + m <= n && (String.sub table i m = needle || scan (i + 1)) in
      scan 0)
 
+(* Sync scheduling over the generated corpus: for every program,
+   scheduling must preserve sequential equivalence (both under the
+   sequential interpreter and end-to-end through the simulator), stay
+   lint-clean, and never increase the statically predicted stall. *)
+let sched_params =
+  {
+    Analysis.Staticcost.issue_width = 4;
+    lat_mul = 3;
+    lat_div = 12;
+    forward_latency = 10;
+    spawn_overhead = 10;
+    track_line_words = Some 8;
+  }
+
+let predicted_stall prog input =
+  let profile = Profiler.Runner.run prog ~input ~watch:[] in
+  List.fold_left
+    (fun acc (rc : Analysis.Staticcost.region_cost) ->
+      List.fold_left
+        (fun a (cc : Analysis.Staticcost.channel_cost) ->
+          a +. cc.Analysis.Staticcost.cc_total)
+        acc rc.Analysis.Staticcost.rc_channels)
+    0.
+    (Analysis.Staticcost.analyze sched_params profile prog)
+
+let seq_output_prog prog input =
+  let code = Runtime.Code.of_prog prog in
+  let mem = Runtime.Memory.create () in
+  Runtime.Thread.run_sequential code ~input mem
+
+let sched_fuzz =
+  QCheck.Test.make ~count:30 ~name:"sync scheduling differential"
+    (QCheck.make
+       ~print:(fun seed -> fst (Faults.Proggen.generate ~seed))
+       (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      let src, input = Faults.Proggen.generate ~seed in
+      let selection =
+        List.filter
+          (fun k -> String.equal k.Profiler.Profile.lk_func "main")
+          (Profiler.Runner.all_loops (Tlscore.Pipeline.original ~source:src))
+      in
+      let comp sync_sched =
+        Tlscore.Pipeline.compile ~selection ~sync_sched ~source:src
+          ~profile_input:input
+          ~memory_sync:
+            (Tlscore.Pipeline.Profiled { dep_input = input; threshold = 0.05 })
+          ()
+      in
+      let naive = comp false and sched = comp true in
+      let reference =
+        seq_output_prog (Tlscore.Pipeline.original ~source:src) input
+      in
+      let r =
+        run_tls Tls.Config.c_mode sched.Tlscore.Pipeline.code input
+      in
+      seq_output_prog sched.Tlscore.Pipeline.prog input = reference
+      && r.Tls.Simstats.output = reference
+      && sched.Tlscore.Pipeline.lint_findings = []
+      && predicted_stall sched.Tlscore.Pipeline.prog input
+         <= predicted_stall naive.Tlscore.Pipeline.prog input +. 1e-6)
+
 (* The differential fuzzer: each generated program must survive its full
    fault x mode matrix with zero FAILED cells. *)
 let chaos_fuzz =
@@ -602,4 +664,6 @@ let () =
           Alcotest.test_case "matrix clean" `Quick chaos_matrix_clean;
           QCheck_alcotest.to_alcotest chaos_fuzz;
         ] );
+      ( "sync sched",
+        [ QCheck_alcotest.to_alcotest sched_fuzz ] );
     ]

@@ -560,6 +560,55 @@ let pipeline_u_has_no_memsync () =
   check_bool "scalar waits present" true
     (count_kind f (function Ir.Instr.Wait_scalar _ -> true | _ -> false) >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Sync scheduling in the pipeline                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Instruction kinds in program order, per function. *)
+let flat_kinds (c : Tlscore.Pipeline.compiled) =
+  List.concat_map
+    (fun (name, (f : Ir.Func.t)) ->
+      let acc = ref [] in
+      Ir.Func.iter_instrs f (fun l i -> acc := (name, l, i.Ir.Instr.kind) :: !acc);
+      List.rev !acc)
+    (List.sort compare c.Tlscore.Pipeline.prog.Ir.Prog.funcs)
+
+let sync_sched_off_is_identity () =
+  (* With the flag off (the default), the artifact is exactly the
+     unscheduled one and no motion is reported. *)
+  let plain = compile_with_memsync memsync_src [||] in
+  let off =
+    Tlscore.Pipeline.compile ~sync_sched:false ~source:memsync_src
+      ~profile_input:[||]
+      ~memory_sync:
+        (Tlscore.Pipeline.Profiled { dep_input = [||]; threshold = 0.05 })
+      ()
+  in
+  check_bool "identical instruction streams" true
+    (flat_kinds plain = flat_kinds off);
+  check_int "no motion reported" 0
+    (Analysis.Syncsched.total off.Tlscore.Pipeline.sched_stats)
+
+let sync_sched_on_preserves_kinds_and_semantics () =
+  (* Scheduling only reorders within this program (no post-call signal
+     to inline): same instruction-kind multiset, same sequential
+     semantics. *)
+  let naive = compile_with_memsync memsync_src [||] in
+  let sched =
+    Tlscore.Pipeline.compile ~sync_sched:true ~source:memsync_src
+      ~profile_input:[||]
+      ~memory_sync:
+        (Tlscore.Pipeline.Profiled { dep_input = [||]; threshold = 0.05 })
+      ()
+  in
+  (* Ignore block labels: a unit may sink or hoist across blocks. *)
+  let multiset c =
+    List.sort compare (List.map (fun (n, _, k) -> (n, k)) (flat_kinds c))
+  in
+  check_bool "same kind multiset" true (multiset naive = multiset sched);
+  check_semantics_preserved "sync-sched" memsync_src [||]
+    sched.Tlscore.Pipeline.prog
+
 let () =
   Alcotest.run "tlscore"
     [
@@ -606,5 +655,11 @@ let () =
           Alcotest.test_case "groups registered" `Quick memsync_region_groups_registered;
           Alcotest.test_case "U has no memsync" `Quick pipeline_u_has_no_memsync;
           Alcotest.test_case "optimize flag" `Quick pipeline_optimize_flag;
+        ] );
+      ( "sync sched",
+        [
+          Alcotest.test_case "off is identity" `Quick sync_sched_off_is_identity;
+          Alcotest.test_case "on preserves kinds and semantics" `Quick
+            sync_sched_on_preserves_kinds_and_semantics;
         ] );
     ]
