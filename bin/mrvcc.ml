@@ -21,6 +21,10 @@
      mrvcc chaos --bench all --capacity          # finite-resource sweep
      mrvcc bench --json --out BENCH_PR4.json     # machine-readable baseline
      mrvcc bench --bench mcf --json              # one workload, to stdout
+     mrvcc serve requests.jsonl                  # compile service, JSONL in/out
+     mrvcc serve requests.jsonl --cache-dir .cache --deadline 5 --retries 2
+     mrvcc chaos --serve --bench twolf,ijpeg     # service-layer fault matrix
+     mrvcc bench --json --serve --out B.json     # + serve load phases
 
    `--jobs N` runs independent matrix cells on N domains; the rendered
    output is byte-identical to a serial run.  `--timeout S` (with
@@ -33,8 +37,11 @@
    Exit codes: 0 success; 1 findings / failed cells / output mismatch;
    2 usage error; 3 simulator deadlock; 4 simulator stuck (watchdog or
    protocol check); 5 cycle/step budget exhausted; 6 malformed sequential
-   execution; 7 resource deadlock (finite forwarding queue backpressured
-   a producer into a cycle). *)
+   execution (reserved: sequential hooks cannot block today, see README);
+   7 resource deadlock (finite forwarding queue backpressured a producer
+   into a cycle); 8 serve admission queue shed at least one request;
+   9 a wall deadline was exceeded (serve request past its retry
+   schedule, or a matrix job past --timeout). *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -125,6 +132,13 @@ let guarded f =
     Printf.eprintf "resource deadlock: %s\n"
       (Tls.Sim.describe_resource_deadlock d);
     exit 7
+  | Harness.Jobs.Job_timeout { index; timeout_s } ->
+    Printf.eprintf "job %d exceeded its %.3fs wall deadline\n" index timeout_s;
+    exit 9
+  | Harness.Jobs.Retries_exhausted { index; attempts } ->
+    Printf.eprintf "job %d exhausted its retry budget (%d attempts)\n" index
+      (List.length attempts);
+    exit 9
 
 (* Resolve a --mutate argument to an IR fault kind. *)
 let mutation_of_name name =
@@ -728,6 +742,46 @@ let chaos_modes s =
          let m = String.trim m in
          (m, config_of_mode m))
 
+(* Serve-layer chaos works through the service request path, so it runs
+   over bundled benchmark names (fuzz programs would need the
+   force-select-main hook the request format deliberately lacks). *)
+let serve_chaos_names bench =
+  match bench with
+  | None ->
+    prerr_endline "serve chaos needs --bench all or --bench NAME[,NAME...]";
+    exit 2
+  | Some "all" -> Workloads.Registry.names
+  | Some names ->
+    String.split_on_char ',' names
+    |> List.map (fun name ->
+           let name = String.trim name in
+           match Workloads.Registry.find name with
+           | Some _ -> name
+           | None ->
+             Printf.eprintf "unknown benchmark %s (have: all, %s)\n" name
+               (String.concat ", " Workloads.Registry.names);
+             exit 2)
+
+let cmd_chaos_serve bench jobs =
+  let programs = serve_chaos_names bench in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mrvcc-serve-chaos.%d" (Unix.getpid ()))
+  in
+  Serve.Cache.remove_tree dir;
+  let cells =
+    Fun.protect
+      ~finally:(fun () -> Serve.Cache.remove_tree dir)
+      (fun () ->
+        with_errors (fun () ->
+            Serve.Chaoserve.run ~log:print_endline ~jobs ~cache_dir:dir
+              ~programs ()))
+  in
+  print_newline ();
+  print_string (Serve.Chaoserve.render_table cells);
+  if Serve.Chaoserve.count_failed cells > 0 then exit 1
+
 let cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
     sync_sched =
   let programs = chaos_programs bench fuzz seed in
@@ -743,8 +797,9 @@ let cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
   with_errors (fun () ->
       if capacity then begin
         let cells =
-          Faults.Chaos.run_capacity ~log:print_endline
-            ~map:pool.Harness.Jobs.map ~sync_sched ~modes programs
+          guarded (fun () ->
+              Faults.Chaos.run_capacity ~log:print_endline
+                ~map:pool.Harness.Jobs.map ~sync_sched ~modes programs)
         in
         print_newline ();
         print_string (Faults.Chaos.render_capacity_table cells);
@@ -752,8 +807,10 @@ let cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
       end
       else begin
         let cells =
-          Faults.Chaos.run_matrix ~log:print_endline ~map:pool.Harness.Jobs.map
-            ~sync_sched ~modes ~faults:Faults.Fault.catalog programs
+          guarded (fun () ->
+              Faults.Chaos.run_matrix ~log:print_endline
+                ~map:pool.Harness.Jobs.map ~sync_sched ~modes
+                ~faults:Faults.Fault.catalog programs)
         in
         print_newline ();
         print_string (Faults.Chaos.render_table cells);
@@ -788,7 +845,7 @@ let bench_matrix_programs () =
   in
   named @ Faults.Chaos.fuzz_programs ~count:2 ~seed:7
 
-let cmd_bench bench json out jobs matrix timeout retry =
+let cmd_bench bench json out jobs matrix serve timeout retry =
   let workloads = bench_workloads bench in
   if workloads = [] then begin
     prerr_endline "nothing to bench";
@@ -828,11 +885,20 @@ let cmd_bench bench json out jobs matrix timeout retry =
         }
     end
   in
+  let sv =
+    if not serve then []
+    else
+      try Serve.Load.run ~jobs ()
+      with Failure msg ->
+        prerr_endline msg;
+        exit 1
+  in
   let doc =
     {
       Harness.Bench.bench_schema_version = Harness.Bench.schema_version;
       bench_workloads = wbs;
       bench_matrix = mx;
+      bench_serve = sv;
     }
   in
   if json then begin
@@ -868,15 +934,92 @@ let cmd_bench bench json out jobs matrix timeout retry =
       (Support.Table.render
          ~header:[ "workload"; "phase"; "wall"; "cycles" ]
          rows);
-    match mx with
+    (match mx with
     | None -> ()
     | Some m ->
       Printf.printf "matrix %s: %d cells, serial %.3f ms, --jobs %d %.3f ms\n"
         m.Harness.Bench.mx_name m.Harness.Bench.mx_cells
         (float_of_int m.Harness.Bench.mx_serial_wall_ns /. 1e6)
         m.Harness.Bench.mx_jobs
-        (float_of_int m.Harness.Bench.mx_parallel_wall_ns /. 1e6)
+        (float_of_int m.Harness.Bench.mx_parallel_wall_ns /. 1e6));
+    if sv <> [] then print_newline ();
+    List.iter
+      (fun (s : Harness.Bench.serve_phase) ->
+        Printf.printf
+          "serve %-11s %d requests, %d shed, %d hits, p50 %.3f ms, p99 %.3f \
+           ms\n"
+          s.Harness.Bench.sv_name s.Harness.Bench.sv_requests
+          s.Harness.Bench.sv_shed s.Harness.Bench.sv_cache_hits
+          (float_of_int s.Harness.Bench.sv_p50_ns /. 1e6)
+          (float_of_int s.Harness.Bench.sv_p99_ns /. 1e6))
+      sv
   end
+
+(* ------------------------------------------------------------------ *)
+(* serve: persistent compile service over JSONL requests               *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_serve file jobs out (cache_dir, no_cache, queue, rate, deadline,
+                             retries, backoff, no_timing) =
+  let text =
+    match file with
+    | Some path -> read_file path
+    | None -> In_channel.input_all stdin
+  in
+  match Serve.Request.parse_all text with
+  | Error msgs ->
+    List.iter prerr_endline msgs;
+    exit 2
+  | Ok [] ->
+    prerr_endline "no requests (give a JSONL file or pipe requests to stdin)";
+    exit 2
+  | Ok requests ->
+    let cfg =
+      {
+        Serve.Service.sc_cache_dir =
+          (if no_cache then None else Some cache_dir);
+        sc_queue = queue;
+        sc_rate = rate;
+        sc_jobs = jobs;
+        sc_deadline_s = deadline;
+        sc_retries = retries;
+        sc_backoff_s = backoff;
+        sc_timing = not no_timing;
+      }
+    in
+    let o =
+      try Serve.Service.run cfg requests
+      with Invalid_argument msg ->
+        prerr_endline msg;
+        exit 2
+    in
+    let st = o.Serve.Service.so_stats in
+    List.iter
+      (fun q -> Printf.eprintf "quarantined corrupt cache entry %s\n" q)
+      st.Serve.Service.st_quarantined;
+    let body =
+      String.concat ""
+        (List.map
+           (fun r -> Serve.Request.response_line r ^ "\n")
+           o.Serve.Service.so_responses)
+    in
+    (match out with
+    | None -> print_string body
+    | Some path ->
+      (* Atomic, like the bench baseline: a kill mid-write never leaves a
+         truncated response file. *)
+      Harness.Bench.write_file_atomic path body;
+      Printf.printf "wrote %s (%d responses)\n" path
+        (List.length o.Serve.Service.so_responses));
+    Printf.eprintf
+      "serve: %d requests | %d ok | %d degraded | %d shed | %d deadline | %d \
+       error | cache %d hit / %d miss / %d stale\n"
+      st.Serve.Service.st_requests st.Serve.Service.st_ok
+      st.Serve.Service.st_degraded st.Serve.Service.st_shed
+      st.Serve.Service.st_deadline st.Serve.Service.st_error
+      st.Serve.Service.st_cache_hits st.Serve.Service.st_cache_misses
+      st.Serve.Service.st_cache_stale;
+    exit (Serve.Service.exit_code st)
 
 open Cmdliner
 
@@ -1020,8 +1163,84 @@ let action_arg =
         [ ("dump-ir", `Dump_ir); ("run", `Run); ("profile", `Profile);
           ("depgraph", `Depgraph); ("compile", `Compile); ("lint", `Lint);
           ("simulate", `Simulate); ("analyze", `Analyze); ("chaos", `Chaos);
-          ("bench", `Bench) ])) None
+          ("bench", `Bench); ("serve", `Serve) ])) None
     & info [] ~docv:"ACTION")
+
+let serve_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "With $(b,chaos): run the service-layer fault matrix through \
+           $(b,mrvcc serve)'s request path. With $(b,bench): also run the \
+           serve load phases (cold / warm / burst).")
+
+let cache_dir_arg =
+  Arg.(
+    value & opt string "_mrvcc_cache"
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Artifact cache directory for $(b,serve) (created if missing).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the $(b,serve) artifact cache.")
+
+let queue_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission queue capacity for $(b,serve); arrivals past it are \
+           shed with a typed rejection (exit 8).")
+
+let rate_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "rate" ] ~docv:"N"
+        ~doc:"Requests dispatched per admission tick for $(b,serve).")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Default per-request wall deadline for $(b,serve); a request past \
+           its whole retry schedule resolves to a typed deadline response \
+           (exit 9).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts per $(b,serve) request; attempt k runs under \
+           deadline*2^k after a backoff*2^(k-1) sleep.")
+
+let backoff_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "backoff" ] ~docv:"SECONDS"
+        ~doc:"Base backoff between $(b,serve) attempts (deterministic, no \
+              jitter).")
+
+let no_timing_arg =
+  Arg.(
+    value & flag
+    & info [ "no-timing" ]
+        ~doc:
+          "Omit wall_ns from $(b,serve) responses, making the response \
+           stream byte-deterministic (used by the test fixtures).")
+
+(* The serve service knobs travel together, like the resource limits. *)
+let serve_opts_term =
+  Term.(
+    const (fun cache_dir no_cache queue rate deadline retries backoff
+               no_timing ->
+        (cache_dir, no_cache, queue, rate, deadline, retries, backoff,
+         no_timing))
+    $ cache_dir_arg $ no_cache_arg $ queue_arg $ rate_arg $ deadline_arg
+    $ retries_arg $ backoff_arg $ no_timing_arg)
 
 (* The four DESIGN §12 resource knobs travel together. *)
 let limits_term =
@@ -1032,7 +1251,7 @@ let limits_term =
 
 let main action file bench input threshold mode mutate modes fuzz seed jobs
     max_cycles json out matrix capacity timeout retry limits sync_sched
-    validate =
+    validate serve serve_opts =
   match action with
   | `Dump_ir -> cmd_dump_ir file bench input
   | `Run -> cmd_run file bench input
@@ -1047,9 +1266,12 @@ let main action file bench input threshold mode mutate modes fuzz seed jobs
     cmd_analyze file bench input threshold mode sync_sched json validate
       max_cycles
   | `Chaos ->
-    cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
-      sync_sched
-  | `Bench -> cmd_bench bench json out jobs matrix timeout retry
+    if serve then cmd_chaos_serve bench jobs
+    else
+      cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
+        sync_sched
+  | `Bench -> cmd_bench bench json out jobs matrix serve timeout retry
+  | `Serve -> cmd_serve file jobs out serve_opts
 
 let cmd =
   let doc = "mini-C TLS compiler and simulator driver" in
@@ -1060,6 +1282,6 @@ let cmd =
       $ threshold_arg $ mode_arg $ mutate_arg $ modes_arg $ fuzz_arg
       $ seed_arg $ jobs_arg $ max_cycles_arg $ json_arg $ out_arg
       $ matrix_arg $ capacity_arg $ timeout_arg $ retry_arg $ limits_term
-      $ sync_sched_arg $ validate_arg)
+      $ sync_sched_arg $ validate_arg $ serve_flag_arg $ serve_opts_term)
 
 let () = exit (Cmd.eval cmd)

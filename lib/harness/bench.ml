@@ -16,19 +16,35 @@ type matrix_bench = {
   mx_parallel_wall_ns : int;
 }
 
+type serve_phase = {
+  sv_name : string;
+  sv_requests : int;
+  sv_completed : int;
+  sv_shed : int;
+  sv_degraded : int;
+  sv_cache_hits : int;
+  sv_cache_misses : int;
+  sv_wall_ns : int;
+  sv_p50_ns : int;
+  sv_p99_ns : int;
+}
+
 type t = {
   bench_schema_version : int;
   bench_workloads : workload_bench list;
   bench_matrix : matrix_bench option;
+  bench_serve : serve_phase list;
 }
 
-let schema_version = 5
+let schema_version = 6
 
 let phase_names =
   [
     "frontend"; "lower"; "profile"; "pass"; "sim_seq"; "sim_tls";
     "sim_tls_sched"; "sim_tls_bounded";
   ]
+
+let serve_phase_names = [ "serve_cold"; "serve_warm"; "serve_burst" ]
 
 (* The finite-resource configuration of the [sim_tls_bounded] phase:
    C mode with the DESIGN §12 limits tightened enough to exercise the
@@ -157,6 +173,16 @@ let phase_json b (p : phase) =
   | None -> ());
   Buffer.add_string b " }"
 
+let serve_phase_json b (s : serve_phase) =
+  Buffer.add_string b
+    (Printf.sprintf
+       "    { \"phase\": %S, \"requests\": %d, \"completed\": %d, \
+        \"shed\": %d, \"degraded\": %d, \"cache_hits\": %d, \
+        \"cache_misses\": %d, \"wall_ns\": %d, \"p50_ns\": %d, \
+        \"p99_ns\": %d }"
+       s.sv_name s.sv_requests s.sv_completed s.sv_shed s.sv_degraded
+       s.sv_cache_hits s.sv_cache_misses s.sv_wall_ns s.sv_p50_ns s.sv_p99_ns)
+
 let to_json t =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
@@ -189,170 +215,32 @@ let to_json t =
           \"serial_wall_ns\": %d, \"parallel_wall_ns\": %d }"
          m.mx_name m.mx_cells m.mx_jobs m.mx_serial_wall_ns
          m.mx_parallel_wall_ns));
+  (match t.bench_serve with
+  | [] -> ()
+  | phases ->
+    Buffer.add_string b ",\n  \"serve\": [\n";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string b ",\n";
+        serve_phase_json b s)
+      phases;
+    Buffer.add_string b "\n  ]");
   Buffer.add_string b "\n}\n";
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
-(* JSON parsing (hand-rolled: the container has no JSON library)       *)
+(* Schema validation (parsing lives in Harness.Json)                   *)
 (* ------------------------------------------------------------------ *)
 
-type json =
-  | Jnull
-  | Jbool of bool
-  | Jnum of float
-  | Jstr of string
-  | Jarr of json list
-  | Jobj of (string * json) list
-
-exception Parse_error of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word v =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      v
-    end
-    else fail ("expected " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-        advance ();
-        match peek () with
-        | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
-        | Some 't' -> advance (); Buffer.add_char b '\t'; go ()
-        | Some (('"' | '\\' | '/') as c) -> advance (); Buffer.add_char b c; go ()
-        | _ -> fail "unsupported escape")
-      | Some c ->
-        advance ();
-        Buffer.add_char b c;
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> is_num_char c | None -> false) do
-      advance ()
-    done;
-    let text = String.sub s start (!pos - start) in
-    match float_of_string_opt text with
-    | Some f -> f
-    | None -> fail ("bad number " ^ text)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then (advance (); Jobj [])
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | Some '}' ->
-            advance ();
-            Jobj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then (advance (); Jarr [])
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (v :: acc)
-          | Some ']' ->
-            advance ();
-            Jarr (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements []
-      end
-    | Some '"' -> Jstr (parse_string ())
-    | Some 't' -> literal "true" (Jbool true)
-    | Some 'f' -> literal "false" (Jbool false)
-    | Some 'n' -> literal "null" Jnull
-    | Some _ -> Jnum (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-(* ------------------------------------------------------------------ *)
-(* Schema validation                                                   *)
-(* ------------------------------------------------------------------ *)
-
-let field obj key =
-  match obj with
-  | Jobj members -> List.assoc_opt key members
-  | _ -> None
+let field = Json.field
+let as_int = Json.as_int
+let as_num = Json.as_num
+let as_str = Json.as_str
+let as_arr = Json.as_arr
 
 let require what = function
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "missing field %s" what)
-
-let as_int what = function
-  | Jnum f when Float.is_integer f -> Ok (int_of_float f)
-  | _ -> Error (Printf.sprintf "%s must be an integer" what)
-
-let as_num what = function
-  | Jnum f -> Ok f
-  | _ -> Error (Printf.sprintf "%s must be a number" what)
-
-let as_str what = function
-  | Jstr s -> Ok s
-  | _ -> Error (Printf.sprintf "%s must be a string" what)
-
-let as_arr what = function
-  | Jarr l -> Ok l
-  | _ -> Error (Printf.sprintf "%s must be an array" what)
 
 let ( let* ) = Result.bind
 
@@ -425,6 +313,59 @@ let check_matrix m =
   else if jobs < 1 then Error "matrix.jobs must be >= 1"
   else Ok (name, cells)
 
+(* A serve phase (DESIGN §14): one load-harness run of the compile
+   service.  Counts are structural (the request mix is fixed by the
+   harness), so the summary can pin them; latencies are timing and are
+   only range-checked. *)
+let check_serve_phase p =
+  let* name = require "serve[].phase" (field p "phase") in
+  let* name = as_str "serve[].phase" name in
+  let ctx what = Printf.sprintf "serve.%s.%s" name what in
+  let* _ =
+    if List.mem name serve_phase_names then Ok ()
+    else
+      Error
+        (Printf.sprintf "unknown serve phase %S (want %s)" name
+           (String.concat ", " serve_phase_names))
+  in
+  let int_field key =
+    let* v = require (ctx key) (field p key) in
+    let* v = as_int (ctx key) v in
+    if v >= 0 then Ok v else Error (ctx key ^ " must be >= 0")
+  in
+  let* requests = int_field "requests" in
+  let* completed = int_field "completed" in
+  let* shed = int_field "shed" in
+  let* degraded = int_field "degraded" in
+  let* hits = int_field "cache_hits" in
+  let* misses = int_field "cache_misses" in
+  let* _ = int_field "wall_ns" in
+  let* p50 = int_field "p50_ns" in
+  let* p99 = int_field "p99_ns" in
+  let* _ =
+    if requests > 0 then Ok () else Error (ctx "requests" ^ " must be > 0")
+  in
+  let* _ =
+    if completed + shed = requests then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: completed (%d) + shed (%d) must equal requests (%d)"
+           name completed shed requests)
+  in
+  let* _ =
+    if degraded <= completed then Ok ()
+    else Error (ctx "degraded" ^ " exceeds completed")
+  in
+  let* _ =
+    if hits + misses <= completed then Ok ()
+    else Error (ctx "cache_hits+cache_misses" ^ " exceed completed")
+  in
+  let* _ =
+    if p50 <= p99 then Ok ()
+    else Error (ctx "p50_ns" ^ " must be <= p99_ns")
+  in
+  Ok (name, requests, shed, hits)
+
 (* Validate, and summarize the structure (never the timing values) so an
    expect test over the summary stays stable across regenerations. *)
 let validate_json j =
@@ -457,6 +398,30 @@ let validate_json j =
       let* m = check_matrix m in
       Ok (Some m)
   in
+  let* serve =
+    match field j "serve" with
+    | None -> Ok []
+    | Some s ->
+      let* phases = as_arr "serve" s in
+      let* checked =
+        List.fold_left
+          (fun acc p ->
+            let* acc = acc in
+            let* c = check_serve_phase p in
+            Ok (c :: acc))
+          (Ok []) phases
+      in
+      let checked = List.rev checked in
+      let have = List.map (fun (n, _, _, _) -> n) checked in
+      let missing =
+        List.filter (fun p -> not (List.mem p have)) serve_phase_names
+      in
+      if missing <> [] then
+        Error
+          (Printf.sprintf "serve: missing phase(s) %s"
+             (String.concat ", " missing))
+      else Ok checked
+  in
   let b = Buffer.create 256 in
   Buffer.add_string b (Printf.sprintf "schema_version %d\n" schema_version);
   Buffer.add_string b "units wall=ns alloc=words cycles=sim-cycles\n";
@@ -471,15 +436,21 @@ let validate_json j =
       (Printf.sprintf "matrix %s: %d cells, serial and parallel wall time\n"
          name cells)
   | None -> ());
+  List.iter
+    (fun (name, requests, shed, hits) ->
+      Buffer.add_string b
+        (Printf.sprintf "serve %-11s requests=%d shed=%d cache_hits=%d\n" name
+           requests shed hits))
+    serve;
   Buffer.add_string b
     (Printf.sprintf "ok: %d workload(s) cover all %d phases\n"
        (List.length checked) (List.length phase_names));
   Ok (Buffer.contents b)
 
 let validate_string s =
-  match parse_json s with
+  match Json.parse s with
   | j -> validate_json j
-  | exception Parse_error msg -> Error ("JSON parse error: " ^ msg)
+  | exception Json.Parse_error msg -> Error ("JSON parse error: " ^ msg)
 
 let validate_file path =
   let ic = open_in_bin path in

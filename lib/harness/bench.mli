@@ -39,16 +39,38 @@ type matrix_bench = {
   mx_parallel_wall_ns : int;
 }
 
+(** One load-harness run of the compile service (DESIGN §14): request
+    counts, shedding/degradation/cache counters and latency percentiles
+    for one of the [serve_cold]/[serve_warm]/[serve_burst] phases.  The
+    count fields are structural (the harness fixes the request mix), so
+    the validation summary pins them; latencies are timing. *)
+type serve_phase = {
+  sv_name : string;
+  sv_requests : int;
+  sv_completed : int;       (* requests that got a non-shed response *)
+  sv_shed : int;            (* typed load-shedding rejections *)
+  sv_degraded : int;        (* served from last-known-good, marked degraded *)
+  sv_cache_hits : int;
+  sv_cache_misses : int;
+  sv_wall_ns : int;         (* whole-phase wall time *)
+  sv_p50_ns : int;          (* per-request latency percentiles *)
+  sv_p99_ns : int;
+}
+
 type t = {
   bench_schema_version : int;
   bench_workloads : workload_bench list;
   bench_matrix : matrix_bench option;
+  bench_serve : serve_phase list;  (* [] = no serve section *)
 }
 
 val schema_version : int
 
 (** The phase names every workload entry must cover, in order. *)
 val phase_names : string list
+
+(** The serve phases a [serve] section must cover, in order. *)
+val serve_phase_names : string list
 
 (** C mode with the DESIGN §12 resource limits tightened (signal buffer
     2, 8 speculative lines per epoch, forwarding queue 8) so most

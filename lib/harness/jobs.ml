@@ -18,7 +18,10 @@ type t = {
   map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list;
 }
 
+type attempt = { at_timeout_s : float; at_backoff_s : float }
+
 exception Job_timeout of { index : int; timeout_s : float }
+exception Retries_exhausted of { index : int; attempts : attempt list }
 
 let available () = Domain.recommended_domain_count ()
 
@@ -61,24 +64,67 @@ let run_with_deadline ~timeout_s f x =
     in
     poll ()
 
-let run_bounded ~index ~timeout_s ~retry f x =
-  match run_with_deadline ~timeout_s f x with
-  | Some outcome -> outcome
-  | None -> begin
-    (* Opt-in single retry at double the bound: a transiently slow host
-       (GC pause, noisy neighbour) gets a second chance; a genuinely
-       wedged job times out again. *)
-    let retried =
-      if retry then run_with_deadline ~timeout_s:(2.0 *. timeout_s) f x
-      else None
-    in
-    match retried with
+let with_deadline ~timeout_s f x = run_with_deadline ~timeout_s f x
+
+(* The deterministic retry schedule: attempt [k] (0-based) runs under a
+   deadline of [timeout_s * 2^k] after sleeping [backoff_s * 2^(k-1)]
+   (no sleep before the first attempt).  No jitter: the same inputs
+   always produce the same schedule, so test expectations and chaos
+   matrices are reproducible. *)
+let attempt_plan ~timeout_s ~backoff_s ~retries =
+  List.init (retries + 1) (fun k ->
+      {
+        at_timeout_s = timeout_s *. Float.of_int (1 lsl k);
+        at_backoff_s =
+          (if k = 0 then 0.0 else backoff_s *. Float.of_int (1 lsl (k - 1)));
+      })
+
+let run_with_retries ~index ~timeout_s ~backoff_s ~retries
+    ?(sleep = Unix.sleepf) f x =
+  let plan = attempt_plan ~timeout_s ~backoff_s ~retries in
+  let rec go = function
+    | [] ->
+      Error
+        ( Retries_exhausted { index; attempts = plan },
+          Printexc.get_callstack 0 )
+    | a :: rest ->
+      if a.at_backoff_s > 0.0 then sleep a.at_backoff_s;
+      (match run_with_deadline ~timeout_s:a.at_timeout_s f x with
+      | Some outcome -> outcome
+      | None -> go rest)
+  in
+  go plan
+
+(* The retry policy of one job.  [Single_retry] is the PR4 behavior
+   (opt-in one retry at double the bound, [Job_timeout] on failure) and
+   stays the default so existing callers see identical semantics;
+   [Backoff] is the generalized schedule raising [Retries_exhausted]
+   with the full attempt history. *)
+type retry_policy = Single_retry of bool | Backoff of { retries : int; backoff_s : float }
+
+let run_bounded ~index ~timeout_s ~policy f x =
+  match policy with
+  | Backoff { retries; backoff_s } ->
+    run_with_retries ~index ~timeout_s ~backoff_s ~retries f x
+  | Single_retry retry -> begin
+    match run_with_deadline ~timeout_s f x with
     | Some outcome -> outcome
-    | None ->
-      Error (Job_timeout { index; timeout_s }, Printexc.get_callstack 0)
+    | None -> begin
+      (* Opt-in single retry at double the bound: a transiently slow host
+         (GC pause, noisy neighbour) gets a second chance; a genuinely
+         wedged job times out again. *)
+      let retried =
+        if retry then run_with_deadline ~timeout_s:(2.0 *. timeout_s) f x
+        else None
+      in
+      match retried with
+      | Some outcome -> outcome
+      | None ->
+        Error (Job_timeout { index; timeout_s }, Printexc.get_callstack 0)
+    end
   end
 
-let parallel_map ?timeout ?(retry = false) ~jobs f items =
+let parallel_map ?timeout ~policy ~jobs f items =
   let arr = Array.of_list items in
   let n = Array.length arr in
   let slots = Array.make n None in
@@ -87,7 +133,7 @@ let parallel_map ?timeout ?(retry = false) ~jobs f items =
     match timeout with
     | None -> (
       try Ok (f arr.(i)) with e -> Error (e, Printexc.get_raw_backtrace ()))
-    | Some timeout_s -> run_bounded ~index:i ~timeout_s ~retry f arr.(i)
+    | Some timeout_s -> run_bounded ~index:i ~timeout_s ~policy f arr.(i)
   in
   let rec worker () =
     let i = Atomic.fetch_and_add next 1 in
@@ -127,10 +173,15 @@ let parallel_map ?timeout ?(retry = false) ~jobs f items =
 
 let serial = { jobs = 1; map = serial_map }
 
-let create ?timeout ?(retry = false) ~jobs () =
+let create ?timeout ?(retry = false) ?retries ?(backoff = 0.0) ~jobs () =
   if jobs <= 1 && timeout = None then serial
   else
+    let policy =
+      match retries with
+      | Some r -> Backoff { retries = max 0 r; backoff_s = backoff }
+      | None -> Single_retry retry
+    in
     let jobs = max 1 jobs in
-    { jobs; map = (fun f items -> parallel_map ?timeout ~retry ~jobs f items) }
+    { jobs; map = (fun f items -> parallel_map ?timeout ~policy ~jobs f items) }
 
 let map ~jobs f items = (create ~jobs ()).map f items

@@ -26,10 +26,20 @@ type t = {
           would have surfaced first. *)
 }
 
+(** One scheduled attempt of a retried job: the deadline it ran under
+    and the backoff slept before it (0 for the first attempt). *)
+type attempt = { at_timeout_s : float; at_backoff_s : float }
+
 (** A job exceeded its per-job timeout (and its retry, if enabled).
     [index] is the job's position in the input list, so a failed matrix
     run names the exact cell that wedged. *)
 exception Job_timeout of { index : int; timeout_s : float }
+
+(** A job exhausted its [?retries] budget.  [attempts] is the full
+    deterministic schedule that was tried (oldest first), so a failed
+    matrix run reports exactly which deadlines and backoffs were
+    granted. *)
+exception Retries_exhausted of { index : int; attempts : attempt list }
 
 (** Run everything in the calling domain ([jobs = 1]). *)
 val serial : t
@@ -45,8 +55,42 @@ val serial : t
     order, and the lowest-index error is the one re-raised.  A timed-out
     job surfaces within the timeout plus one poll interval (~2ms), i.e.
     well within 2x the bound.  [?retry] (default false) grants one
-    retry at double the timeout before giving up. *)
-val create : ?timeout:float -> ?retry:bool -> jobs:int -> unit -> t
+    retry at double the timeout before giving up.
+
+    [?retries] replaces the single-retry policy with a deterministic
+    exponential schedule: attempt [k] (0-based, [retries + 1] attempts
+    total) runs under a deadline of [timeout * 2^k] after sleeping
+    [backoff * 2^(k-1)] ([?backoff] default 0 — no sleep, and never one
+    before the first attempt).  There is no jitter, so the schedule is
+    reproducible.  Exhaustion raises {!Retries_exhausted} carrying the
+    attempted schedule instead of {!Job_timeout}.  When [?retries] is
+    given, [?retry] is ignored; omitting both keeps the pre-existing
+    behavior exactly. *)
+val create :
+  ?timeout:float ->
+  ?retry:bool ->
+  ?retries:int ->
+  ?backoff:float ->
+  jobs:int ->
+  unit ->
+  t
+
+(** [attempt_plan ~timeout_s ~backoff_s ~retries] is the deterministic
+    schedule [create ~retries] would run, exposed so callers (the serve
+    layer, tests) can reason about it without running anything. *)
+val attempt_plan :
+  timeout_s:float -> backoff_s:float -> retries:int -> attempt list
+
+(** [with_deadline ~timeout_s f x] runs one computation under a wall
+    deadline on a monitor domain: [Some (Ok v)] / [Some (Error ...)] if
+    it finished, [None] if it was abandoned at the deadline (the stray
+    domain finishes on its own).  The building block the serve layer's
+    per-request deadlines are made of. *)
+val with_deadline :
+  timeout_s:float ->
+  ('a -> 'b) ->
+  'a ->
+  ('b, exn * Printexc.raw_backtrace) result option
 
 (** One-shot convenience: [(create ~jobs).map f items]. *)
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,225 @@
+type t =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of t list
+  | Jobj of (string * t) list
+
+exception Parse_error of string
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
+        | Some 't' -> advance (); Buffer.add_char b '\t'; go ()
+        | Some (('"' | '\\' | '/') as c) -> advance (); Buffer.add_char b c; go ()
+        | _ -> fail "unsupported escape")
+      | Some c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> f
+    | None -> fail ("bad number " ^ text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Jobj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Jobj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); Jarr [])
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Jarr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse_result s =
+  match parse s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let to_string t =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Jnull -> Buffer.add_string b "null"
+    | Jbool v -> Buffer.add_string b (if v then "true" else "false")
+    | Jnum f -> Buffer.add_string b (number f)
+    | Jstr s -> Buffer.add_string b (quote s)
+    | Jarr l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ", ";
+          go v)
+        l;
+      Buffer.add_char b ']'
+    | Jobj members ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b (quote k);
+          Buffer.add_string b ": ";
+          go v)
+        members;
+      Buffer.add_char b '}'
+  in
+  go t;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let field obj key =
+  match obj with
+  | Jobj members -> List.assoc_opt key members
+  | _ -> None
+
+let as_int what = function
+  | Jnum f when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "%s must be an integer" what)
+
+let as_num what = function
+  | Jnum f -> Ok f
+  | _ -> Error (Printf.sprintf "%s must be a number" what)
+
+let as_str what = function
+  | Jstr s -> Ok s
+  | _ -> Error (Printf.sprintf "%s must be a string" what)
+
+let as_arr what = function
+  | Jarr l -> Ok l
+  | _ -> Error (Printf.sprintf "%s must be an array" what)
+
+let as_bool what = function
+  | Jbool v -> Ok v
+  | _ -> Error (Printf.sprintf "%s must be a boolean" what)
+
+let opt_field as_kind obj key =
+  match field obj key with
+  | None -> Ok None
+  | Some v -> Result.map Option.some (as_kind key v)
+
+let opt_int obj key = opt_field as_int obj key
+let opt_str obj key = opt_field as_str obj key
+let opt_bool obj key = opt_field as_bool obj key
+let opt_num obj key = opt_field as_num obj key

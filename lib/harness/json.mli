@@ -1,0 +1,50 @@
+(** Minimal hand-rolled JSON support (the container has no JSON library),
+    shared by the bench baseline ({!Bench}) and the compile service's
+    request/response codec ({!Serve.Request} in [lib/serve]).
+
+    The parser accepts the subset the repo emits: objects, arrays,
+    strings with the n/t/quote/backslash/slash escapes, numbers, booleans and
+    null.  The emission helpers keep key order exactly as given, so
+    emitted documents are byte-deterministic. *)
+
+type t =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of t list
+  | Jobj of (string * t) list
+
+exception Parse_error of string
+
+(** Parse a complete document; trailing garbage is an error.
+    @raise Parse_error with a byte offset on malformed input. *)
+val parse : string -> t
+
+(** [parse_result s] is [parse] with the error as a value. *)
+val parse_result : string -> (t, string) result
+
+(** {2 Emission} *)
+
+(** Escape and quote a string literal. *)
+val quote : string -> string
+
+(** Render compactly (no newlines), preserving object key order.
+    Integral floats print without a decimal point. *)
+val to_string : t -> string
+
+(** {2 Accessors} — all total, [None]/[Error] on shape mismatch. *)
+
+val field : t -> string -> t option
+
+val as_int : string -> t -> (int, string) result
+val as_num : string -> t -> (float, string) result
+val as_str : string -> t -> (string, string) result
+val as_arr : string -> t -> (t list, string) result
+val as_bool : string -> t -> (bool, string) result
+
+(** Optional typed field helpers: [Ok None] when the field is absent. *)
+val opt_int : t -> string -> (int option, string) result
+val opt_str : t -> string -> (string option, string) result
+val opt_bool : t -> string -> (bool option, string) result
+val opt_num : t -> string -> (float option, string) result

@@ -1,0 +1,213 @@
+type t = {
+  c_dir : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  stores : int Atomic.t;
+  quarantined : int Atomic.t;
+}
+
+type stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_stores : int;
+  cs_quarantined : int;
+}
+
+let dir t = t.c_dir
+
+let magic = "mrvcc-cache 1"
+
+let entry_suffix = ".entry"
+
+let quarantine_dirname = "quarantine"
+
+(* MD5 over length-prefixed parts: ["ab"; "c"] and ["a"; "bc"] must not
+   collide, so each part is preceded by its length. *)
+let fingerprint parts =
+  let b = Buffer.create 64 in
+  List.iter
+    (fun p ->
+      Buffer.add_string b (string_of_int (String.length p));
+      Buffer.add_char b ':';
+      Buffer.add_string b p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let entry_path t ~key = Filename.concat t.c_dir (key ^ entry_suffix)
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if String.length parent < String.length path then mkdir_p parent;
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      really_input_string ic n)
+
+(* Entry layout: "<magic> <payload-md5-hex> <payload-length>\n<payload>".
+   [parse_entry] returns the payload only if every claim in the header
+   checks out against the bytes that follow. *)
+let render_entry payload =
+  Printf.sprintf "%s %s %d\n%s" magic
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload) payload
+
+let parse_entry contents =
+  match String.index_opt contents '\n' with
+  | None -> None
+  | Some nl -> (
+    let header = String.sub contents 0 nl in
+    let payload =
+      String.sub contents (nl + 1) (String.length contents - nl - 1)
+    in
+    match String.split_on_char ' ' header with
+    | [ m1; m2; digest; len ]
+      when String.equal (m1 ^ " " ^ m2) magic -> (
+      match int_of_string_opt len with
+      | Some n
+        when n = String.length payload
+             && String.equal digest (Digest.to_hex (Digest.string payload)) ->
+        Some payload
+      | _ -> None)
+    | _ -> None)
+
+(* Move a corrupt entry into quarantine/, keeping its bytes for
+   post-mortem.  A numeric suffix avoids clobbering an earlier
+   quarantined generation of the same entry. *)
+let quarantine t path =
+  let qdir = Filename.concat t.c_dir quarantine_dirname in
+  mkdir_p qdir;
+  let base = Filename.basename path in
+  let rec fresh n =
+    let candidate =
+      Filename.concat qdir
+        (if n = 0 then base else Printf.sprintf "%s.%d" base n)
+    in
+    if Sys.file_exists candidate then fresh (n + 1) else candidate
+  in
+  (try Unix.rename path (fresh 0)
+   with Unix.Unix_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+  Atomic.incr t.quarantined
+
+let is_entry name =
+  let n = String.length name and m = String.length entry_suffix in
+  n > m && String.equal (String.sub name (n - m) m) entry_suffix
+
+let has_prefix ~prefix name =
+  String.length name >= String.length prefix
+  && String.equal (String.sub name 0 (String.length prefix)) prefix
+
+(* Startup validation: quarantine corrupt entries, sweep temp files a
+   killed writer left behind.  Unreadable files count as corrupt. *)
+let validate_all t =
+  let names = try Sys.readdir t.c_dir with Sys_error _ -> [||] in
+  Array.sort compare names;
+  Array.fold_left
+    (fun acc name ->
+      let path = Filename.concat t.c_dir name in
+      if is_entry name then begin
+        let ok =
+          match read_file path with
+          | contents -> parse_entry contents <> None
+          | exception _ -> false
+        in
+        if ok then acc
+        else begin
+          quarantine t path;
+          name :: acc
+        end
+      end
+      else if has_prefix ~prefix:"tmp." name then begin
+        (try Sys.remove path with Sys_error _ -> ());
+        acc
+      end
+      else acc)
+    [] names
+  |> List.rev
+
+let open_dir ~dir =
+  mkdir_p dir;
+  let t =
+    {
+      c_dir = dir;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      stores = Atomic.make 0;
+      quarantined = Atomic.make 0;
+    }
+  in
+  let quarantined = validate_all t in
+  (t, quarantined)
+
+let find t ~key =
+  let path = entry_path t ~key in
+  if not (Sys.file_exists path) then begin
+    Atomic.incr t.misses;
+    None
+  end
+  else
+    let payload =
+      match read_file path with
+      | contents -> parse_entry contents
+      | exception _ -> None
+    in
+    match payload with
+    | Some p ->
+      Atomic.incr t.hits;
+      Some p
+    | None ->
+      (* Detected corruption on the read path: quarantine and miss, so
+         the caller recomputes and the poisoned bytes never escape. *)
+      quarantine t path;
+      Atomic.incr t.misses;
+      None
+
+let store ?(before_rename = fun () -> ()) t ~key payload =
+  let path = entry_path t ~key in
+  (* Temp names start with "tmp." so startup sweeps strays; the pid plus
+     key keeps concurrent writers on different domains/processes from
+     colliding. *)
+  let tmp =
+    Filename.concat t.c_dir
+      (Printf.sprintf "tmp.%d.%s" (Unix.getpid ()) key)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (render_entry payload);
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  before_rename ();
+  (try Unix.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Atomic.incr t.stores
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter
+      (fun n -> remove_tree (Filename.concat path n))
+      (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let stats t =
+  {
+    cs_hits = Atomic.get t.hits;
+    cs_misses = Atomic.get t.misses;
+    cs_stores = Atomic.get t.stores;
+    cs_quarantined = Atomic.get t.quarantined;
+  }

@@ -1,0 +1,59 @@
+(** Content-addressed, crash-safe on-disk artifact cache (DESIGN §14).
+
+    Entries are keyed by an MD5 fingerprint of the logical key parts
+    (program source digest + op + configuration); each entry file starts
+    with a one-line header carrying the payload's own digest and length,
+    so corruption — a flipped byte, a truncation, a partial overwrite —
+    is always {e detected} on read, never served.
+
+    Crash safety is the PR4 protocol: writes go to a [.tmp.<pid>] file
+    in the cache directory, are fsynced, then renamed over the entry, so
+    a [kill -9] at any point leaves either the complete old entry, the
+    complete new one, or a stray temp file that {!open_dir} sweeps.  A
+    corrupt entry is {e quarantined} (moved into [quarantine/] with its
+    bytes intact for post-mortem) and treated as a miss, so the next
+    request recomputes and re-stores it.
+
+    All counters are atomics: workers on several domains may hit one
+    cache concurrently. *)
+
+type t
+
+type stats = {
+  cs_hits : int;
+  cs_misses : int;
+  cs_stores : int;
+  cs_quarantined : int;  (* corrupt entries moved aside, startup + reads *)
+}
+
+(** Open (creating if needed) a cache rooted at [dir].  Startup
+    validation scans every entry, quarantines corrupt ones and removes
+    stray temp files from crashed writers; the returned list names the
+    quarantined entries (empty on a healthy cache). *)
+val open_dir : dir:string -> t * string list
+
+val dir : t -> string
+
+(** Fingerprint of a logical key: MD5 over the length-prefixed parts
+    (no separator ambiguity). *)
+val fingerprint : string list -> string
+
+(** [find t ~key] returns the validated payload, counting a hit; a
+    missing entry is a miss and a corrupt entry is quarantined, counted,
+    and reported as a miss. *)
+val find : t -> key:string -> string option
+
+(** Crash-safe store (temp + fsync + rename).  [?before_rename] is the
+    kill-mid-write test hook, parked between the temp write and the
+    rename. *)
+val store : ?before_rename:(unit -> unit) -> t -> key:string -> string -> unit
+
+val stats : t -> stats
+
+(** Path of the entry file a key maps to (exists or not) — lets tests
+    and the chaos harness corrupt precisely the right bytes. *)
+val entry_path : t -> key:string -> string
+
+(** Recursively delete a cache directory (missing path is a no-op) —
+    how the load and chaos harnesses reset their scratch caches. *)
+val remove_tree : string -> unit

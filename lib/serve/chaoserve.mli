@@ -1,0 +1,52 @@
+(** Chaos harness for the compile service (DESIGN §14): the service-layer
+    analogue of {!Faults.Chaos}.
+
+    For each program the harness first runs a fault-free baseline request
+    (which also primes the artifact cache), then one cell per fault in
+    {!Faults.Servefault.catalog} {e and} per fault in the PR2
+    {!Faults.Fault} catalog — the latter injected through a request's
+    [fault] field, so the whole compiler/simulator fault surface is
+    exercised {e through} the service path.  Every cell must resolve to
+    a typed outcome:
+
+    - [Passed]: fault-free baseline, correct output;
+    - [Absorbed]: fault injected, correct result anyway (retry absorbed
+      a transient, quarantine absorbed cache corruption, the
+      architecture absorbed a machine fault);
+    - [Degraded]: last-known-good artifact served, explicitly marked;
+    - [Detected]: a typed rejection — deadline, shed, stuck, deadlock;
+    - [Skipped]: the fault had no applicable site;
+    - [Failed]: wrong output, a hang, or an untyped error — the only
+      outcome that fails the matrix. *)
+
+type outcome =
+  | Passed
+  | Absorbed
+  | Degraded
+  | Detected of string
+  | Skipped
+  | Failed of string
+
+type cell = {
+  c_program : string;
+  c_fault : string;   (* "none" for the baseline *)
+  c_class : string;   (* baseline / absorbable / degradable / detectable *)
+  c_outcome : outcome;
+}
+
+(** Run the matrix over bundled workload names.  [~jobs] sizes each
+    service run's worker pool; the cache lives under [cache_dir] (one
+    subdirectory per program) and is created fresh. *)
+val run :
+  ?log:(string -> unit) ->
+  ?jobs:int ->
+  cache_dir:string ->
+  programs:string list ->
+  unit ->
+  cell list
+
+val count_failed : cell list -> int
+
+(** Fault × program grid (letters P/A/G/D/S/F) plus a tally line —
+    byte-deterministic, pinned by [test/chaos/serve.expected]. *)
+val render_table : cell list -> string

@@ -1,0 +1,105 @@
+module Bench = Harness.Bench
+open Request
+
+let phase_names = Bench.serve_phase_names
+
+let simulate_request ~id ~tick name =
+  {
+    rq_id = id;
+    rq_op = Simulate;
+    rq_bench = Some name;
+    rq_source = None;
+    rq_input = None;
+    rq_mode = "C";
+    rq_threshold = 0.05;
+    rq_sync_sched = false;
+    rq_tick = tick;
+    rq_deadline_s = None;
+    rq_fault = None;
+  }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (ceil (float_of_int n *. p /. 100.0)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let phase_of_outcome ~name ~wall_ns (o : Service.outcome) =
+  let st = o.Service.so_stats in
+  if st.Service.st_error > 0 then
+    failwith
+      (Printf.sprintf "serve load phase %s: %d error response(s)" name
+         st.Service.st_error);
+  let walls =
+    List.filter_map
+      (fun r -> if r.rs_status = Sshed then None else r.rs_wall_ns)
+      o.Service.so_responses
+    |> Array.of_list
+  in
+  Array.sort compare walls;
+  {
+    Bench.sv_name = name;
+    sv_requests = st.Service.st_requests;
+    sv_completed = st.Service.st_requests - st.Service.st_shed;
+    sv_shed = st.Service.st_shed;
+    sv_degraded = st.Service.st_degraded;
+    sv_cache_hits = st.Service.st_cache_hits;
+    sv_cache_misses = st.Service.st_cache_misses;
+    sv_wall_ns = wall_ns;
+    sv_p50_ns = percentile walls 50.0;
+    sv_p99_ns = percentile walls 99.0;
+  }
+
+let rm_rf = Cache.remove_tree
+
+let run ?cache_dir ~jobs () =
+  let owned, dir =
+    match cache_dir with
+    | Some d -> (false, d)
+    | None ->
+      ( true,
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "mrvcc-serve-bench.%d" (Unix.getpid ())) )
+  in
+  if owned then rm_rf dir;
+  let config which =
+    {
+      Service.default_config with
+      Service.sc_cache_dir = Some dir;
+      (* Generous deadline: the load phases measure latency, they must
+         never trip the deadline machinery on a slow host. *)
+      sc_deadline_s = 120.0;
+      sc_jobs = jobs;
+      sc_rate = jobs;
+      sc_queue = (match which with `Burst -> 10 | _ -> 64);
+    }
+  in
+  let names = Workloads.Registry.names in
+  let stream = List.mapi (fun i n -> simulate_request ~id:i ~tick:None n) names in
+  (* Burst: two copies of the stream collapsed into one admission tick —
+     deliberately more arrivals than the queue holds. *)
+  let burst =
+    List.concat
+      [
+        stream |> List.map (fun r -> { r with rq_tick = Some 0 });
+        names
+        |> List.mapi (fun i n ->
+               simulate_request ~id:(100 + i) ~tick:(Some 0) n);
+      ]
+  in
+  let timed name which requests =
+    let t0 = Unix.gettimeofday () in
+    let o = Service.run (config which) requests in
+    let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    phase_of_outcome ~name ~wall_ns o
+  in
+  Fun.protect
+    ~finally:(fun () -> if owned then rm_rf dir)
+    (fun () ->
+      (* Sequenced explicitly: warm must see the cache cold populated. *)
+      let cold = timed "serve_cold" `Cold stream in
+      let warm = timed "serve_warm" `Warm stream in
+      let burst = timed "serve_burst" `Burst burst in
+      [ cold; warm; burst ])

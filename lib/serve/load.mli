@@ -1,0 +1,24 @@
+(** Load harness for the compile service: the three bench serve phases
+    (DESIGN §14, BENCH schema v6).
+
+    - [serve_cold]: one simulate request per bundled workload against a
+      fresh cache — every request is a compulsory miss that computes and
+      stores its artifact;
+    - [serve_warm]: the identical request stream again — every request
+      must resolve from the cache (this is the cold-vs-warm p50 ratio
+      EXPERIMENTS.md reports);
+    - [serve_burst]: two copies of the stream arriving in a single
+      admission tick against a deliberately small queue — the overflow
+      is shed with typed rejections, the admitted requests are warm
+      hits.
+
+    The phases share one cache directory (created fresh, removed
+    afterwards unless the caller supplies [~cache_dir]). *)
+
+val phase_names : string list
+
+(** Run all three phases.  [~jobs] sizes the service worker pool.
+    Raises [Failure] if any phase produces an error response — a load
+    run against healthy workloads must be clean. *)
+val run :
+  ?cache_dir:string -> jobs:int -> unit -> Harness.Bench.serve_phase list

@@ -126,3 +126,11 @@ let compile ?thresholds ?selection ?(unroll = true) ?(optimize = false)
     lint_findings;
     sched_stats;
   }
+
+(* A compiled artifact's identity for content-addressed caching and
+   warm-vs-cold equality checks: the digest of the transformed program's
+   canonical pretty-print.  Lowering and the passes are deterministic,
+   so two compiles of the same source and configuration always agree —
+   the property the serve cache's crash-safety test pins. *)
+let artifact_digest (c : compiled) =
+  Digest.to_hex (Digest.string (Ir.Pp.program c.prog))

@@ -73,3 +73,10 @@ val compile :
 
 (** The untransformed program of the same source (sequential reference). *)
 val original : source:string -> Ir.Prog.t
+
+(** Deterministic identity of a compiled artifact (MD5 of the canonical
+    program pretty-print).  Two compiles of the same source and
+    configuration always produce the same digest; the serve layer keys
+    its content-addressed artifact cache and its crash-safety
+    (warm-vs-cold byte-equality) checks on it. *)
+val artifact_digest : compiled -> string

@@ -25,7 +25,29 @@ let phase ?cycles name =
     ph_cycles = cycles;
   }
 
-let doc ?matrix () =
+let serve_phase ?(requests = 10) ?(completed = 10) ?(shed = 0) ?(degraded = 0)
+    ?(hits = 5) ?(misses = 5) ?(p50 = 100) ?(p99 = 900) name =
+  {
+    Harness.Bench.sv_name = name;
+    sv_requests = requests;
+    sv_completed = completed;
+    sv_shed = shed;
+    sv_degraded = degraded;
+    sv_cache_hits = hits;
+    sv_cache_misses = misses;
+    sv_wall_ns = 10_000;
+    sv_p50_ns = p50;
+    sv_p99_ns = p99;
+  }
+
+let serve_phases =
+  [
+    serve_phase ~hits:0 ~misses:10 "serve_cold";
+    serve_phase ~hits:10 ~misses:0 "serve_warm";
+    serve_phase ~requests:20 ~completed:10 ~shed:10 "serve_burst";
+  ]
+
+let doc ?matrix ?(serve = []) () =
   {
     Harness.Bench.bench_schema_version = Harness.Bench.schema_version;
     bench_workloads =
@@ -42,6 +64,7 @@ let doc ?matrix () =
         };
       ];
     bench_matrix = matrix;
+    bench_serve = serve;
   }
 
 let matrix =
@@ -68,6 +91,20 @@ let roundtrip_validates () =
       (contains summary "matrix chaos")
   | Error msg -> Alcotest.fail ("matrix roundtrip rejected: " ^ msg)
 
+let serve_roundtrip_validates () =
+  match
+    Harness.Bench.validate_string
+      (Harness.Bench.to_json (doc ~matrix ~serve:serve_phases ()))
+  with
+  | Ok summary ->
+    List.iter
+      (fun name ->
+        check_bool ("summary mentions " ^ name) true (contains summary name))
+      Harness.Bench.serve_phase_names;
+    check_bool "summary pins burst shedding" true
+      (contains summary "shed=10")
+  | Error msg -> Alcotest.fail ("serve roundtrip rejected: " ^ msg)
+
 (* Corrupt one aspect of a valid document and check the validator names
    the right field. *)
 let rejects label mangle needle =
@@ -91,7 +128,7 @@ let replace ~from ~into s =
 
 let schema_violations_are_rejected () =
   rejects "wrong version"
-    (replace ~from:"\"schema_version\": 5" ~into:"\"schema_version\": 2")
+    (replace ~from:"\"schema_version\": 6" ~into:"\"schema_version\": 2")
     "schema_version";
   rejects "wrong wall unit"
     (replace ~from:"\"wall\": \"ns\"" ~into:"\"wall\": \"ms\"")
@@ -120,6 +157,80 @@ let schema_violations_are_rejected () =
       Harness.Bench.to_json
         { (doc ()) with Harness.Bench.bench_workloads = [] })
     "workloads"
+
+(* Same idea, against a document carrying the v6 serve section. *)
+let serve_rejects label mangle needle =
+  let json =
+    mangle (Harness.Bench.to_json (doc ~matrix ~serve:serve_phases ()))
+  in
+  match Harness.Bench.validate_string json with
+  | Ok _ -> Alcotest.fail (label ^ ": expected a schema violation")
+  | Error msg ->
+    check_bool
+      (Printf.sprintf "%s: error %S mentions %S" label msg needle)
+      true (contains msg needle)
+
+let serve_violations_are_rejected () =
+  serve_rejects "unknown serve phase"
+    (replace ~from:"\"phase\": \"serve_cold\"" ~into:"\"phase\": \"serve_hot\"")
+    "serve_hot";
+  serve_rejects "shed accounting broken"
+    (fun _ ->
+      Harness.Bench.to_json
+        (doc ~matrix
+           ~serve:
+             [
+               serve_phase ~hits:0 ~misses:10 "serve_cold";
+               serve_phase ~hits:10 ~misses:0 "serve_warm";
+               serve_phase ~requests:20 ~completed:10 ~shed:5 "serve_burst";
+             ]
+           ()))
+    "must equal requests";
+  serve_rejects "hits exceed completed"
+    (fun _ ->
+      Harness.Bench.to_json
+        (doc ~matrix
+           ~serve:
+             [
+               serve_phase ~hits:11 ~misses:0 "serve_cold";
+               serve_phase ~hits:10 ~misses:0 "serve_warm";
+               serve_phase ~requests:20 ~completed:10 ~shed:10 "serve_burst";
+             ]
+           ())) "cache_hits";
+  serve_rejects "p50 above p99"
+    (fun _ ->
+      Harness.Bench.to_json
+        (doc ~matrix
+           ~serve:
+             [
+               serve_phase ~p50:900 ~p99:100 ~hits:0 ~misses:10 "serve_cold";
+               serve_phase ~hits:10 ~misses:0 "serve_warm";
+               serve_phase ~requests:20 ~completed:10 ~shed:10 "serve_burst";
+             ]
+           ())) "p50_ns";
+  serve_rejects "missing serve phase"
+    (fun _ ->
+      Harness.Bench.to_json
+        (doc ~matrix ~serve:[ serve_phase ~hits:0 ~misses:10 "serve_cold" ] ()))
+    "missing phase";
+  serve_rejects "negative count"
+    (replace ~from:"\"shed\": 10" ~into:"\"shed\": -1")
+    "shed"
+
+(* A truncated baseline — the exact artifact a crashed writer without
+   the atomic rename would leave — must be rejected, at any cut point. *)
+let truncated_is_rejected () =
+  let full = Harness.Bench.to_json (doc ~matrix ~serve:serve_phases ()) in
+  List.iter
+    (fun frac ->
+      let cut = String.length full * frac / 100 in
+      let truncated = String.sub full 0 cut in
+      match Harness.Bench.validate_string truncated with
+      | Ok _ ->
+        Alcotest.fail
+          (Printf.sprintf "truncation at %d%% (%d bytes) validated" frac cut)
+      | Error _ -> ())
+    [ 10; 50; 90; 99 ]
 
 (* ------------------------------------------------------------------ *)
 (* Atomic baseline writes                                              *)
@@ -205,8 +316,14 @@ let () =
         [
           Alcotest.test_case "emitter/validator roundtrip" `Quick
             roundtrip_validates;
+          Alcotest.test_case "serve section roundtrip" `Quick
+            serve_roundtrip_validates;
           Alcotest.test_case "violations rejected with field names" `Quick
             schema_violations_are_rejected;
+          Alcotest.test_case "serve violations rejected" `Quick
+            serve_violations_are_rejected;
+          Alcotest.test_case "truncated document rejected" `Quick
+            truncated_is_rejected;
         ] );
       ( "atomic-write",
         [

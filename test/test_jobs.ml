@@ -83,6 +83,74 @@ let retry_exhausted () =
   Unix.sleepf 0.05;
   check_int "one attempt + one retry" 2 (Atomic.get attempts)
 
+let attempt_plan_schedule () =
+  (* The schedule is a pure function: attempt k runs under timeout*2^k
+     after a backoff*2^(k-1) sleep (none before the first attempt). *)
+  let plan =
+    Harness.Jobs.attempt_plan ~timeout_s:0.1 ~backoff_s:0.25 ~retries:3
+  in
+  check_int "retries=3 means four attempts" 4 (List.length plan);
+  List.iteri
+    (fun k { Harness.Jobs.at_timeout_s; at_backoff_s } ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "attempt %d timeout" k)
+        (0.1 *. (2.0 ** float_of_int k))
+        at_timeout_s;
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "attempt %d backoff" k)
+        (if k = 0 then 0.0 else 0.25 *. (2.0 ** float_of_int (k - 1)))
+        at_backoff_s)
+    plan;
+  (* Determinism: the same inputs always yield the identical schedule. *)
+  Alcotest.(check bool)
+    "schedule is reproducible" true
+    (plan = Harness.Jobs.attempt_plan ~timeout_s:0.1 ~backoff_s:0.25 ~retries:3)
+
+let retries_exhausted_carries_history () =
+  (* Every attempt spins past its (growing) deadline: the pool must give
+     up with Retries_exhausted naming the index and the full schedule it
+     granted — not the legacy Job_timeout. *)
+  let attempts_made = Atomic.make 0 in
+  let job x =
+    if x = 1 then begin
+      Atomic.incr attempts_made;
+      ignore (spin 2.0 x)
+    end;
+    x
+  in
+  let pool =
+    Harness.Jobs.create ~timeout:0.04 ~retries:2 ~retry:true ~jobs:1 ()
+  in
+  (match pool.Harness.Jobs.map job [ 0; 1; 2 ] with
+  | _ -> Alcotest.fail "expected Retries_exhausted"
+  | exception Harness.Jobs.Retries_exhausted { index; attempts } ->
+    check_int "names the wedged index" 1 index;
+    check_int "history covers retries+1 attempts" 3 (List.length attempts);
+    Alcotest.(check bool)
+      "history matches the published plan" true
+      (attempts = Harness.Jobs.attempt_plan ~timeout_s:0.04 ~backoff_s:0.0
+                    ~retries:2));
+  Unix.sleepf 0.05;
+  check_int "all three attempts were actually run" 3
+    (Atomic.get attempts_made)
+
+let retries_rescues_flaky_job () =
+  (* Attempt 0 wedges, attempt 1 (double deadline) is instant: retries
+     must rescue the job and the map succeed in order. *)
+  let attempts = Atomic.make 0 in
+  let job x =
+    if x = 0 then begin
+      let n = Atomic.fetch_and_add attempts 1 in
+      if n = 0 then ignore (spin 0.5 x)
+    end;
+    x * 2
+  in
+  let pool = Harness.Jobs.create ~timeout:0.1 ~retries:2 ~jobs:2 () in
+  Alcotest.(check (list int))
+    "second attempt lands, order preserved" [ 0; 2; 4 ]
+    (pool.Harness.Jobs.map job [ 0; 1; 2 ]);
+  check_int "stopped after the first success" 2 (Atomic.get attempts)
+
 let no_timeout_unchanged () =
   (* Without ?timeout the pool is the plain deterministic mapper. *)
   let pool = Harness.Jobs.create ~jobs:3 () in
@@ -101,5 +169,14 @@ let () =
           Alcotest.test_case "retry exhausted still times out" `Quick
             retry_exhausted;
           Alcotest.test_case "no timeout: plain map" `Quick no_timeout_unchanged;
+        ] );
+      ( "retries",
+        [
+          Alcotest.test_case "attempt plan is deterministic exponential"
+            `Quick attempt_plan_schedule;
+          Alcotest.test_case "exhaustion carries attempt history" `Quick
+            retries_exhausted_carries_history;
+          Alcotest.test_case "retries rescue a flaky job" `Quick
+            retries_rescues_flaky_job;
         ] );
     ]
