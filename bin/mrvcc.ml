@@ -11,6 +11,7 @@
      mrvcc simulate prog.c --in 1,2,3 --mode C   # TLS simulation
      mrvcc simulate --bench parser --mode H      # a bundled benchmark
      mrvcc simulate --bench mcf --sync-sched     # with the sync scheduler
+     mrvcc simulate --bench mcf --engine ref     # cycle-stepped oracle engine
      mrvcc analyze --bench mcf                   # static stall + violation model
      mrvcc analyze --bench mcf --validate        # ... checked against the sim
      mrvcc analyze --bench mcf --json            # machine-readable estimates
@@ -19,7 +20,7 @@
      mrvcc chaos --bench all --jobs 4            # same matrix, 4 domains
      mrvcc chaos --fuzz 20 --seed 7              # chaos-fuzz generated programs
      mrvcc chaos --bench all --capacity          # finite-resource sweep
-     mrvcc bench --json --out BENCH_PR4.json     # machine-readable baseline
+     mrvcc bench --json --out BENCH_PR8.json     # machine-readable baseline
      mrvcc bench --bench mcf --json              # one workload, to stdout
      mrvcc serve requests.jsonl                  # compile service, JSONL in/out
      mrvcc serve requests.jsonl --cache-dir .cache --deadline 5 --retries 2
@@ -32,7 +33,9 @@
    N` tightens the simulator cycle budget uniformly across every cell.
    `simulate` takes the finite-resource knobs `--sig-buffer N`,
    `--spec-lines N` (with `--overflow-policy stall|squash`) and
-   `--fwd-queue N` (DESIGN §12).
+   `--fwd-queue N` (DESIGN §12), plus `--engine ref|event` to pick the
+   simulator core (DESIGN §15; both engines are byte-identical, `event`
+   is the default and the fast one).
 
    Exit codes: 0 success; 1 findings / failed cells / output mismatch;
    2 usage error; 3 simulator deadlock; 4 simulator stuck (watchdog or
@@ -391,7 +394,7 @@ let apply_limits (sig_buffer, spec_lines, fwd_queue, policy) cfg =
          { cfg with Tls.Config.fwd_queue_depth = n })
 
 let cmd_simulate file bench input threshold mode mutate max_cycles limits
-    sync_sched =
+    sync_sched engine =
   let source, input = resolve_program file bench input in
   with_errors (fun () ->
       let memory_sync =
@@ -412,7 +415,13 @@ let cmd_simulate file bench input threshold mode mutate max_cycles limits
           Runtime.Code.of_prog
             (apply_mutation kind compiled.Tlscore.Pipeline.prog)
       in
-      let cfg = apply_limits limits (apply_budget max_cycles (config_of_mode mode)) in
+      let cfg =
+        {
+          (apply_limits limits (apply_budget max_cycles (config_of_mode mode)))
+          with
+          Tls.Config.engine;
+        }
+      in
       let bounded =
         match limits with
         | None, None, None, _ -> false
@@ -1156,6 +1165,23 @@ let overflow_policy_arg =
           "What a --spec-lines overflow does: stall the epoch until it is \
            oldest, or squash and restart it serialized.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("ref", Tls.Config.Engine_ref);
+             ("event", Tls.Config.Engine_event);
+           ])
+        Tls.Config.Engine_event
+    & info [ "engine" ] ~docv:"ref|event"
+        ~doc:
+          "Which simulator core $(b,simulate) runs: the reference \
+           cycle-stepped engine or the event-driven engine (default). Both \
+           produce byte-identical results; $(b,ref) exists as the oracle \
+           the differential suite locks the event core against.")
+
 let action_arg =
   Arg.(
     required
@@ -1251,7 +1277,7 @@ let limits_term =
 
 let main action file bench input threshold mode mutate modes fuzz seed jobs
     max_cycles json out matrix capacity timeout retry limits sync_sched
-    validate serve serve_opts =
+    engine validate serve serve_opts =
   match action with
   | `Dump_ir -> cmd_dump_ir file bench input
   | `Run -> cmd_run file bench input
@@ -1261,7 +1287,7 @@ let main action file bench input threshold mode mutate modes fuzz seed jobs
   | `Lint -> cmd_lint file bench input threshold mutate
   | `Simulate ->
     cmd_simulate file bench input threshold mode mutate max_cycles limits
-      sync_sched
+      sync_sched engine
   | `Analyze ->
     cmd_analyze file bench input threshold mode sync_sched json validate
       max_cycles
@@ -1282,6 +1308,7 @@ let cmd =
       $ threshold_arg $ mode_arg $ mutate_arg $ modes_arg $ fuzz_arg
       $ seed_arg $ jobs_arg $ max_cycles_arg $ json_arg $ out_arg
       $ matrix_arg $ capacity_arg $ timeout_arg $ retry_arg $ limits_term
-      $ sync_sched_arg $ validate_arg $ serve_flag_arg $ serve_opts_term)
+      $ sync_sched_arg $ engine_arg $ validate_arg $ serve_flag_arg
+      $ serve_opts_term)
 
 let () = exit (Cmd.eval cmd)

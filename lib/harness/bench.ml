@@ -1,6 +1,7 @@
 type phase = {
   ph_name : string;
   ph_wall_ns : int;
+  ph_ref_wall_ns : int option;
   ph_minor_words : float;
   ph_major_words : float;
   ph_cycles : int option;
@@ -36,13 +37,19 @@ type t = {
   bench_serve : serve_phase list;
 }
 
-let schema_version = 6
+let schema_version = 7
 
 let phase_names =
   [
     "frontend"; "lower"; "profile"; "pass"; "sim_seq"; "sim_tls";
     "sim_tls_sched"; "sim_tls_bounded";
   ]
+
+(* The TLS sim phases are run on both engines since schema v7:
+   [wall_ns] is the event engine (the default), [ref_wall_ns] the
+   cycle-stepped oracle on the same compiled code and input.  [sim_seq]
+   has a single shared implementation, so it carries no ref time. *)
+let dual_engine_phase_names = [ "sim_tls"; "sim_tls_sched"; "sim_tls_bounded" ]
 
 let serve_phase_names = [ "serve_cold"; "serve_warm"; "serve_burst" ]
 
@@ -71,6 +78,7 @@ let timed_phase name f =
     {
       ph_name = name;
       ph_wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+      ph_ref_wall_ns = None;
       ph_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
       ph_major_words = g1.Gc.major_words -. g0.Gc.major_words;
       ph_cycles = None;
@@ -78,10 +86,11 @@ let timed_phase name f =
 
 (* A sim phase reuses the simulator's own runtime counters so the JSON
    surfaces exactly what Simstats recorded, not a second measurement. *)
-let sim_phase name (rt : Tls.Simstats.runtime_counters) ~cycles =
+let sim_phase ?ref_wall name (rt : Tls.Simstats.runtime_counters) ~cycles =
   {
     ph_name = name;
     ph_wall_ns = rt.Tls.Simstats.rt_wall_ns;
+    ph_ref_wall_ns = ref_wall;
     ph_minor_words = rt.Tls.Simstats.rt_minor_words;
     ph_major_words = rt.Tls.Simstats.rt_major_words;
     ph_cycles = Some cycles;
@@ -115,10 +124,19 @@ let bench_workload (w : Workloads.Workload.t) =
     Tls.Sim.run_sequential Tls.Config.default code0 ~input:ref_input
       ~track:compiled.Tlscore.Pipeline.code.Runtime.Code.regions
   in
+  (* Each TLS configuration runs on both engines: the event engine is the
+     primary measurement, the cycle-stepped oracle contributes
+     [ref_wall_ns] so the committed baseline records the speedup. *)
+  let ref_engine cfg = { cfg with Tls.Config.engine = Tls.Config.Engine_ref } in
+  let ref_wall cfg code =
+    let r = Tls.Sim.run (ref_engine cfg) code ~input:ref_input () in
+    r.Tls.Simstats.runtime.Tls.Simstats.rt_wall_ns
+  in
   let tls =
     Tls.Sim.run Tls.Config.c_mode compiled.Tlscore.Pipeline.code
       ~input:ref_input ()
   in
+  let tls_ref_wall = ref_wall Tls.Config.c_mode compiled.Tlscore.Pipeline.code in
   (* Same configuration with the sync scheduler on: how much of the sync
      stall the signal-hoisting / wait-sinking pass recovers. *)
   let scheduled =
@@ -131,9 +149,13 @@ let bench_workload (w : Workloads.Workload.t) =
     Tls.Sim.run Tls.Config.c_mode scheduled.Tlscore.Pipeline.code
       ~input:ref_input ()
   in
+  let sched_ref_wall =
+    ref_wall Tls.Config.c_mode scheduled.Tlscore.Pipeline.code
+  in
   let tls_bounded =
     Tls.Sim.run bounded_cfg compiled.Tlscore.Pipeline.code ~input:ref_input ()
   in
+  let bounded_ref_wall = ref_wall bounded_cfg compiled.Tlscore.Pipeline.code in
   {
     wb_name = w.Workloads.Workload.name;
     wb_phases =
@@ -144,11 +166,12 @@ let bench_workload (w : Workloads.Workload.t) =
         pass;
         sim_phase "sim_seq" seq.Tls.Simstats.sq_runtime
           ~cycles:seq.Tls.Simstats.sq_cycles;
-        sim_phase "sim_tls" tls.Tls.Simstats.runtime
+        sim_phase "sim_tls" tls.Tls.Simstats.runtime ~ref_wall:tls_ref_wall
           ~cycles:tls.Tls.Simstats.total_cycles;
         sim_phase "sim_tls_sched" tls_sched.Tls.Simstats.runtime
-          ~cycles:tls_sched.Tls.Simstats.total_cycles;
+          ~ref_wall:sched_ref_wall ~cycles:tls_sched.Tls.Simstats.total_cycles;
         sim_phase "sim_tls_bounded" tls_bounded.Tls.Simstats.runtime
+          ~ref_wall:bounded_ref_wall
           ~cycles:tls_bounded.Tls.Simstats.total_cycles;
       ];
   }
@@ -163,10 +186,14 @@ let float_words f = Printf.sprintf "%.0f" f
 
 let phase_json b (p : phase) =
   Buffer.add_string b
-    (Printf.sprintf
-       "      { \"phase\": %S, \"wall_ns\": %d, \"minor_words\": %s, \
-        \"major_words\": %s"
-       p.ph_name p.ph_wall_ns (float_words p.ph_minor_words)
+    (Printf.sprintf "      { \"phase\": %S, \"wall_ns\": %d" p.ph_name
+       p.ph_wall_ns);
+  (match p.ph_ref_wall_ns with
+  | Some r -> Buffer.add_string b (Printf.sprintf ", \"ref_wall_ns\": %d" r)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf ", \"minor_words\": %s, \"major_words\": %s"
+       (float_words p.ph_minor_words)
        (float_words p.ph_major_words));
   (match p.ph_cycles with
   | Some c -> Buffer.add_string b (Printf.sprintf ", \"cycles\": %d" c)
@@ -267,6 +294,22 @@ let check_phase ~workload p =
   let* _ = as_num (ctx "major_words") major in
   let sim =
     List.mem name [ "sim_seq"; "sim_tls"; "sim_tls_sched"; "sim_tls_bounded" ]
+  in
+  let dual = List.mem name dual_engine_phase_names in
+  let* _ =
+    match field p "ref_wall_ns" with
+    | Some r ->
+      if not dual then
+        Error
+          (Printf.sprintf "%s: %s phase must not carry ref_wall_ns" workload
+             name)
+      else
+        let* r = as_int (ctx "ref_wall_ns") r in
+        if r >= 0 then Ok () else Error (ctx "ref_wall_ns must be >= 0")
+    | None ->
+      if dual then
+        Error (Printf.sprintf "%s: %s phase lacks ref_wall_ns" workload name)
+      else Ok ()
   in
   match field p "cycles" with
   | Some c ->
@@ -425,6 +468,9 @@ let validate_json j =
   let b = Buffer.create 256 in
   Buffer.add_string b (Printf.sprintf "schema_version %d\n" schema_version);
   Buffer.add_string b "units wall=ns alloc=words cycles=sim-cycles\n";
+  Buffer.add_string b
+    (Printf.sprintf "dual-engine wall (event + ref oracle): %s\n"
+       (String.concat " " dual_engine_phase_names));
   List.iter
     (fun (name, phases) ->
       Buffer.add_string b

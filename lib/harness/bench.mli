@@ -18,10 +18,14 @@
     JSON {e structure} is what the schema expect test pins. *)
 
 (** One timed phase.  [ph_cycles] is the deterministic simulated cycle
-    count, present only for the sim phases. *)
+    count, present only for the sim phases.  [ph_ref_wall_ns] (schema v7)
+    is the cycle-stepped oracle engine's wall time on the same run,
+    present only for the TLS sim phases ({!dual_engine_phase_names});
+    [ph_wall_ns] on those phases is the event engine. *)
 type phase = {
   ph_name : string;
   ph_wall_ns : int;
+  ph_ref_wall_ns : int option;
   ph_minor_words : float;
   ph_major_words : float;
   ph_cycles : int option;
@@ -71,6 +75,11 @@ val phase_names : string list
 
 (** The serve phases a [serve] section must cover, in order. *)
 val serve_phase_names : string list
+
+(** The sim phases that are run on both engines and must carry
+    [ref_wall_ns]: the three TLS configurations.  [sim_seq] has one
+    shared implementation and is excluded. *)
+val dual_engine_phase_names : string list
 
 (** C mode with the DESIGN §12 resource limits tightened (signal buffer
     2, 8 speculative lines per epoch, forwarding queue 8) so most

@@ -1,23 +1,125 @@
-type t = (int, int) Hashtbl.t
+(* Open-addressed (linear probing) int->int table.  Both simulator
+   engines hit committed memory on every load/store, so the generic
+   [Hashtbl] (polymorphic hash + bucket chains) was a measurable slice
+   of simulation wall time.  Iteration order is unspecified either way;
+   the only order-sensitive consumer sorts (Simstats.canonical_memory).
 
-let create () : t = Hashtbl.create 4096
+   Slot states live in [state] (0 = empty, 1 = used) so any int —
+   including min_int garbage computed on speculative wrong paths — is a
+   valid address.  A zero store to a present slot keeps the slot but
+   zeroes the value; [iter]/[footprint]/[equal] skip zero values, so
+   observable behavior matches the old remove-on-zero table.  Zero
+   stores to absent addresses are dropped (a load of an absent address
+   is 0 already). *)
 
-let copy = Hashtbl.copy
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable state : Bytes.t;
+  mutable mask : int;      (* capacity - 1; capacity is a power of two *)
+  mutable used : int;      (* occupied slots, zero values included *)
+  mutable nonzero : int;   (* occupied slots with a nonzero value *)
+}
 
-let load t addr = match Hashtbl.find_opt t addr with Some v -> v | None -> 0
+let initial_capacity = 4096
 
-let store t addr v =
-  if v = 0 then Hashtbl.remove t addr else Hashtbl.replace t addr v
+let create () : t =
+  {
+    keys = Array.make initial_capacity 0;
+    vals = Array.make initial_capacity 0;
+    state = Bytes.make initial_capacity '\000';
+    mask = initial_capacity - 1;
+    used = 0;
+    nonzero = 0;
+  }
+
+let copy t =
+  {
+    keys = Array.copy t.keys;
+    vals = Array.copy t.vals;
+    state = Bytes.copy t.state;
+    mask = t.mask;
+    used = t.used;
+    nonzero = t.nonzero;
+  }
+
+(* Fibonacci hashing on the low bits; deterministic across runs. *)
+let slot_of t key = (key * 0x2545F4914F6CDD1D) land t.mask
+
+(* Index of [key]'s slot, or -1 if absent.  Top-level probe loop: a
+   local [let rec] would allocate its closure on every lookup, and both
+   engines look up committed memory on every load and store. *)
+let rec probe_from keys state mask key i =
+  if Bytes.unsafe_get state i = '\000' then -1
+  else if Array.unsafe_get keys i = key then i
+  else probe_from keys state mask key ((i + 1) land mask)
+
+let find t key = probe_from t.keys t.state t.mask key (slot_of t key)
+
+let get t key =
+  let i = find t key in
+  if i >= 0 then Array.unsafe_get t.vals i else 0
+
+let load = get
+
+(* Insert [key -> v] into an empty slot scanning from [j]; the caller
+   maintains [used]/[nonzero]. *)
+let rec place_from keys vals state mask key v j =
+  if Bytes.unsafe_get state j = '\000' then begin
+    Bytes.unsafe_set state j '\001';
+    Array.unsafe_set keys j key;
+    Array.unsafe_set vals j v
+  end
+  else place_from keys vals state mask key v ((j + 1) land mask)
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals and old_state = t.state in
+  let old_cap = t.mask + 1 in
+  let cap = old_cap * 2 in
+  t.keys <- Array.make cap 0;
+  t.vals <- Array.make cap 0;
+  t.state <- Bytes.make cap '\000';
+  t.mask <- cap - 1;
+  t.used <- 0;
+  (* Zero-valued slots are dropped on rehash; [nonzero] is unchanged. *)
+  for i = 0 to old_cap - 1 do
+    if Bytes.unsafe_get old_state i = '\001' && Array.unsafe_get old_vals i <> 0
+    then begin
+      let key = Array.unsafe_get old_keys i in
+      place_from t.keys t.vals t.state t.mask key
+        (Array.unsafe_get old_vals i)
+        (slot_of t key);
+      t.used <- t.used + 1
+    end
+  done
+
+let store t key v =
+  let i = find t key in
+  if i >= 0 then begin
+    let old = Array.unsafe_get t.vals i in
+    if old <> 0 && v = 0 then t.nonzero <- t.nonzero - 1
+    else if old = 0 && v <> 0 then t.nonzero <- t.nonzero + 1;
+    Array.unsafe_set t.vals i v
+  end
+  else if v <> 0 then begin
+    if 2 * (t.used + 1) > t.mask + 1 then grow t;
+    place_from t.keys t.vals t.state t.mask key v (slot_of t key);
+    t.used <- t.used + 1;
+    t.nonzero <- t.nonzero + 1
+  end
 
 let store_all t pairs = List.iter (fun (a, v) -> store t a v) pairs
 
-let iter t k = Hashtbl.iter k t
+let iter t k =
+  for i = 0 to t.mask do
+    if Bytes.unsafe_get t.state i = '\001' && Array.unsafe_get t.vals i <> 0
+    then k (Array.unsafe_get t.keys i) (Array.unsafe_get t.vals i)
+  done
 
-let footprint = Hashtbl.length
+let footprint t = t.nonzero
 
 let equal a b =
-  (* Zero-valued words are never stored, so plain containment both ways. *)
-  let subset x y =
-    Hashtbl.fold (fun addr v ok -> ok && load y addr = v) x true
-  in
-  subset a b && subset b a
+  let ok = ref true in
+  iter a (fun k v -> if get b k <> v then ok := false);
+  iter b (fun k v -> if get a k <> v then ok := false);
+  !ok

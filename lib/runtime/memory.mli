@@ -10,6 +10,10 @@ val create : unit -> t
 val copy : t -> t
 
 val load : t -> int -> int
+
+(** Same as {!load}, without allocating (hot path of the event engine). *)
+val get : t -> int -> int
+
 val store : t -> int -> int -> unit
 
 (** Apply a list of (addr, value) stores. *)

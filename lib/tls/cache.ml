@@ -24,29 +24,32 @@ let create ~sets ~ways =
     misses = 0;
   }
 
-let find_way t set line =
-  let base = set * t.ways in
-  let rec loop w =
-    if w >= t.ways then None
-    else if t.tags.(base + w) = line then Some w
-    else loop (w + 1)
-  in
-  loop 0
+(* -1 when the line is not resident.  An int (not an option), and the
+   scan is a top-level function (a local [let rec] would allocate its
+   closure), because this runs once per simulated memory reference in
+   both engines. *)
+let rec find_way_from tags base ways line w =
+  if w >= ways then -1
+  else if tags.(base + w) = line then w
+  else find_way_from tags base ways line (w + 1)
+
+let find_way t set line = find_way_from t.tags (set * t.ways) t.ways line 0
 
 let probe t line =
   let set = line land (t.sets - 1) in
-  find_way t set line <> None
+  find_way t set line >= 0
 
 let access t line =
   t.clock <- t.clock + 1;
   let set = line land (t.sets - 1) in
   let base = set * t.ways in
-  match find_way t set line with
-  | Some w ->
+  let w = find_way t set line in
+  if w >= 0 then begin
     t.stamps.(base + w) <- t.clock;
     t.hits <- t.hits + 1;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     (* Evict LRU (or fill an invalid way). *)
     let victim = ref 0 in
@@ -56,6 +59,7 @@ let access t line =
     t.tags.(base + !victim) <- line;
     t.stamps.(base + !victim) <- t.clock;
     false
+  end
 
 let hits t = t.hits
 let misses t = t.misses

@@ -16,6 +16,8 @@ type sim_fault =
 
 type overflow_policy = Overflow_stall | Overflow_squash
 
+type engine = Engine_ref | Engine_event
+
 type t = {
   num_procs : int;
   issue_width : int;
@@ -56,6 +58,7 @@ type t = {
   spec_lines_per_epoch : int;
   fwd_queue_depth : int;
   overflow_policy : overflow_policy;
+  engine : engine;
 }
 
 let default =
@@ -99,6 +102,7 @@ let default =
     spec_lines_per_epoch = max_int;
     fwd_queue_depth = max_int;
     overflow_policy = Overflow_stall;
+    engine = Engine_event;
   }
 
 let u_mode = { default with stall_compiler_sync = false }

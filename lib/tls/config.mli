@@ -54,6 +54,13 @@ type sim_fault =
     Both are absorbable: sequential equivalence is preserved. *)
 type overflow_policy = Overflow_stall | Overflow_squash
 
+(** Which simulator core executes the run.  Both engines are required to
+    produce byte-identical observables ({!Simstats.fingerprint}, typed
+    errors, per-channel counters, resource peaks); [Engine_ref] is the
+    cycle-stepped oracle, [Engine_event] the event-queue core that skips
+    to the next interesting cycle (DESIGN §15). *)
+type engine = Engine_ref | Engine_event
+
 type t = {
   (* Machine (Table 1). *)
   num_procs : int;
@@ -132,6 +139,7 @@ type t = {
          backpressure cycle raises the typed {e Resource_deadlock} rather
          than hanging, with the watchdog as backstop. *)
   overflow_policy : overflow_policy;
+  engine : engine;
 }
 
 (** The machine of Table 1 with compiler synchronization honored and all

@@ -1,0 +1,104 @@
+(* Monotone priority queue of wake events for the event-driven simulator
+   core (DESIGN §15).
+
+   A binary min-heap over (cycle, seq) pairs with a per-queue monotone
+   sequence number as the tie-break: two events posted for the same cycle
+   pop in the order they were pushed (stable / FIFO among ties), so the
+   scheduler's choice among simultaneous events is deterministic and
+   insertion-ordered.  Storage is three parallel int arrays grown
+   geometrically — pushing and popping allocate nothing once the arrays
+   have reached their high-water mark.
+
+   The queue is used lazily: producers push a (cycle, payload) event
+   whenever they learn a wake time (stall release, signal availability,
+   commit readiness) and never retract.  Consumers pop and revalidate
+   against current simulator state, discarding stale entries.  Pushed
+   cycles may therefore be in the popped past — "monotone" is a property
+   of how the scheduler consumes the queue (simulated time only moves
+   forward), not an enforced precondition of [push]. *)
+
+type t = {
+  mutable cycles : int array;
+  mutable seqs : int array;
+  mutable payloads : int array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  {
+    cycles = Array.make capacity 0;
+    seqs = Array.make capacity 0;
+    payloads = Array.make capacity 0;
+    size = 0;
+    next_seq = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0
+
+let grow t =
+  let cap = Array.length t.cycles in
+  let ncap = cap * 2 in
+  let copy a = let b = Array.make ncap 0 in Array.blit a 0 b 0 cap; b in
+  t.cycles <- copy t.cycles;
+  t.seqs <- copy t.seqs;
+  t.payloads <- copy t.payloads
+
+(* (cycle, seq) lexicographic order. *)
+let lt t i j =
+  t.cycles.(i) < t.cycles.(j)
+  || (t.cycles.(i) = t.cycles.(j) && t.seqs.(i) < t.seqs.(j))
+
+let swap t i j =
+  let c = t.cycles.(i) in t.cycles.(i) <- t.cycles.(j); t.cycles.(j) <- c;
+  let s = t.seqs.(i) in t.seqs.(i) <- t.seqs.(j); t.seqs.(j) <- s;
+  let p = t.payloads.(i) in t.payloads.(i) <- t.payloads.(j); t.payloads.(j) <- p
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.size then begin
+    let r = l + 1 in
+    let m = if r < t.size && lt t r l then r else l in
+    if lt t m i then begin
+      swap t i m;
+      sift_down t m
+    end
+  end
+
+let push t ~cycle payload =
+  if t.size = Array.length t.cycles then grow t;
+  let i = t.size in
+  t.cycles.(i) <- cycle;
+  t.seqs.(i) <- t.next_seq;
+  t.payloads.(i) <- payload;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let min_cycle t = if t.size = 0 then max_int else t.cycles.(0)
+let min_payload t = t.payloads.(0)
+
+(* Pop the minimum event; undefined when empty (guard with [is_empty]). *)
+let pop t =
+  let cycle = t.cycles.(0) and payload = t.payloads.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    swap t 0 t.size;
+    sift_down t 0
+  end;
+  (cycle, payload)

@@ -1,0 +1,28 @@
+(** Monotone wake-event priority queue for the event-driven simulator
+    core (DESIGN §15): a binary min-heap keyed by cycle with a monotone
+    per-queue sequence number breaking ties, so events posted for the
+    same cycle pop in push order (stable).  Int payloads, zero
+    steady-state allocation. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+(** Drop all events and restart the tie-break sequence. *)
+val clear : t -> unit
+
+(** Post an event.  Cycles need not be pushed in order; stability is
+    FIFO among events sharing a cycle. *)
+val push : t -> cycle:int -> int -> unit
+
+(** Cycle of the minimum event, [max_int] when empty. *)
+val min_cycle : t -> int
+
+(** Payload of the minimum event; undefined when empty. *)
+val min_payload : t -> int
+
+(** Remove and return the minimum [(cycle, payload)]; undefined when
+    empty — guard with {!is_empty}. *)
+val pop : t -> int * int

@@ -45,6 +45,7 @@ let record_violation t iid =
   if occ > t.peak then t.peak <- occ
 
 let marked t iid = Hashtbl.mem t.entries iid
+let is_empty t = Hashtbl.length t.entries = 0
 
 let tick t ~now =
   if now - t.last_reset >= t.reset_interval then begin

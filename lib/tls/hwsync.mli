@@ -15,6 +15,10 @@ val record_violation : t -> Ir.Instr.iid -> unit
 (** Is the load currently marked for synchronization? *)
 val marked : t -> Ir.Instr.iid -> bool
 
+(** No loads marked at all — lets callers skip a per-instruction peek
+    when the table is empty. *)
+val is_empty : t -> bool
+
 (** Advance time; clears the table when the reset interval elapses. *)
 val tick : t -> now:int -> unit
 

@@ -2,10 +2,16 @@ type t = {
   cfg : Config.t;
   l1 : Cache.t array;
   l2 : Cache.t;
+  line_shift : int;   (* log2 line_words when a power of two, else -1 *)
   mutable l1_hits : int;
   mutable l1_misses : int;
   mutable l2_misses : int;
+  mutable last_line : int;   (* line of the most recent access_line *)
 }
+
+let log2_exact n =
+  let rec go s = if 1 lsl s = n then s else if s >= 62 then -1 else go (s + 1) in
+  if n > 0 && n land (n - 1) = 0 then go 0 else -1
 
 let create (cfg : Config.t) =
   {
@@ -14,19 +20,28 @@ let create (cfg : Config.t) =
       Array.init cfg.Config.num_procs (fun _ ->
           Cache.create ~sets:cfg.Config.l1_sets ~ways:cfg.Config.l1_ways);
     l2 = Cache.create ~sets:cfg.Config.l2_sets ~ways:cfg.Config.l2_ways;
+    line_shift = log2_exact cfg.Config.line_words;
     l1_hits = 0;
     l1_misses = 0;
     l2_misses = 0;
+    last_line = 0;
   }
 
 (* Floor division so negative (garbage speculative) addresses still map to
-   stable line ids. *)
+   stable line ids.  [asr] is exactly floor division for power-of-two
+   line sizes, and runs once per simulated memory reference. *)
 let line_of t addr =
-  let w = t.cfg.Config.line_words in
-  if addr >= 0 then addr / w else ((addr + 1) / w) - 1
+  if t.line_shift >= 0 then addr asr t.line_shift
+  else
+    let w = t.cfg.Config.line_words in
+    if addr >= 0 then addr / w else ((addr + 1) / w) - 1
 
-let access t ~proc ~addr =
+(* Access that also publishes the line id through [last_line], so the
+   speculative read/write trackers reuse it instead of recomputing
+   [line_of] per reference (the event engine's scratch-buffer path). *)
+let access_line t ~proc ~addr =
   let line = line_of t addr in
+  t.last_line <- line;
   if Cache.access t.l1.(proc) line then begin
     t.l1_hits <- t.l1_hits + 1;
     t.cfg.Config.l1_hit
@@ -39,6 +54,9 @@ let access t ~proc ~addr =
       t.cfg.Config.l1_hit + t.cfg.Config.l2_hit + t.cfg.Config.mem_lat
     end
   end
+
+let access t ~proc ~addr = access_line t ~proc ~addr
+let last_line t = t.last_line
 
 let l1_hits t = t.l1_hits
 let l1_misses t = t.l1_misses

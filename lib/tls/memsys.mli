@@ -13,6 +13,15 @@ val access : t -> proc:int -> addr:int -> int
 (** Line id of a word address. *)
 val line_of : t -> int -> int
 
+(** Same as {!access}, additionally publishing the accessed line id via
+    {!last_line} — the speculative read/write trackers key on the same
+    line, so the event engine reads it back instead of recomputing
+    [line_of] on every load and store. *)
+val access_line : t -> proc:int -> addr:int -> int
+
+(** Line id of the most recent {!access_line}/{!access}. *)
+val last_line : t -> int
+
 val l1_hits : t -> int
 val l1_misses : t -> int
 val l2_misses : t -> int

@@ -1,0 +1,103 @@
+(* Preallocated scratch int->int maps for the event-driven simulator
+   core (DESIGN §15).
+
+   Open addressing with linear probing over three parallel int arrays,
+   plus a generation stamp per slot: [clear] bumps the generation and is
+   O(1), so per-attempt speculative state (write buffer, exposed-read
+   set, footprint lines) resets without walking or reallocating
+   anything.  No deletion (the simulator only ever clears whole
+   attempts), no boxing, no [option] allocation on lookup: [probe]
+   returns a slot index or -1 and [value_at] reads it back.
+
+   Iteration order is arbitrary; callers on observable paths must not
+   depend on it (the one order-sensitive table in the simulator,
+   commit-time [write_lines], deliberately stays a [Hashtbl] — see
+   Sim_event). *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable gens : int array;
+  mutable mask : int;            (* capacity - 1, capacity a power of 2 *)
+  mutable count : int;
+  mutable gen : int;
+}
+
+let create ?(capacity = 16) () =
+  let rec pow2 n = if n >= capacity then n else pow2 (n * 2) in
+  let cap = pow2 16 in
+  {
+    keys = Array.make cap 0;
+    vals = Array.make cap 0;
+    gens = Array.make cap 0;
+    mask = cap - 1;
+    count = 0;
+    gen = 1;
+  }
+
+let cardinal t = t.count
+
+let clear t =
+  t.gen <- t.gen + 1;
+  t.count <- 0
+
+(* Fibonacci hashing scatters consecutive addresses/lines well; the
+   final [land max_int] forces a non-negative value for negative keys. *)
+let slot_of t k = k * 0x2545F4914F6CDD1D land max_int land t.mask
+
+(* The probe/insert loops are top-level recursive functions, not local
+   ones: a local [let rec] closes over its environment and OCaml
+   allocates that closure on every call, which matters for functions
+   the simulator runs several times per instruction. *)
+
+(* Slot of [k] starting the scan at [i], or -1 when absent. *)
+let rec probe_from keys gens gen mask k i =
+  if gens.(i) <> gen then -1
+  else if keys.(i) = k then i
+  else probe_from keys gens gen mask k ((i + 1) land mask)
+
+let probe t k = probe_from t.keys t.gens t.gen t.mask k (slot_of t k)
+
+let mem t k = probe t k >= 0
+let value_at t i = t.vals.(i)
+
+let rec set_from t keys gens gen mask k v i =
+  if gens.(i) <> gen then begin
+    keys.(i) <- k;
+    t.vals.(i) <- v;
+    gens.(i) <- gen;
+    t.count <- t.count + 1;
+    if 2 * t.count > t.mask then grow t
+  end
+  else if keys.(i) = k then t.vals.(i) <- v
+  else set_from t keys gens gen mask k v ((i + 1) land mask)
+
+and grow t =
+  let okeys = t.keys and ovals = t.vals and ogens = t.gens in
+  let ogen = t.gen and ocap = Array.length t.keys in
+  let ncap = ocap * 2 in
+  t.keys <- Array.make ncap 0;
+  t.vals <- Array.make ncap 0;
+  t.gens <- Array.make ncap 0;
+  t.mask <- ncap - 1;
+  t.count <- 0;
+  t.gen <- 1;
+  for i = 0 to ocap - 1 do
+    if ogens.(i) = ogen then set t okeys.(i) ovals.(i)
+  done
+
+and set t k v = set_from t t.keys t.gens t.gen t.mask k v (slot_of t k)
+
+let iter f t =
+  let gen = t.gen in
+  for i = 0 to t.mask do
+    if t.gens.(i) = gen then f t.keys.(i) t.vals.(i)
+  done
+
+let fold f t acc =
+  let gen = t.gen in
+  let acc = ref acc in
+  for i = 0 to t.mask do
+    if t.gens.(i) = gen then acc := f t.keys.(i) t.vals.(i) !acc
+  done;
+  !acc

@@ -1,0 +1,21 @@
+(** Preallocated int->int scratch maps with O(1) generation-based
+    {!clear}, for the event engine's per-attempt speculative state
+    (DESIGN §15).  No deletion, no allocation on the lookup/insert fast
+    path; iteration order is arbitrary and must not feed any observable
+    that is order-sensitive. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val cardinal : t -> int
+val clear : t -> unit
+
+(** Slot index of a key, or -1 when absent.  Read the value back with
+    {!value_at}; slots are invalidated by {!set} and {!clear}. *)
+val probe : t -> int -> int
+
+val value_at : t -> int -> int
+val mem : t -> int -> bool
+val set : t -> int -> int -> unit
+val iter : (int -> int -> unit) -> t -> unit
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,0 +1,78 @@
+exception Deadlock of string
+
+(* Typed snapshot of why the simulator is stuck (DESIGN §11): raised by
+   the progress watchdog instead of spinning to the cycle budget, and by
+   the dynamic sync-protocol check. *)
+type epoch_diag = {
+  ed_index : int;
+  ed_status : string;
+  ed_blocked : bool;
+  ed_wake_at : int;                          (* max_int = polling *)
+  ed_last_block : Ir.Instr.channel option;   (* last channel blocked on *)
+  ed_sent : Ir.Instr.channel list;
+  ed_consumed : Ir.Instr.channel list;
+}
+
+type stuck_reason =
+  | No_progress of { window : int }
+  | Missing_wait of { channel : Ir.Instr.channel; iid : Ir.Instr.iid }
+
+type stuck_diag = {
+  sd_reason : stuck_reason;
+  sd_cycle : int;
+  sd_region : int;
+  sd_func : string;
+  sd_oldest : int;
+  sd_epochs : epoch_diag list;
+}
+
+exception Stuck of stuck_diag
+
+exception Cycle_limit of { max_cycles : int; cycle : int; where : string }
+
+let describe_stuck d =
+  let blocked =
+    List.filter_map
+      (fun ed ->
+        if ed.ed_blocked then
+          Some
+            (Printf.sprintf "epoch %d on channel %s" ed.ed_index
+               (match ed.ed_last_block with
+               | Some ch -> string_of_int ch
+               | None -> "?"))
+        else None)
+      d.sd_epochs
+  in
+  let who = match blocked with [] -> "" | l -> ": " ^ String.concat ", " l in
+  match d.sd_reason with
+  | No_progress { window } ->
+    Printf.sprintf
+      "no graduation or commit for %d cycles in region %d (%s) at cycle %d, oldest epoch %d%s"
+      window d.sd_region d.sd_func d.sd_cycle d.sd_oldest who
+  | Missing_wait { channel; iid } ->
+    Printf.sprintf
+      "sync load %d in region %d (%s) consumed channel %d that no wait ever received (cycle %d)"
+      iid d.sd_region d.sd_func channel d.sd_cycle
+
+(* A backpressure cycle under a finite forwarding queue (DESIGN §12): a
+   producer stalled on a full queue while the region as a whole stopped
+   progressing — the consumer side can never drain it.  Raised by the
+   watchdog refinement in place of {!Stuck}, so detection latency is
+   bounded by the watchdog window and there are no false positives from
+   transient backpressure. *)
+type resource_diag = {
+  rd_cycle : int;
+  rd_region : int;
+  rd_func : string;
+  rd_producer : int;              (* backpressure-stalled producer epoch *)
+  rd_channel : Ir.Instr.channel;  (* channel it cannot enqueue *)
+  rd_depth : int;                 (* configured fwd_queue_depth *)
+  rd_epochs : epoch_diag list;
+}
+
+exception Resource_deadlock of resource_diag
+
+let describe_resource_deadlock d =
+  Printf.sprintf
+    "backpressure cycle: epoch %d cannot post on channel %d (forwarding queue of depth %d full, consumer never drains) in region %d (%s) at cycle %d"
+    d.rd_producer d.rd_channel d.rd_depth d.rd_region d.rd_func d.rd_cycle

@@ -16,10 +16,11 @@ let find_sub s sub =
 
 let contains s sub = find_sub s sub <> None
 
-let phase ?cycles name =
+let phase ?cycles ?ref_wall name =
   {
     Harness.Bench.ph_name = name;
     ph_wall_ns = 1_000;
+    ph_ref_wall_ns = ref_wall;
     ph_minor_words = 10.0;
     ph_major_words = 2.0;
     ph_cycles = cycles;
@@ -57,7 +58,9 @@ let doc ?matrix ?(serve = []) () =
           wb_phases =
             List.map
               (fun n ->
-                if String.length n >= 4 && String.sub n 0 4 = "sim_" then
+                if List.mem n Harness.Bench.dual_engine_phase_names then
+                  phase ~cycles:42 ~ref_wall:5_000 n
+                else if String.length n >= 4 && String.sub n 0 4 = "sim_" then
                   phase ~cycles:42 n
                 else phase n)
               Harness.Bench.phase_names;
@@ -128,7 +131,7 @@ let replace ~from ~into s =
 
 let schema_violations_are_rejected () =
   rejects "wrong version"
-    (replace ~from:"\"schema_version\": 6" ~into:"\"schema_version\": 2")
+    (replace ~from:"\"schema_version\": 7" ~into:"\"schema_version\": 2")
     "schema_version";
   rejects "wrong wall unit"
     (replace ~from:"\"wall\": \"ns\"" ~into:"\"wall\": \"ms\"")
@@ -142,6 +145,17 @@ let schema_violations_are_rejected () =
   rejects "sim phase without cycles"
     (replace ~from:", \"cycles\": 42 }\n    ] }" ~into:" }\n    ] }")
     "cycles";
+  rejects "tls phase without ref_wall_ns"
+    (replace ~from:", \"ref_wall_ns\": 5000" ~into:"")
+    "ref_wall_ns";
+  rejects "negative ref_wall_ns"
+    (replace ~from:"\"ref_wall_ns\": 5000" ~into:"\"ref_wall_ns\": -1")
+    "ref_wall_ns";
+  rejects "ref_wall_ns on a single-engine phase"
+    (replace
+       ~from:"\"phase\": \"sim_seq\", \"wall_ns\": 1000"
+       ~into:"\"phase\": \"sim_seq\", \"wall_ns\": 1000, \"ref_wall_ns\": 900")
+    "must not carry ref_wall_ns";
   rejects "negative wall time"
     (replace ~from:"\"wall_ns\": 1000" ~into:"\"wall_ns\": -5")
     "wall_ns";

@@ -169,16 +169,60 @@ let fingerprint_ignores_host_counters =
       && Tls.Simstats.strip_runtime stripped = stripped [@warning "-57"])
 
 let runtime_counters_populated () =
-  (* The counters exist (wall time advanced, the sim allocated), and
-     stripping them is what makes reruns identical. *)
+  (* The counters exist (wall time advanced, allocation was measured),
+     and stripping them is what makes reruns identical.  The allocation
+     probe uses the ref engine: the event engine can run a tiny
+     generated program without a single minor-heap allocation, which
+     would make [> 0] vacuous as a plumbing check. *)
   let (r1, _), (s1, _) = sim_runs_for_seed 3 in
   check_bool "tls wall_ns > 0" true (r1.Tls.Simstats.runtime.Tls.Simstats.rt_wall_ns > 0);
-  check_bool "tls minor words > 0" true
-    (r1.Tls.Simstats.runtime.Tls.Simstats.rt_minor_words > 0.0);
+  check_bool "tls minor words >= 0" true
+    (r1.Tls.Simstats.runtime.Tls.Simstats.rt_minor_words >= 0.0);
+  let src, input = Faults.Proggen.generate ~seed:3 in
+  let compiled = compile_synced src input in
+  let ref_run =
+    Tls.Sim.run
+      { Tls.Config.c_mode with Tls.Config.engine = Tls.Config.Engine_ref }
+      compiled.Tlscore.Pipeline.code ~input ()
+  in
+  check_bool "ref engine minor words > 0" true
+    (ref_run.Tls.Simstats.runtime.Tls.Simstats.rt_minor_words > 0.0);
   check_bool "seq wall_ns > 0" true
     (s1.Tls.Simstats.sq_runtime.Tls.Simstats.rt_wall_ns > 0);
   check_bool "strip_runtime zeroes counters" true
     ((Tls.Simstats.strip_runtime r1).Tls.Simstats.runtime = Tls.Simstats.no_runtime)
+
+(* The event engine's whole point is constant-factor elimination: flat
+   mutable scratch instead of per-cycle maps/closures.  Guard the win
+   with a GC regression — a change that quietly reintroduces per-cycle
+   allocation shows up here long before it shows up on a wall clock. *)
+let event_engine_allocation_regression () =
+  let w =
+    match Workloads.Registry.find "parser" with
+    | Some w -> w
+    | None -> Alcotest.fail "missing bundled benchmark parser"
+  in
+  let compiled =
+    compile_synced w.Workloads.Workload.source w.Workloads.Workload.train_input
+  in
+  let minor_words engine =
+    let cfg = { Tls.Config.c_mode with Tls.Config.engine } in
+    let r =
+      Tls.Sim.run cfg compiled.Tlscore.Pipeline.code
+        ~input:w.Workloads.Workload.ref_input ()
+    in
+    r.Tls.Simstats.runtime.Tls.Simstats.rt_minor_words
+  in
+  let ref_words = minor_words Tls.Config.Engine_ref in
+  let event_words = minor_words Tls.Config.Engine_event in
+  check_bool "both engines allocate something" true
+    (ref_words > 0.0 && event_words > 0.0);
+  check_bool
+    (Printf.sprintf
+       "event engine allocates >=5x fewer minor words (ref %.0f, event %.0f)"
+       ref_words event_words)
+    true
+    (ref_words >= 5.0 *. event_words)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel matrix == serial matrix, byte for byte                     *)
@@ -259,6 +303,8 @@ let () =
             fingerprints_separate_programs;
           Alcotest.test_case "runtime counters populated" `Quick
             runtime_counters_populated;
+          Alcotest.test_case "event engine allocates >=5x less" `Slow
+            event_engine_allocation_regression;
         ] );
       ( "parallel-vs-serial",
         [
