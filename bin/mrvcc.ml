@@ -20,8 +20,13 @@
      mrvcc chaos --bench all --jobs 4            # same matrix, 4 domains
      mrvcc chaos --fuzz 20 --seed 7              # chaos-fuzz generated programs
      mrvcc chaos --bench all --capacity          # finite-resource sweep
-     mrvcc bench --json --out BENCH_PR8.json     # machine-readable baseline
+     mrvcc bench --json --out BENCH_PR9.json     # machine-readable baseline
      mrvcc bench --bench mcf --json              # one workload, to stdout
+     mrvcc exec --bench parser --domains 4       # real TLS run on domains
+     mrvcc exec --bench go --mode U --record r.jsonl   # record a racy run
+     mrvcc exec --bench go --mode U --replay r.jsonl   # reproduce it serially
+     mrvcc exec --bench mcf --inject crash:1     # runtime fault injection
+     mrvcc chaos --exec --bench mcf,parser       # runtime-fault matrix
      mrvcc serve requests.jsonl                  # compile service, JSONL in/out
      mrvcc serve requests.jsonl --cache-dir .cache --deadline 5 --retries 2
      mrvcc chaos --serve --bench twolf,ijpeg     # service-layer fault matrix
@@ -44,7 +49,9 @@
    7 resource deadlock (finite forwarding queue backpressured a producer
    into a cycle); 8 serve admission queue shed at least one request;
    9 a wall deadline was exceeded (serve request past its retry
-   schedule, or a matrix job past --timeout). *)
+   schedule, or a matrix job past --timeout); 10 the speculative runtime
+   wedged (exec wall-clock watchdog fired, typed Specrt_stuck); 11 an
+   epoch exhausted its abort budget under exec (typed Abort_exhausted). *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -142,6 +149,18 @@ let guarded f =
     Printf.eprintf "job %d exhausted its retry budget (%d attempts)\n" index
       (List.length attempts);
     exit 9
+  | Specrt.Exec_deadlock msg ->
+    Printf.eprintf "exec deadlock: %s\n" msg;
+    exit 3
+  | Specrt.Specrt_stuck { watchdog_ms; detail } ->
+    Printf.eprintf "exec stuck: no progress for %d ms: %s\n" watchdog_ms detail;
+    exit 10
+  | Specrt.Abort_exhausted { instance; index; aborts; max_aborts } ->
+    Printf.eprintf
+      "exec abort budget exhausted: instance %d epoch %d squashed %d times \
+       (budget %d)\n"
+      instance index aborts max_aborts;
+    exit 11
 
 (* Resolve a --mutate argument to an IR fault kind. *)
 let mutation_of_name name =
@@ -472,6 +491,99 @@ let cmd_simulate file bench input threshold mode mutate max_cycles limits
       end)
 
 (* ------------------------------------------------------------------ *)
+(* exec: real speculative execution on domains (DESIGN §16)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Runtime-fault specs, e.g. delay-commit:0:5000, yield:1:4,
+   drop-wakeup:2:0, crash:1, crash:1:persistent.  The first number is
+   always the epoch index targeted (within the first region instance). *)
+let parse_exec_fault s =
+  let usage () =
+    Printf.eprintf
+      "bad --inject %s (want delay-commit:EPOCH:MS | yield:EPOCH:EVERY | \
+       drop-wakeup:EPOCH:CHANNEL | crash:EPOCH[:persistent])\n"
+      s;
+    exit 2
+  in
+  match String.split_on_char ':' s with
+  | [ "delay-commit"; e; ms ] -> (
+    try Specrt.Delay_commit { epoch = int_of_string e; ms = int_of_string ms }
+    with Failure _ -> usage ())
+  | [ "yield"; e; n ] -> (
+    try Specrt.Yield_steps { epoch = int_of_string e; every = int_of_string n }
+    with Failure _ -> usage ())
+  | [ "drop-wakeup"; e; ch ] -> (
+    try
+      Specrt.Drop_wakeup { epoch = int_of_string e; channel = int_of_string ch }
+    with Failure _ -> usage ())
+  | [ "crash"; e ] -> (
+    try Specrt.Crash_epoch { epoch = int_of_string e; persistent = false }
+    with Failure _ -> usage ())
+  | [ "crash"; e; "persistent" ] -> (
+    try Specrt.Crash_epoch { epoch = int_of_string e; persistent = true }
+    with Failure _ -> usage ())
+  | _ -> usage ()
+
+let cmd_exec file bench input threshold mode sync_sched
+    (domains, watchdog_ms, max_aborts, record, replay, injects) =
+  let source, input = resolve_program file bench input in
+  with_errors (fun () ->
+      let memory_sync =
+        match mode with
+        | "U" | "H" | "P" -> Tlscore.Pipeline.No_memory_sync
+        | _ -> Tlscore.Pipeline.Profiled { dep_input = input; threshold }
+      in
+      let compiled =
+        Tlscore.Pipeline.compile ~sync_sched ~source ~profile_input:input
+          ~memory_sync ()
+      in
+      let code = compiled.Tlscore.Pipeline.code in
+      let cfg = config_of_mode mode in
+      let base = Specrt.default_opts cfg in
+      let opts =
+        {
+          base with
+          Specrt.domains = Option.value domains ~default:base.Specrt.domains;
+          watchdog_ms;
+          max_aborts;
+          faults = List.map parse_exec_fault injects;
+          replay = Option.map Specrt.read_log replay;
+        }
+      in
+      let r = guarded (fun () -> Specrt.run ~opts cfg code ~input) in
+      (match record with
+      | Some path ->
+        Specrt.write_log path r.Specrt.r_events;
+        Printf.printf "recorded %d events to %s\n"
+          (List.length r.Specrt.r_events) path
+      | None -> ());
+      Printf.printf "mode %s, %d domains%s\n" mode r.Specrt.r_domains
+        (if opts.Specrt.replay <> None then " (replay, serial)" else "");
+      Printf.printf "epochs committed:    %d (squashed %d, violations %d)\n"
+        r.Specrt.r_epochs_committed r.Specrt.r_epochs_squashed
+        r.Specrt.r_violations;
+      Printf.printf "region instances:    %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (rid, n) -> Printf.sprintf "%d:%d" rid n)
+              r.Specrt.r_region_instances));
+      Printf.printf "output: %s\n"
+        (String.concat " " (List.map string_of_int r.Specrt.r_output));
+      (* The acceptance bar: committed output and memory byte-identical
+         to the sequential program, whatever the interleaving did. *)
+      let seq_mem = Runtime.Memory.create () in
+      Runtime.Memory.store_all seq_mem code.Runtime.Code.initial_stores;
+      let seq_out = Runtime.Thread.run_sequential code ~input seq_mem in
+      if r.Specrt.r_output <> seq_out then begin
+        prerr_endline "ERROR: exec output differs from sequential!";
+        exit 1
+      end;
+      if not (Runtime.Memory.equal seq_mem r.Specrt.r_final_memory) then begin
+        prerr_endline "ERROR: exec final memory differs from sequential!";
+        exit 1
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* analyze: static stall estimation + violation-risk prediction        *)
 (* ------------------------------------------------------------------ *)
 
@@ -770,6 +882,26 @@ let serve_chaos_names bench =
              Printf.eprintf "unknown benchmark %s (have: all, %s)\n" name
                (String.concat ", " Workloads.Registry.names);
              exit 2)
+
+(* Runtime-layer chaos: the speculative executor's fault catalog.  Runs
+   serially (each cell already spawns its own worker domains) over
+   bundled benchmark names; the rendered table is byte-deterministic
+   despite real concurrency, because outcomes classify only committed
+   state and typed errors. *)
+let cmd_chaos_exec bench =
+  let programs = chaos_programs bench 0 0 in
+  if programs = [] then begin
+    prerr_endline "exec chaos needs --bench all or --bench NAME[,NAME...]";
+    exit 2
+  end;
+  with_errors (fun () ->
+      let cells =
+        guarded (fun () ->
+            Faults.Chaosexec.run_matrix ~log:print_endline programs)
+      in
+      print_newline ();
+      print_string (Faults.Chaosexec.render_table cells);
+      if Faults.Chaosexec.count_failed cells > 0 then exit 1)
 
 let cmd_chaos_serve bench jobs =
   let programs = serve_chaos_names bench in
@@ -1188,9 +1320,77 @@ let action_arg =
     & pos 0 (some (enum
         [ ("dump-ir", `Dump_ir); ("run", `Run); ("profile", `Profile);
           ("depgraph", `Depgraph); ("compile", `Compile); ("lint", `Lint);
-          ("simulate", `Simulate); ("analyze", `Analyze); ("chaos", `Chaos);
-          ("bench", `Bench); ("serve", `Serve) ])) None
+          ("simulate", `Simulate); ("exec", `Exec); ("analyze", `Analyze);
+          ("chaos", `Chaos); ("bench", `Bench); ("serve", `Serve) ])) None
     & info [] ~docv:"ACTION")
+
+let domains_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for $(b,exec) (default: the simulated machine's \
+           processor count; 1 = serial in-order execution).")
+
+let watchdog_ms_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "watchdog-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock watchdog for $(b,exec): no commit, squash, or \
+           sequential progress for this long is a hang, reported as the \
+           typed Specrt_stuck (exit 10).")
+
+let max_aborts_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-aborts" ] ~docv:"N"
+        ~doc:
+          "Per-epoch squash budget for $(b,exec); exceeding it raises the \
+           typed Abort_exhausted (exit 11).")
+
+let record_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:
+          "Write $(b,exec)'s commit/violation/squash/signal event log to \
+           FILE (JSONL, one event per line).")
+
+let replay_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Replay a recorded event log: run serially in epoch order, \
+           forcing the recorded squashes and violations at their commit \
+           points, so a nondeterministic failure reproduces \
+           deterministically.  A truncated FILE replays its prefix.")
+
+let inject_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Inject a runtime fault into $(b,exec) (repeatable): \
+           $(b,delay-commit:EPOCH:MS), $(b,yield:EPOCH:EVERY), \
+           $(b,drop-wakeup:EPOCH:CHANNEL), $(b,crash:EPOCH[:persistent]).")
+
+let exec_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "exec" ]
+        ~doc:
+          "With $(b,chaos): run the runtime-layer fault matrix through the \
+           speculative executor instead of the simulator.")
+
+(* The exec runtime knobs travel together. *)
+let exec_opts_term =
+  Term.(
+    const (fun domains watchdog_ms max_aborts record replay injects ->
+        (domains, watchdog_ms, max_aborts, record, replay, injects))
+    $ domains_arg $ watchdog_ms_arg $ max_aborts_arg $ record_arg
+    $ replay_arg $ inject_arg)
 
 let serve_flag_arg =
   Arg.(
@@ -1277,7 +1477,7 @@ let limits_term =
 
 let main action file bench input threshold mode mutate modes fuzz seed jobs
     max_cycles json out matrix capacity timeout retry limits sync_sched
-    engine validate serve serve_opts =
+    engine validate serve serve_opts exec_flag exec_opts =
   match action with
   | `Dump_ir -> cmd_dump_ir file bench input
   | `Run -> cmd_run file bench input
@@ -1288,11 +1488,13 @@ let main action file bench input threshold mode mutate modes fuzz seed jobs
   | `Simulate ->
     cmd_simulate file bench input threshold mode mutate max_cycles limits
       sync_sched engine
+  | `Exec -> cmd_exec file bench input threshold mode sync_sched exec_opts
   | `Analyze ->
     cmd_analyze file bench input threshold mode sync_sched json validate
       max_cycles
   | `Chaos ->
-    if serve then cmd_chaos_serve bench jobs
+    if exec_flag then cmd_chaos_exec bench
+    else if serve then cmd_chaos_serve bench jobs
     else
       cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
         sync_sched
@@ -1309,6 +1511,6 @@ let cmd =
       $ seed_arg $ jobs_arg $ max_cycles_arg $ json_arg $ out_arg
       $ matrix_arg $ capacity_arg $ timeout_arg $ retry_arg $ limits_term
       $ sync_sched_arg $ engine_arg $ validate_arg $ serve_flag_arg
-      $ serve_opts_term)
+      $ serve_opts_term $ exec_flag_arg $ exec_opts_term)
 
 let () = exit (Cmd.eval cmd)

@@ -5,6 +5,8 @@ type phase = {
   ph_minor_words : float;
   ph_major_words : float;
   ph_cycles : int option;
+  ph_commits : int option;
+  ph_aborts : int option;
 }
 
 type workload_bench = { wb_name : string; wb_phases : phase list }
@@ -37,12 +39,12 @@ type t = {
   bench_serve : serve_phase list;
 }
 
-let schema_version = 7
+let schema_version = 8
 
 let phase_names =
   [
     "frontend"; "lower"; "profile"; "pass"; "sim_seq"; "sim_tls";
-    "sim_tls_sched"; "sim_tls_bounded";
+    "sim_tls_sched"; "sim_tls_bounded"; "exec_tls";
   ]
 
 (* The TLS sim phases are run on both engines since schema v7:
@@ -50,6 +52,13 @@ let phase_names =
    cycle-stepped oracle on the same compiled code and input.  [sim_seq]
    has a single shared implementation, so it carries no ref time. *)
 let dual_engine_phase_names = [ "sim_tls"; "sim_tls_sched"; "sim_tls_bounded" ]
+
+(* [exec_tls] (schema v8) is not a simulation: it runs the compiled code
+   for real on OCaml domains via [Specrt], so its wall time is directly
+   comparable to [sim_seq]'s and to the two sim engines' wall times on
+   the same compiled code and input.  Instead of a cycle count it
+   carries the runtime's commit/abort counters. *)
+let exec_phase_name = "exec_tls"
 
 let serve_phase_names = [ "serve_cold"; "serve_warm"; "serve_burst" ]
 
@@ -82,6 +91,8 @@ let timed_phase name f =
       ph_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
       ph_major_words = g1.Gc.major_words -. g0.Gc.major_words;
       ph_cycles = None;
+      ph_commits = None;
+      ph_aborts = None;
     } )
 
 (* A sim phase reuses the simulator's own runtime counters so the JSON
@@ -94,6 +105,8 @@ let sim_phase ?ref_wall name (rt : Tls.Simstats.runtime_counters) ~cycles =
     ph_minor_words = rt.Tls.Simstats.rt_minor_words;
     ph_major_words = rt.Tls.Simstats.rt_major_words;
     ph_cycles = Some cycles;
+    ph_commits = None;
+    ph_aborts = None;
   }
 
 let bench_workload (w : Workloads.Workload.t) =
@@ -156,6 +169,23 @@ let bench_workload (w : Workloads.Workload.t) =
     Tls.Sim.run bounded_cfg compiled.Tlscore.Pipeline.code ~input:ref_input ()
   in
   let bounded_ref_wall = ref_wall bounded_cfg compiled.Tlscore.Pipeline.code in
+  (* Real speculative execution on domains (DESIGN §16): the same
+     compiled code and input as [sim_tls], so [exec_tls.wall_ns] vs
+     [sim_seq.wall_ns] is the actual-parallelism number and vs the sim
+     phases' wall the engine-overhead number. *)
+  let exec_r, exec_phase =
+    timed_phase exec_phase_name (fun () ->
+        Specrt.run
+          ~opts:(Specrt.default_opts Tls.Config.c_mode)
+          Tls.Config.c_mode compiled.Tlscore.Pipeline.code ~input:ref_input)
+  in
+  let exec_phase =
+    {
+      exec_phase with
+      ph_commits = Some exec_r.Specrt.r_epochs_committed;
+      ph_aborts = Some exec_r.Specrt.r_epochs_squashed;
+    }
+  in
   {
     wb_name = w.Workloads.Workload.name;
     wb_phases =
@@ -173,6 +203,7 @@ let bench_workload (w : Workloads.Workload.t) =
         sim_phase "sim_tls_bounded" tls_bounded.Tls.Simstats.runtime
           ~ref_wall:bounded_ref_wall
           ~cycles:tls_bounded.Tls.Simstats.total_cycles;
+        exec_phase;
       ];
   }
 
@@ -197,6 +228,12 @@ let phase_json b (p : phase) =
        (float_words p.ph_major_words));
   (match p.ph_cycles with
   | Some c -> Buffer.add_string b (Printf.sprintf ", \"cycles\": %d" c)
+  | None -> ());
+  (match p.ph_commits with
+  | Some c -> Buffer.add_string b (Printf.sprintf ", \"commits\": %d" c)
+  | None -> ());
+  (match p.ph_aborts with
+  | Some a -> Buffer.add_string b (Printf.sprintf ", \"aborts\": %d" a)
   | None -> ());
   Buffer.add_string b " }"
 
@@ -296,6 +333,26 @@ let check_phase ~workload p =
     List.mem name [ "sim_seq"; "sim_tls"; "sim_tls_sched"; "sim_tls_bounded" ]
   in
   let dual = List.mem name dual_engine_phase_names in
+  let exec = String.equal name exec_phase_name in
+  (* Commit/abort counters are the exec phase's payload: required there
+     (a run that committed nothing measured nothing), forbidden on every
+     other phase. *)
+  let counter key =
+    match field p key with
+    | Some v ->
+      if not exec then
+        Error
+          (Printf.sprintf "%s: %s phase must not carry %s" workload name key)
+      else
+        let* v = as_int (ctx key) v in
+        if v >= 0 then Ok () else Error (ctx key ^ " must be >= 0")
+    | None ->
+      if exec then
+        Error (Printf.sprintf "%s: %s phase lacks %s" workload name key)
+      else Ok ()
+  in
+  let* _ = counter "commits" in
+  let* _ = counter "aborts" in
   let* _ =
     match field p "ref_wall_ns" with
     | Some r ->
@@ -313,9 +370,14 @@ let check_phase ~workload p =
   in
   match field p "cycles" with
   | Some c ->
-    let* cycles = as_int (ctx "cycles") c in
-    if cycles > 0 then Ok (name, true)
-    else Error (ctx "cycles must be > 0")
+    if exec then
+      (* exec_tls is real execution: there is no simulated cycle count. *)
+      Error
+        (Printf.sprintf "%s: %s phase must not carry cycles" workload name)
+    else
+      let* cycles = as_int (ctx "cycles") c in
+      if cycles > 0 then Ok (name, true)
+      else Error (ctx "cycles must be > 0")
   | None ->
     if sim then Error (Printf.sprintf "%s: %s phase lacks cycles" workload name)
     else Ok (name, false)
@@ -471,6 +533,9 @@ let validate_json j =
   Buffer.add_string b
     (Printf.sprintf "dual-engine wall (event + ref oracle): %s\n"
        (String.concat " " dual_engine_phase_names));
+  Buffer.add_string b
+    (Printf.sprintf "real-exec wall + commit/abort counters: %s\n"
+       exec_phase_name);
   List.iter
     (fun (name, phases) ->
       Buffer.add_string b

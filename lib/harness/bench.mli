@@ -4,14 +4,17 @@
     trajectory record) so later PRs have a perf trajectory to regress
     against.
 
-    The seven phases mirror the Bechamel microbenchmarks in
-    [bench/main.ml]: frontend (lex+parse+check), lower (to IR), profile
-    (loop+dependence profiling), pass (full pipeline with memory sync),
-    sim_seq (sequential timing run), sim_tls (TLS run, C mode) and
-    sim_tls_bounded (TLS run, C mode under the finite-resource limits of
-    {!bounded_cfg}).  The sim phases surface the simulator's own
-    {!Tls.Simstats.runtime_counters} plus their deterministic cycle
-    counts.
+    The compile-and-simulate phases mirror the Bechamel microbenchmarks
+    in [bench/main.ml]: frontend (lex+parse+check), lower (to IR),
+    profile (loop+dependence profiling), pass (full pipeline with memory
+    sync), sim_seq (sequential timing run), sim_tls (TLS run, C mode)
+    and sim_tls_bounded (TLS run, C mode under the finite-resource
+    limits of {!bounded_cfg}).  The sim phases surface the simulator's
+    own {!Tls.Simstats.runtime_counters} plus their deterministic cycle
+    counts.  Schema v8 adds [exec_tls]: the same compiled code and input
+    run for real on OCaml domains by [Specrt], carrying the runtime's
+    commit/abort counters instead of a cycle count, so the baseline
+    records actual parallel wall time next to both simulators'.
 
     Numbers are one-shot measurements (a trajectory record, not a
     statistically analyzed benchmark — Bechamel part 1 covers that); the
@@ -21,7 +24,10 @@
     count, present only for the sim phases.  [ph_ref_wall_ns] (schema v7)
     is the cycle-stepped oracle engine's wall time on the same run,
     present only for the TLS sim phases ({!dual_engine_phase_names});
-    [ph_wall_ns] on those phases is the event engine. *)
+    [ph_wall_ns] on those phases is the event engine.  [ph_commits] and
+    [ph_aborts] (schema v8) are the speculative runtime's epoch counters,
+    present exactly on the [exec_tls] phase (and forbidden elsewhere —
+    as [ph_cycles] is forbidden on [exec_tls]). *)
 type phase = {
   ph_name : string;
   ph_wall_ns : int;
@@ -29,6 +35,8 @@ type phase = {
   ph_minor_words : float;
   ph_major_words : float;
   ph_cycles : int option;
+  ph_commits : int option;
+  ph_aborts : int option;
 }
 
 type workload_bench = { wb_name : string; wb_phases : phase list }
@@ -88,7 +96,12 @@ val dual_engine_phase_names : string list
     configuration of the [sim_tls_bounded] phase. *)
 val bounded_cfg : Tls.Config.t
 
-(** Time all seven phases of one workload. *)
+(** The phase run for real on domains, carrying commit/abort counters:
+    ["exec_tls"]. *)
+val exec_phase_name : string
+
+(** Time every phase of one workload, including the real [exec_tls]
+    execution. *)
 val bench_workload : Workloads.Workload.t -> workload_bench
 
 (** Time [f ()], returning its value and a phase record. *)

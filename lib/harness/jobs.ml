@@ -22,6 +22,7 @@ type attempt = { at_timeout_s : float; at_backoff_s : float }
 
 exception Job_timeout of { index : int; timeout_s : float }
 exception Retries_exhausted of { index : int; attempts : attempt list }
+exception Pool_failure of { reason : string }
 
 let available () = Domain.recommended_domain_count ()
 
@@ -124,7 +125,7 @@ let run_bounded ~index ~timeout_s ~policy f x =
     end
   end
 
-let parallel_map ?timeout ~policy ~jobs f items =
+let parallel_map ?timeout ?worker_fault ~policy ~jobs f items =
   let arr = Array.of_list items in
   let n = Array.length arr in
   let slots = Array.make n None in
@@ -138,9 +139,19 @@ let parallel_map ?timeout ~policy ~jobs f items =
   let rec worker () =
     let i = Atomic.fetch_and_add next 1 in
     if i < n then begin
+      (match worker_fault with Some hook -> hook i | None -> ());
       slots.(i) <- Some (run i);
       worker ()
     end
+  in
+  (* A worker body never lets an exception reach [Domain.join]: job
+     exceptions are already slotted by [run], and anything else — a
+     dying domain — is recorded here so the join below cannot re-raise
+     a raw sibling failure that would mask slotted results. *)
+  let worker_err = Atomic.make None in
+  let guarded_worker () =
+    try worker ()
+    with e -> ignore (Atomic.compare_and_set worker_err None (Some e))
   in
   (* The calling domain is worker number [jobs]; a failed spawn (fd or
      thread limits) just means fewer helpers — the queue still drains. *)
@@ -148,14 +159,25 @@ let parallel_map ?timeout ~policy ~jobs f items =
     let rec spawn k acc =
       if k <= 0 then acc
       else
-        match Domain.spawn worker with
+        match Domain.spawn guarded_worker with
         | d -> spawn (k - 1) (d :: acc)
         | exception _ -> acc
     in
     spawn (min (jobs - 1) (n - 1)) []
   in
-  worker ();
+  guarded_worker ();
   List.iter Domain.join helpers;
+  (* Pool self-check: a dead worker must not orphan queued work.  Any
+     unslotted item — claimed by a dying worker, or never claimed
+     because the workers died before draining the queue — is run inline
+     here, in the calling domain, without the fault hook.  Only if that
+     recovery itself cannot complete does the typed pool error escape. *)
+  (try
+     Array.iteri
+       (fun i slot -> if slot = None then slots.(i) <- Some (run i))
+       slots
+   with e ->
+     raise (Pool_failure { reason = "recovery failed: " ^ Printexc.to_string e }));
   Array.iteri
     (fun i slot ->
       match slot with
@@ -167,14 +189,16 @@ let parallel_map ?timeout ~policy ~jobs f items =
        (function
          | Some (Ok v) -> v
          | Some (Error _) | None ->
-           (* Unreachable: the queue was drained and errors re-raised. *)
-           assert false)
+           (* Unreachable after the self-check, but never a bare assert:
+              an unfilled slot is a pool invariant failure, typed. *)
+           raise (Pool_failure { reason = "result slot left empty" }))
        slots)
 
 let serial = { jobs = 1; map = serial_map }
 
-let create ?timeout ?(retry = false) ?retries ?(backoff = 0.0) ~jobs () =
-  if jobs <= 1 && timeout = None then serial
+let create ?timeout ?(retry = false) ?retries ?(backoff = 0.0) ?worker_fault
+    ~jobs () =
+  if jobs <= 1 && timeout = None && worker_fault = None then serial
   else
     let policy =
       match retries with
@@ -182,6 +206,11 @@ let create ?timeout ?(retry = false) ?retries ?(backoff = 0.0) ~jobs () =
       | None -> Single_retry retry
     in
     let jobs = max 1 jobs in
-    { jobs; map = (fun f items -> parallel_map ?timeout ~policy ~jobs f items) }
+    {
+      jobs;
+      map =
+        (fun f items ->
+          parallel_map ?timeout ?worker_fault ~policy ~jobs f items);
+    }
 
 let map ~jobs f items = (create ~jobs ()).map f items

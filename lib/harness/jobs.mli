@@ -41,6 +41,12 @@ exception Job_timeout of { index : int; timeout_s : float }
     granted. *)
 exception Retries_exhausted of { index : int; attempts : attempt list }
 
+(** The pool's own invariant broke: a result slot could not be filled
+    even by the inline recovery pass (see the worker-death contract on
+    {!create}).  Job exceptions never surface as this — they re-raise
+    as themselves, lowest index first. *)
+exception Pool_failure of { reason : string }
+
 (** Run everything in the calling domain ([jobs = 1]). *)
 val serial : t
 
@@ -65,12 +71,24 @@ val serial : t
     reproducible.  Exhaustion raises {!Retries_exhausted} carrying the
     attempted schedule instead of {!Job_timeout}.  When [?retries] is
     given, [?retry] is ignored; omitting both keeps the pre-existing
-    behavior exactly. *)
+    behavior exactly.
+
+    Worker-death contract: a domain that dies from an exception raised
+    outside a job (the jobs' own exceptions are slotted as results)
+    never orphans queued work and never masks slotted results — after
+    all workers are joined, a self-check re-runs every unslotted item
+    inline in the calling domain, so either every result is present (in
+    input order, job errors re-raised lowest index first as always) or
+    the typed {!Pool_failure} is raised.  [?worker_fault] is the fault
+    hook that regression-tests this contract: it is called with each
+    claimed index before the job runs, and an exception it raises kills
+    that worker the way an unexpected infrastructure failure would. *)
 val create :
   ?timeout:float ->
   ?retry:bool ->
   ?retries:int ->
   ?backoff:float ->
+  ?worker_fault:(int -> unit) ->
   jobs:int ->
   unit ->
   t

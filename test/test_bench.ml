@@ -16,7 +16,7 @@ let find_sub s sub =
 
 let contains s sub = find_sub s sub <> None
 
-let phase ?cycles ?ref_wall name =
+let phase ?cycles ?ref_wall ?commits ?aborts name =
   {
     Harness.Bench.ph_name = name;
     ph_wall_ns = 1_000;
@@ -24,6 +24,8 @@ let phase ?cycles ?ref_wall name =
     ph_minor_words = 10.0;
     ph_major_words = 2.0;
     ph_cycles = cycles;
+    ph_commits = commits;
+    ph_aborts = aborts;
   }
 
 let serve_phase ?(requests = 10) ?(completed = 10) ?(shed = 0) ?(degraded = 0)
@@ -60,6 +62,8 @@ let doc ?matrix ?(serve = []) () =
               (fun n ->
                 if List.mem n Harness.Bench.dual_engine_phase_names then
                   phase ~cycles:42 ~ref_wall:5_000 n
+                else if n = Harness.Bench.exec_phase_name then
+                  phase ~commits:7 ~aborts:3 n
                 else if String.length n >= 4 && String.sub n 0 4 = "sim_" then
                   phase ~cycles:42 n
                 else phase n)
@@ -131,7 +135,7 @@ let replace ~from ~into s =
 
 let schema_violations_are_rejected () =
   rejects "wrong version"
-    (replace ~from:"\"schema_version\": 7" ~into:"\"schema_version\": 2")
+    (replace ~from:"\"schema_version\": 8" ~into:"\"schema_version\": 2")
     "schema_version";
   rejects "wrong wall unit"
     (replace ~from:"\"wall\": \"ns\"" ~into:"\"wall\": \"ms\"")
@@ -143,8 +147,29 @@ let schema_violations_are_rejected () =
        ~into:"")
     "lower";
   rejects "sim phase without cycles"
-    (replace ~from:", \"cycles\": 42 }\n    ] }" ~into:" }\n    ] }")
+    (replace
+       ~from:"\"major_words\": 2, \"cycles\": 42 }"
+       ~into:"\"major_words\": 2 }")
     "cycles";
+  rejects "exec phase without commits"
+    (replace ~from:", \"commits\": 7" ~into:"")
+    "commits";
+  rejects "exec phase without aborts"
+    (replace ~from:", \"aborts\": 3" ~into:"")
+    "aborts";
+  rejects "negative aborts"
+    (replace ~from:"\"aborts\": 3" ~into:"\"aborts\": -1")
+    "aborts";
+  rejects "commits on a sim phase"
+    (replace
+       ~from:"\"phase\": \"sim_seq\", \"wall_ns\": 1000"
+       ~into:"\"phase\": \"sim_seq\", \"wall_ns\": 1000, \"commits\": 7")
+    "must not carry commits";
+  rejects "cycles on the exec phase"
+    (replace
+       ~from:"\"phase\": \"exec_tls\", \"wall_ns\": 1000"
+       ~into:"\"phase\": \"exec_tls\", \"wall_ns\": 1000, \"cycles\": 42")
+    "must not carry cycles";
   rejects "tls phase without ref_wall_ns"
     (replace ~from:", \"ref_wall_ns\": 5000" ~into:"")
     "ref_wall_ns";

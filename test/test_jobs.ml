@@ -158,6 +158,54 @@ let no_timeout_unchanged () =
     "plain parallel map" [ 0; 1; 4; 9; 16 ]
     (pool.Harness.Jobs.map (fun x -> x * x) [ 0; 1; 2; 3; 4 ])
 
+(* Worker-death contract: a domain dying mid-queue must not orphan the
+   items it would have claimed — the pool self-check re-runs them inline
+   and the map still returns every result, in input order. *)
+let dead_worker_orphans_nothing () =
+  let killed = Atomic.make false in
+  let worker_fault i =
+    (* Kill exactly one worker, whichever claims item 3. *)
+    if i = 3 && not (Atomic.exchange killed true) then
+      failwith "injected worker death"
+  in
+  let items = List.init 32 Fun.id in
+  let pool = Harness.Jobs.create ~worker_fault ~jobs:4 () in
+  Alcotest.(check (list int))
+    "all results slotted despite a dead worker"
+    (List.map (fun x -> x * x) items)
+    (pool.Harness.Jobs.map (fun x -> x * x) items);
+  Alcotest.(check bool) "the fault actually fired" true (Atomic.get killed)
+
+(* A job error must still re-raise as itself (lowest index first), not
+   be masked by a sibling domain's death. *)
+let dead_worker_does_not_mask_job_error () =
+  let killed = Atomic.make false in
+  let worker_fault i =
+    if i = 1 && not (Atomic.exchange killed true) then
+      failwith "injected worker death"
+  in
+  let pool = Harness.Jobs.create ~worker_fault ~jobs:4 () in
+  match
+    pool.Harness.Jobs.map
+      (fun x -> if x = 5 then raise Exit else x)
+      (List.init 16 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected the job's own exception"
+  | exception Exit -> Alcotest.(check bool) "fault fired" true (Atomic.get killed)
+  | exception e ->
+    Alcotest.fail ("job error was masked by: " ^ Printexc.to_string e)
+
+(* Every worker dying still drains the whole queue via the recovery
+   pass in the calling domain. *)
+let all_workers_die_queue_drains () =
+  let worker_fault _ = failwith "injected worker death" in
+  let items = List.init 12 Fun.id in
+  let pool = Harness.Jobs.create ~worker_fault ~jobs:4 () in
+  Alcotest.(check (list int))
+    "recovery pass completes the map"
+    (List.map succ items)
+    (pool.Harness.Jobs.map succ items)
+
 let () =
   Alcotest.run "jobs"
     [
@@ -178,5 +226,14 @@ let () =
             retries_exhausted_carries_history;
           Alcotest.test_case "retries rescue a flaky job" `Quick
             retries_rescues_flaky_job;
+        ] );
+      ( "pool-self-check",
+        [
+          Alcotest.test_case "dead worker orphans nothing" `Quick
+            dead_worker_orphans_nothing;
+          Alcotest.test_case "dead worker does not mask a job error" `Quick
+            dead_worker_does_not_mask_job_error;
+          Alcotest.test_case "all workers dead: queue still drains" `Quick
+            all_workers_die_queue_drains;
         ] );
     ]
