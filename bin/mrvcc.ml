@@ -12,6 +12,7 @@
      mrvcc simulate --bench parser --mode H      # a bundled benchmark
      mrvcc simulate --bench mcf --sync-sched     # with the sync scheduler
      mrvcc simulate --bench mcf --engine ref     # cycle-stepped oracle engine
+     mrvcc simulate --bench mcf --icode off      # boxed-IR event dispatcher
      mrvcc analyze --bench mcf                   # static stall + violation model
      mrvcc analyze --bench mcf --validate        # ... checked against the sim
      mrvcc analyze --bench mcf --json            # machine-readable estimates
@@ -31,6 +32,8 @@
      mrvcc serve requests.jsonl --cache-dir .cache --deadline 5 --retries 2
      mrvcc chaos --serve --bench twolf,ijpeg     # service-layer fault matrix
      mrvcc bench --json --serve --out B.json     # + serve load phases
+     mrvcc benchdiff BENCH_PR10.json fresh.json  # perf-regression gate
+     mrvcc benchdiff old.json new.json --tolerance 0.3
 
    `--jobs N` runs independent matrix cells on N domains; the rendered
    output is byte-identical to a serial run.  `--timeout S` (with
@@ -40,7 +43,11 @@
    `--spec-lines N` (with `--overflow-policy stall|squash`) and
    `--fwd-queue N` (DESIGN §12), plus `--engine ref|event` to pick the
    simulator core (DESIGN §15; both engines are byte-identical, `event`
-   is the default and the fast one).
+   is the default and the fast one) and `--icode on|off` to toggle the
+   flat instruction encoding the event engine dispatches on (DESIGN
+   §17).  `benchdiff OLD NEW` compares two bench baselines: exact
+   equality on deterministic counters, `--tolerance`-bounded growth on
+   per-phase wall geomeans; exit 1 on regression.
 
    Exit codes: 0 success; 1 findings / failed cells / output mismatch;
    2 usage error; 3 simulator deadlock; 4 simulator stuck (watchdog or
@@ -412,8 +419,29 @@ let apply_limits (sig_buffer, spec_lines, fwd_queue, policy) cfg =
   |> bound "fwd-queue" fwd_queue (fun cfg n ->
          { cfg with Tls.Config.fwd_queue_depth = n })
 
+let cmd_benchdiff old_file new_file tolerance =
+  let usage () =
+    prerr_endline "usage: mrvcc benchdiff OLD.json NEW.json [--tolerance T]";
+    exit 2
+  in
+  let old_path = match old_file with Some p -> p | None -> usage () in
+  let new_path = match new_file with Some p -> p | None -> usage () in
+  if tolerance < 0.0 then begin
+    Printf.eprintf "--tolerance must be non-negative (got %g)\n" tolerance;
+    exit 2
+  end;
+  match Harness.Bench.compare_files ~tolerance old_path new_path with
+  | Ok report ->
+    print_string report;
+    Printf.printf "perf gate: OK (%s -> %s)\n" old_path new_path
+  | Error report ->
+    print_string report;
+    print_newline ();
+    Printf.printf "perf gate: FAILED (%s -> %s)\n" old_path new_path;
+    exit 1
+
 let cmd_simulate file bench input threshold mode mutate max_cycles limits
-    sync_sched engine =
+    sync_sched engine icode =
   let source, input = resolve_program file bench input in
   with_errors (fun () ->
       let memory_sync =
@@ -439,6 +467,7 @@ let cmd_simulate file bench input threshold mode mutate max_cycles limits
           (apply_limits limits (apply_budget max_cycles (config_of_mode mode)))
           with
           Tls.Config.engine;
+          icode;
         }
       in
       let bounded =
@@ -1167,6 +1196,10 @@ open Cmdliner
 let file_arg =
   Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE")
 
+(* Second positional: the freshly measured baseline of `benchdiff OLD NEW`. *)
+let file2_arg =
+  Arg.(value & pos 2 (some string) None & info [] ~docv:"FILE2")
+
 let bench_arg =
   Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAME")
 
@@ -1314,6 +1347,27 @@ let engine_arg =
            produce byte-identical results; $(b,ref) exists as the oracle \
            the differential suite locks the event core against.")
 
+let icode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "icode" ] ~docv:"on|off"
+        ~doc:
+          "Whether the event engine dispatches on the flat pre-resolved \
+           icode encoding (default, DESIGN §17) or interprets the boxed \
+           IR directly. Results are byte-identical; $(b,off) is the \
+           escape hatch and the baseline the icode speedup is measured \
+           against.")
+
+let tolerance_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "tolerance" ] ~docv:"T"
+        ~doc:
+          "Relative wall-time growth $(b,benchdiff) accepts per phase \
+           (geomean across workloads) before failing, e.g. 0.5 = +50%. \
+           Deterministic counters always require exact equality.")
+
 let action_arg =
   Arg.(
     required
@@ -1321,7 +1375,8 @@ let action_arg =
         [ ("dump-ir", `Dump_ir); ("run", `Run); ("profile", `Profile);
           ("depgraph", `Depgraph); ("compile", `Compile); ("lint", `Lint);
           ("simulate", `Simulate); ("exec", `Exec); ("analyze", `Analyze);
-          ("chaos", `Chaos); ("bench", `Bench); ("serve", `Serve) ])) None
+          ("chaos", `Chaos); ("bench", `Bench); ("benchdiff", `Benchdiff);
+          ("serve", `Serve) ])) None
     & info [] ~docv:"ACTION")
 
 let domains_arg =
@@ -1475,9 +1530,9 @@ let limits_term =
         (sig_buffer, spec_lines, fwd_queue, policy))
     $ sig_buffer_arg $ spec_lines_arg $ fwd_queue_arg $ overflow_policy_arg)
 
-let main action file bench input threshold mode mutate modes fuzz seed jobs
-    max_cycles json out matrix capacity timeout retry limits sync_sched
-    engine validate serve serve_opts exec_flag exec_opts =
+let main action file file2 bench input threshold mode mutate modes fuzz seed
+    jobs max_cycles json out matrix capacity timeout retry limits sync_sched
+    engine icode tolerance validate serve serve_opts exec_flag exec_opts =
   match action with
   | `Dump_ir -> cmd_dump_ir file bench input
   | `Run -> cmd_run file bench input
@@ -1487,7 +1542,7 @@ let main action file bench input threshold mode mutate modes fuzz seed jobs
   | `Lint -> cmd_lint file bench input threshold mutate
   | `Simulate ->
     cmd_simulate file bench input threshold mode mutate max_cycles limits
-      sync_sched engine
+      sync_sched engine icode
   | `Exec -> cmd_exec file bench input threshold mode sync_sched exec_opts
   | `Analyze ->
     cmd_analyze file bench input threshold mode sync_sched json validate
@@ -1499,6 +1554,7 @@ let main action file bench input threshold mode mutate modes fuzz seed jobs
       cmd_chaos bench modes fuzz seed jobs max_cycles capacity timeout retry
         sync_sched
   | `Bench -> cmd_bench bench json out jobs matrix serve timeout retry
+  | `Benchdiff -> cmd_benchdiff file file2 tolerance
   | `Serve -> cmd_serve file jobs out serve_opts
 
 let cmd =
@@ -1506,11 +1562,12 @@ let cmd =
   Cmd.v
     (Cmd.info "mrvcc" ~doc)
     Term.(
-      const main $ action_arg $ file_arg $ bench_arg $ input_arg
+      const main $ action_arg $ file_arg $ file2_arg $ bench_arg $ input_arg
       $ threshold_arg $ mode_arg $ mutate_arg $ modes_arg $ fuzz_arg
       $ seed_arg $ jobs_arg $ max_cycles_arg $ json_arg $ out_arg
       $ matrix_arg $ capacity_arg $ timeout_arg $ retry_arg $ limits_term
-      $ sync_sched_arg $ engine_arg $ validate_arg $ serve_flag_arg
-      $ serve_opts_term $ exec_flag_arg $ exec_opts_term)
+      $ sync_sched_arg $ engine_arg $ icode_arg $ tolerance_arg
+      $ validate_arg $ serve_flag_arg $ serve_opts_term $ exec_flag_arg
+      $ exec_opts_term)
 
 let () = exit (Cmd.eval cmd)

@@ -2,6 +2,7 @@ type phase = {
   ph_name : string;
   ph_wall_ns : int;
   ph_ref_wall_ns : int option;
+  ph_icode_off_wall_ns : int option;
   ph_minor_words : float;
   ph_major_words : float;
   ph_cycles : int option;
@@ -39,7 +40,7 @@ type t = {
   bench_serve : serve_phase list;
 }
 
-let schema_version = 8
+let schema_version = 9
 
 let phase_names =
   [
@@ -50,7 +51,11 @@ let phase_names =
 (* The TLS sim phases are run on both engines since schema v7:
    [wall_ns] is the event engine (the default), [ref_wall_ns] the
    cycle-stepped oracle on the same compiled code and input.  [sim_seq]
-   has a single shared implementation, so it carries no ref time. *)
+   has a single shared implementation, so it carries no ref time.
+   Schema v9 adds a third timing to the same phases: [icode_off_wall_ns],
+   the event engine with the flat icode encoding disabled (the boxed
+   variant dispatcher), so the committed baseline records what the
+   encoding buys separately from what event-driven scheduling buys. *)
 let dual_engine_phase_names = [ "sim_tls"; "sim_tls_sched"; "sim_tls_bounded" ]
 
 (* [exec_tls] (schema v8) is not a simulation: it runs the compiled code
@@ -88,6 +93,7 @@ let timed_phase name f =
       ph_name = name;
       ph_wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
       ph_ref_wall_ns = None;
+      ph_icode_off_wall_ns = None;
       ph_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
       ph_major_words = g1.Gc.major_words -. g0.Gc.major_words;
       ph_cycles = None;
@@ -97,11 +103,13 @@ let timed_phase name f =
 
 (* A sim phase reuses the simulator's own runtime counters so the JSON
    surfaces exactly what Simstats recorded, not a second measurement. *)
-let sim_phase ?ref_wall name (rt : Tls.Simstats.runtime_counters) ~cycles =
+let sim_phase ?ref_wall ?icode_off_wall name
+    (rt : Tls.Simstats.runtime_counters) ~cycles =
   {
     ph_name = name;
     ph_wall_ns = rt.Tls.Simstats.rt_wall_ns;
     ph_ref_wall_ns = ref_wall;
+    ph_icode_off_wall_ns = icode_off_wall;
     ph_minor_words = rt.Tls.Simstats.rt_minor_words;
     ph_major_words = rt.Tls.Simstats.rt_major_words;
     ph_cycles = Some cycles;
@@ -143,6 +151,13 @@ let bench_workload (w : Workloads.Workload.t) =
   let ref_engine cfg = { cfg with Tls.Config.engine = Tls.Config.Engine_ref } in
   let ref_wall cfg code =
     let r = Tls.Sim.run (ref_engine cfg) code ~input:ref_input () in
+    r.Tls.Simstats.runtime.Tls.Simstats.rt_wall_ns
+  in
+  (* Third timing of the same run (schema v9): the event engine with the
+     flat icode encoding off, i.e. the boxed variant dispatcher. *)
+  let icode_off_wall cfg code =
+    let cfg = { cfg with Tls.Config.icode = false } in
+    let r = Tls.Sim.run cfg code ~input:ref_input () in
     r.Tls.Simstats.runtime.Tls.Simstats.rt_wall_ns
   in
   let tls =
@@ -197,11 +212,18 @@ let bench_workload (w : Workloads.Workload.t) =
         sim_phase "sim_seq" seq.Tls.Simstats.sq_runtime
           ~cycles:seq.Tls.Simstats.sq_cycles;
         sim_phase "sim_tls" tls.Tls.Simstats.runtime ~ref_wall:tls_ref_wall
+          ~icode_off_wall:
+            (icode_off_wall Tls.Config.c_mode compiled.Tlscore.Pipeline.code)
           ~cycles:tls.Tls.Simstats.total_cycles;
         sim_phase "sim_tls_sched" tls_sched.Tls.Simstats.runtime
-          ~ref_wall:sched_ref_wall ~cycles:tls_sched.Tls.Simstats.total_cycles;
+          ~ref_wall:sched_ref_wall
+          ~icode_off_wall:
+            (icode_off_wall Tls.Config.c_mode scheduled.Tlscore.Pipeline.code)
+          ~cycles:tls_sched.Tls.Simstats.total_cycles;
         sim_phase "sim_tls_bounded" tls_bounded.Tls.Simstats.runtime
           ~ref_wall:bounded_ref_wall
+          ~icode_off_wall:
+            (icode_off_wall bounded_cfg compiled.Tlscore.Pipeline.code)
           ~cycles:tls_bounded.Tls.Simstats.total_cycles;
         exec_phase;
       ];
@@ -221,6 +243,10 @@ let phase_json b (p : phase) =
        p.ph_wall_ns);
   (match p.ph_ref_wall_ns with
   | Some r -> Buffer.add_string b (Printf.sprintf ", \"ref_wall_ns\": %d" r)
+  | None -> ());
+  (match p.ph_icode_off_wall_ns with
+  | Some r ->
+    Buffer.add_string b (Printf.sprintf ", \"icode_off_wall_ns\": %d" r)
   | None -> ());
   Buffer.add_string b
     (Printf.sprintf ", \"minor_words\": %s, \"major_words\": %s"
@@ -353,21 +379,24 @@ let check_phase ~workload p =
   in
   let* _ = counter "commits" in
   let* _ = counter "aborts" in
-  let* _ =
-    match field p "ref_wall_ns" with
+  (* [ref_wall_ns] (v7) and [icode_off_wall_ns] (v9) ride exactly on the
+     dual-engine TLS sim phases and nowhere else. *)
+  let dual_wall key =
+    match field p key with
     | Some r ->
       if not dual then
         Error
-          (Printf.sprintf "%s: %s phase must not carry ref_wall_ns" workload
-             name)
+          (Printf.sprintf "%s: %s phase must not carry %s" workload name key)
       else
-        let* r = as_int (ctx "ref_wall_ns") r in
-        if r >= 0 then Ok () else Error (ctx "ref_wall_ns must be >= 0")
+        let* r = as_int (ctx key) r in
+        if r >= 0 then Ok () else Error (ctx key ^ " must be >= 0")
     | None ->
       if dual then
-        Error (Printf.sprintf "%s: %s phase lacks ref_wall_ns" workload name)
+        Error (Printf.sprintf "%s: %s phase lacks %s" workload name key)
       else Ok ()
   in
+  let* _ = dual_wall "ref_wall_ns" in
+  let* _ = dual_wall "icode_off_wall_ns" in
   match field p "cycles" with
   | Some c ->
     if exec then
@@ -531,7 +560,7 @@ let validate_json j =
   Buffer.add_string b (Printf.sprintf "schema_version %d\n" schema_version);
   Buffer.add_string b "units wall=ns alloc=words cycles=sim-cycles\n";
   Buffer.add_string b
-    (Printf.sprintf "dual-engine wall (event + ref oracle): %s\n"
+    (Printf.sprintf "dual-engine wall (event + ref oracle + icode off): %s\n"
        (String.concat " " dual_engine_phase_names));
   Buffer.add_string b
     (Printf.sprintf "real-exec wall + commit/abort counters: %s\n"
@@ -569,6 +598,236 @@ let validate_file path =
   let s = really_input_string ic n in
   close_in ic;
   validate_string s
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison — the perf-regression gate                      *)
+(* ------------------------------------------------------------------ *)
+
+(* `mrvcc benchdiff OLD NEW` compares a freshly measured baseline
+   against the committed one in two tiers:
+
+   - deterministic counters must be EXACTLY equal — the simulated cycle
+     counts of every sim phase, the real runtime's committed-epoch
+     counts, the matrix cell/job counts and the serve request mix are
+     functions of the code, not of the machine, so any drift is a
+     semantic change that must arrive with a regenerated baseline;
+   - wall times are one-shot measurements on a shared machine, so they
+     are gated per phase name on the geometric mean across workloads
+     with a relative tolerance (aggregating first keeps a single noisy
+     workload from tripping the gate, while a real regression moves the
+     mean).  Scheduling-dependent counters (exec_tls aborts) and serve
+     latencies are deliberately not gated. *)
+
+type baseline = {
+  (* (workload, phase) -> wall, ref_wall, icode_off_wall, cycles, commits *)
+  bl_phases :
+    ((string * string) * (int * int option * int option * int option * int option))
+    list;
+  bl_matrix : (int * int) option;  (* cells, jobs *)
+  bl_serve : (string * int) list;  (* serve phase -> request count *)
+}
+
+let baseline_of_json j =
+  let* workloads = require "workloads" (field j "workloads") in
+  let* workloads = as_arr "workloads" workloads in
+  let* phases =
+    List.fold_left
+      (fun acc w ->
+        let* acc = acc in
+        let* name = require "workloads[].name" (field w "name") in
+        let* name = as_str "workloads[].name" name in
+        let* ps = require (name ^ ".phases") (field w "phases") in
+        let* ps = as_arr (name ^ ".phases") ps in
+        List.fold_left
+          (fun acc p ->
+            let* acc = acc in
+            let* ph = require (name ^ ".phase") (field p "phase") in
+            let* ph = as_str (name ^ ".phase") ph in
+            let ctx key = Printf.sprintf "%s.%s.%s" name ph key in
+            let* wall = require (ctx "wall_ns") (field p "wall_ns") in
+            let* wall = as_int (ctx "wall_ns") wall in
+            let opt key =
+              match field p key with
+              | None -> Ok None
+              | Some v ->
+                let* v = as_int (ctx key) v in
+                Ok (Some v)
+            in
+            let* rw = opt "ref_wall_ns" in
+            let* iw = opt "icode_off_wall_ns" in
+            let* cy = opt "cycles" in
+            let* cm = opt "commits" in
+            Ok (((name, ph), (wall, rw, iw, cy, cm)) :: acc))
+          (Ok acc) ps)
+      (Ok []) workloads
+  in
+  let* matrix =
+    match field j "matrix" with
+    | None -> Ok None
+    | Some m ->
+      let* c = require "matrix.cells" (field m "cells") in
+      let* c = as_int "matrix.cells" c in
+      let* jb = require "matrix.jobs" (field m "jobs") in
+      let* jb = as_int "matrix.jobs" jb in
+      Ok (Some (c, jb))
+  in
+  let* serve =
+    match field j "serve" with
+    | None -> Ok []
+    | Some s ->
+      let* s = as_arr "serve" s in
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          let* n = require "serve[].phase" (field p "phase") in
+          let* n = as_str "serve[].phase" n in
+          let* r = require (n ^ ".requests") (field p "requests") in
+          let* r = as_int (n ^ ".requests") r in
+          Ok ((n, r) :: acc))
+        (Ok []) s
+  in
+  Ok
+    {
+      bl_phases = List.rev phases;
+      bl_matrix = matrix;
+      bl_serve = List.rev serve;
+    }
+
+let geomean = function
+  | [] -> 0.0
+  | l ->
+    exp
+      (List.fold_left (fun a v -> a +. log (float_of_int (max 1 v))) 0.0 l
+      /. float_of_int (List.length l))
+
+let compare_baselines ~tolerance (old_b : baseline) (new_b : baseline) =
+  let problems = ref [] in
+  let report = Buffer.create 1024 in
+  let problem fmt =
+    Printf.ksprintf (fun s -> problems := s :: !problems) fmt
+  in
+  (* Same workload x phase grid on both sides. *)
+  let keys b = List.map fst b.bl_phases in
+  List.iter
+    (fun (w, p) ->
+      if not (List.mem_assoc (w, p) new_b.bl_phases) then
+        problem "%s/%s present in old baseline, missing in new" w p)
+    (keys old_b);
+  List.iter
+    (fun (w, p) ->
+      if not (List.mem_assoc (w, p) old_b.bl_phases) then
+        problem "%s/%s present in new baseline, missing in old" w p)
+    (keys new_b);
+  let shared =
+    List.filter (fun k -> List.mem_assoc k new_b.bl_phases) (keys old_b)
+  in
+  (* Tier 1: deterministic counters, exact. *)
+  List.iter
+    (fun ((w, p) as k) ->
+      let _, _, _, ocy, ocm = List.assoc k old_b.bl_phases in
+      let _, _, _, ncy, ncm = List.assoc k new_b.bl_phases in
+      (match (ocy, ncy) with
+      | Some a, Some b when a <> b ->
+        problem "%s/%s: cycles %d -> %d (deterministic counter changed)" w p a
+          b
+      | Some _, None | None, Some _ ->
+        problem "%s/%s: cycles present on one side only" w p
+      | _ -> ());
+      match (ocm, ncm) with
+      | Some a, Some b when a <> b ->
+        problem "%s/%s: commits %d -> %d (deterministic counter changed)" w p
+          a b
+      | Some _, None | None, Some _ ->
+        problem "%s/%s: commits present on one side only" w p
+      | _ -> ())
+    shared;
+  (match (old_b.bl_matrix, new_b.bl_matrix) with
+  | Some (oc, oj), Some (nc, nj) ->
+    if oc <> nc then problem "matrix.cells %d -> %d" oc nc;
+    if oj <> nj then problem "matrix.jobs %d -> %d" oj nj
+  | Some _, None -> problem "matrix section disappeared"
+  | None, Some _ -> ()  (* a new section is not a regression *)
+  | None, None -> ());
+  List.iter
+    (fun (n, r) ->
+      match List.assoc_opt n new_b.bl_serve with
+      | Some r' when r <> r' -> problem "serve.%s.requests %d -> %d" n r r'
+      | None when new_b.bl_serve <> [] ->
+        problem "serve phase %s disappeared" n
+      | _ -> ())
+    old_b.bl_serve;
+  (* Tier 2: wall times, per-phase geomean across workloads with a
+     relative tolerance. *)
+  let phase_names_in b =
+    List.sort_uniq compare (List.map (fun ((_, p), _) -> p) b.bl_phases)
+  in
+  let walls b pick p =
+    List.filter_map
+      (fun ((_, p'), v) -> if String.equal p p' then pick v else None)
+      b.bl_phases
+  in
+  let gate kind pick p =
+    let o = walls old_b pick p and n = walls new_b pick p in
+    if o <> [] && n <> [] then begin
+      let go = geomean o and gn = geomean n in
+      let ratio = if go > 0.0 then gn /. go else 1.0 in
+      let verdict = if ratio <= 1.0 +. tolerance then "ok" else "REGRESSION" in
+      Buffer.add_string report
+        (Printf.sprintf "%-16s %-18s %10.3f ms -> %10.3f ms  x%.2f  %s\n" p
+           kind (go /. 1e6) (gn /. 1e6) ratio verdict);
+      if ratio > 1.0 +. tolerance then
+        problem "%s %s geomean regressed x%.2f (tolerance x%.2f)" p kind
+          ratio (1.0 +. tolerance)
+    end
+  in
+  List.iter
+    (fun p ->
+      gate "wall" (fun (w, _, _, _, _) -> Some w) p;
+      gate "ref_wall" (fun (_, r, _, _, _) -> r) p;
+      gate "icode_off_wall" (fun (_, _, i, _, _) -> i) p)
+    (phase_names_in old_b);
+  Buffer.add_string report
+    (Printf.sprintf
+       "counters compared on %d workload-phase cells; wall tolerance +%.0f%%\n"
+       (List.length shared) (tolerance *. 100.));
+  match !problems with
+  | [] -> Ok (Buffer.contents report)
+  | ps ->
+    Error
+      (Buffer.contents report ^ "\n"
+      ^ String.concat "\n" (List.rev ps))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compare_strings ~tolerance ?(old_name = "old baseline")
+    ?(new_name = "new baseline") old_s new_s =
+  let load what s =
+    (* Schema-validate first so the comparison never reads a malformed
+       document, then extract the comparison view. *)
+    let* _ =
+      Result.map_error (fun e -> Printf.sprintf "%s: %s" what e)
+        (validate_string s)
+    in
+    match Json.parse s with
+    | j ->
+      Result.map_error
+        (fun e -> Printf.sprintf "%s: %s" what e)
+        (baseline_of_json j)
+    | exception Json.Parse_error msg ->
+      Error (Printf.sprintf "%s: JSON parse error: %s" what msg)
+  in
+  let* old_b = load old_name old_s in
+  let* new_b = load new_name new_s in
+  compare_baselines ~tolerance old_b new_b
+
+let compare_files ~tolerance old_path new_path =
+  compare_strings ~tolerance ~old_name:old_path ~new_name:new_path
+    (read_file old_path) (read_file new_path)
 
 (* ------------------------------------------------------------------ *)
 (* Atomic file writes                                                  *)

@@ -24,7 +24,11 @@
     count, present only for the sim phases.  [ph_ref_wall_ns] (schema v7)
     is the cycle-stepped oracle engine's wall time on the same run,
     present only for the TLS sim phases ({!dual_engine_phase_names});
-    [ph_wall_ns] on those phases is the event engine.  [ph_commits] and
+    [ph_wall_ns] on those phases is the event engine.
+    [ph_icode_off_wall_ns] (schema v9) rides on the same phases: the
+    event engine with the flat icode encoding disabled (the boxed
+    variant dispatcher), so the baseline separates what the encoding
+    buys from what event-driven scheduling buys.  [ph_commits] and
     [ph_aborts] (schema v8) are the speculative runtime's epoch counters,
     present exactly on the [exec_tls] phase (and forbidden elsewhere —
     as [ph_cycles] is forbidden on [exec_tls]). *)
@@ -32,6 +36,7 @@ type phase = {
   ph_name : string;
   ph_wall_ns : int;
   ph_ref_wall_ns : int option;
+  ph_icode_off_wall_ns : int option;
   ph_minor_words : float;
   ph_major_words : float;
   ph_cycles : int option;
@@ -117,6 +122,27 @@ val to_json : t -> string
 val validate_string : string -> (string, string) result
 
 val validate_file : string -> (string, string) result
+
+(** Perf-regression gate over two schema-valid baselines (the
+    [mrvcc benchdiff] CLI and the CI perf gate).  Deterministic counters
+    — per-phase simulated cycle counts, real-runtime commit counts, the
+    matrix cell/job counts, the serve request mix — must be exactly
+    equal; wall times ([wall_ns], [ref_wall_ns], [icode_off_wall_ns])
+    are gated per phase name on the geometric mean across workloads,
+    which must not grow by more than [tolerance] (relative, e.g. [0.5]
+    = +50%).  Scheduling-dependent counters (exec_tls aborts) and serve
+    latencies are not gated.  [Ok report] is the comparison table;
+    [Error report] carries the same table plus one line per violation. *)
+val compare_strings :
+  tolerance:float ->
+  ?old_name:string ->
+  ?new_name:string ->
+  string ->
+  string ->
+  (string, string) result
+
+(** {!compare_strings} over two files (old baseline first). *)
+val compare_files : tolerance:float -> string -> string -> (string, string) result
 
 (** [write_file_atomic path contents] writes via a temp file in [path]'s
     directory followed by [Unix.rename], so an interrupted writer can

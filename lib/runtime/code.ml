@@ -4,6 +4,7 @@ type cblock = {
 }
 
 type cfunc = {
+  cf_id : int;
   cf_name : string;
   cf_nregs : int;
   cf_params : Ir.Instr.reg list;
@@ -17,8 +18,9 @@ type t = {
   initial_stores : (int * int) list;
 }
 
-let snapshot_func (f : Ir.Func.t) : cfunc =
+let snapshot_func ~id (f : Ir.Func.t) : cfunc =
   {
+    cf_id = id;
     cf_name = f.Ir.Func.name;
     cf_nregs = f.Ir.Func.nregs;
     cf_params = List.map snd f.Ir.Func.params;
@@ -31,8 +33,8 @@ let snapshot_func (f : Ir.Func.t) : cfunc =
 
 let of_prog (p : Ir.Prog.t) : t =
   let funcs = Hashtbl.create 64 in
-  List.iter
-    (fun (name, f) -> Hashtbl.replace funcs name (snapshot_func f))
+  List.iteri
+    (fun id (name, f) -> Hashtbl.replace funcs name (snapshot_func ~id f))
     p.Ir.Prog.funcs;
   {
     funcs;

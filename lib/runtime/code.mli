@@ -9,6 +9,7 @@ type cblock = {
 }
 
 type cfunc = {
+  cf_id : int;  (** dense index, stable across the snapshot (source order) *)
   cf_name : string;
   cf_nregs : int;
   cf_params : Ir.Instr.reg list;

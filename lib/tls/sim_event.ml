@@ -17,10 +17,11 @@
      re-executing the wait every cycle (the per-cycle charge an epoch
      would have accrued is applied eagerly, so the accounting is
      byte-identical),
-   - an {!Eventq} of wake events driving the next-interesting-cycle
-     skip.  The skip decisions themselves are exactly the reference
-     engine's: [fast_forward] only jumps when no epoch can act, to the
-     same cycle the reference's linear scan would find.
+   - a next-interesting-cycle skip over the live epoch window.  The
+     skip decisions themselves are exactly the reference engine's:
+     [fast_forward] only jumps when no epoch can act, to the same cycle
+     the reference's linear scan would find (the minimum wake time over
+     the window).
 
    The one observable-order-sensitive table, the commit-time
    [write_lines] scan, deliberately stays a stdlib [Hashtbl] fed the
@@ -38,6 +39,13 @@ type payload =
 type sent_entry = { se_payload : payload; se_avail : int }
 
 type estatus = Running | Done | Committed | Discarded
+
+(* Status tests as pattern matches: [status_running e.status] would compile
+   to the polymorphic [caml_equal], a C call the per-cycle scans pay
+   several times per simulated cycle. *)
+let[@inline] status_running = function Running -> true | _ -> false
+let[@inline] status_done = function Done -> true | _ -> false
+let[@inline] status_live = function Running | Done -> true | _ -> false
 
 type exitkind = Exit_back | Exit_out of int | Exit_return of int option
 
@@ -62,7 +70,7 @@ type epoch = {
   mutable a_busy : int;
   mutable a_sync : int;
   mutable a_other : int;
-  a_sync_chan : (Ir.Instr.channel, int) Hashtbl.t;
+  a_sync_chan : Scratch.t;              (* summed commutatively at commit *)
   mutable attempt_instrs : int;
   mutable restarts : int;
   mutable hold_until_oldest : bool;
@@ -144,8 +152,13 @@ type sim = {
   dropped_wakeups : (int * Ir.Instr.channel, unit) Hashtbl.t;
   resources : Simstats.resources;
   (* Event-engine machinery. *)
-  evq : Eventq.t;                       (* (wake cycle, epoch index) *)
   parking_enabled : bool;
+  (* Flat icode dispatch (DESIGN §17).  The side tables are hoisted out
+     of the [Icode.prog] record so the hot fetch is one load each. *)
+  use_icode : bool;
+  ic_funcs : Icode.func array;          (* indexed by [cf_id] *)
+  ic_names : string array;
+  ic_ret_opts : Ir.Instr.reg option array;
   mutable rcv_v : int;                  (* receive: Ready payload value *)
   mutable rcv_avail : int;              (* receive: Not_yet wake cycle *)
   mutable sig_a : int;                  (* signal payload scratch: addr *)
@@ -167,10 +180,20 @@ let drain_thread_output sim (t : Runtime.Thread.t) =
 
 let epoch_proc sim e = e.ep_index mod sim.cfg.Config.num_procs
 
-let is_oldest st e = e.ep_index = st.ts_oldest
+(* Flat offset of block [target] in [cfunc]'s icode — the frame fix-up
+   applied wherever the legacy convention "[pc <- 0] at block entry"
+   appears (region entry, TLS-exit handoff). *)
+let block_entry sim (cfunc : Runtime.Code.cfunc) target =
+  if sim.use_icode then
+    (Array.unsafe_get sim.ic_funcs
+       cfunc.Runtime.Code.cf_id).Icode.block_off.(target)
+  else 0
 
-(* Live epoch at absolute index [k], if the ring slot still holds it. *)
-let epoch_at st k =
+let[@inline] is_oldest st e = e.ep_index = st.ts_oldest
+
+(* Live epoch at absolute index [k], if the ring slot still holds it.
+   Inlined: the per-cycle scans call this once per window slot. *)
+let[@inline] epoch_at st k =
   if k < 0 then None
   else
     match st.ring.(k land (st.cap - 1)) with
@@ -182,7 +205,7 @@ let active_epochs st =
     if k >= st.ts_next_spawn then List.rev acc
     else
       match epoch_at st k with
-      | Some e when e.status = Running || e.status = Done ->
+      | Some e when status_live e.status ->
         collect (k + 1) (e :: acc)
       | _ -> collect (k + 1) acc
   in
@@ -218,10 +241,6 @@ let stuck_diag_of sim st reason =
   }
 
 let mark_fired sim fault = Hashtbl.replace sim.fired fault ()
-
-(* Post a wake event; past or never-wakes need no event. *)
-let post sim t k =
-  if t > sim.cycle && t < max_int then Eventq.push sim.evq ~cycle:t k
 
 (* Park invalidation: the producer-side state feeding epoch [k]'s wait
    changed, so its next poll must run the full path. *)
@@ -291,7 +310,7 @@ let fresh_epoch sim st index =
       e.a_busy <- 0;
       e.a_sync <- 0;
       e.a_other <- 0;
-      Hashtbl.reset e.a_sync_chan;
+      Scratch.clear e.a_sync_chan;
       e.attempt_instrs <- 0;
       e.restarts <- 0;
       e.hold_until_oldest <- false;
@@ -323,7 +342,7 @@ let fresh_epoch sim st index =
         a_busy = 0;
         a_sync = 0;
         a_other = 0;
-        a_sync_chan = Hashtbl.create 4;
+        a_sync_chan = Scratch.create ();
         attempt_instrs = 0;
         restarts = 0;
         hold_until_oldest = false;
@@ -334,13 +353,13 @@ let fresh_epoch sim st index =
         park_dirty = false;
       }
   in
-  post sim stall index;
   e
 
 let add_sync_chan e ch n =
   if ch >= 0 && n > 0 then begin
-    let prev = try Hashtbl.find e.a_sync_chan ch with Not_found -> 0 in
-    Hashtbl.replace e.a_sync_chan ch (n + prev)
+    let i = Scratch.probe e.a_sync_chan ch in
+    let prev = if i >= 0 then Scratch.value_at e.a_sync_chan i else 0 in
+    Scratch.set e.a_sync_chan ch (n + prev)
   end
 
 let reset_attempt sim st e =
@@ -349,7 +368,7 @@ let reset_attempt sim st e =
   e.a_busy <- 0;
   e.a_sync <- 0;
   e.a_other <- 0;
-  Hashtbl.reset e.a_sync_chan;
+  Scratch.clear e.a_sync_chan;
   e.attempt_instrs <- 0;
   Scratch.clear e.spec_writes;
   Scratch.clear e.read_lines;
@@ -372,7 +391,7 @@ let reset_attempt sim st e =
   dirty_succ st e
 
 let squash sim st e =
-  if e.status = Running || e.status = Done then begin
+  if status_live e.status then begin
     sim.squashed_epochs <- sim.squashed_epochs + 1;
     reset_attempt sim st e;
     e.status <- Running;
@@ -393,8 +412,7 @@ let cascade_squash sim st victim_idx =
     | Some e ->
       squash sim st e;
       e.stall_until <-
-        e.stall_until + (sim.cfg.Config.spawn_overhead * (k - victim_idx));
-      post sim e.stall_until k
+        e.stall_until + (sim.cfg.Config.spawn_overhead * (k - victim_idx))
     | None -> ()
   done
 
@@ -432,7 +450,7 @@ let predecessor_finished st e =
   if e.ep_index = 0 then true
   else
     match epoch_at st (e.ep_index - 1) with
-    | Some pred -> pred.status = Committed
+    | Some pred -> (match pred.status with Committed -> true | _ -> false)
     | None -> false
 
 (* Receive on a channel, int-coded: 0 = Ready (value in [sim.rcv_v]),
@@ -565,7 +583,7 @@ let epoch_load sim st e iid addr =
 let rec scan_line_readers sim st line k =
   if k < st.ts_next_spawn then begin
     match epoch_at st k with
-    | Some e' when e'.status = Running || e'.status = Done ->
+    | Some e' when status_live e'.status ->
       let s = Scratch.probe e'.read_lines line in
       if s >= 0 then
         violate sim st ~victim_idx:k
@@ -602,7 +620,7 @@ let epoch_store sim st e addr v =
         dirty_succ st e;
         match epoch_at st (e.ep_index + 1) with
         | Some succ
-          when (succ.status = Running || succ.status = Done)
+          when (status_live succ.status)
                && Hashtbl.mem succ.consumed ch ->
           violate sim st ~victim_idx:succ.ep_index
             ~load_iid:
@@ -624,7 +642,7 @@ let forwardable_value e ch addr =
 
 let fwd_queue_occupancy st e =
   match epoch_at st (e.ep_index + 1) with
-  | Some succ when succ.status = Running || succ.status = Done ->
+  | Some succ when status_live succ.status ->
     Hashtbl.fold
       (fun ch _ n -> if Hashtbl.mem succ.consumed ch then n else n + 1)
       e.sent 0
@@ -719,7 +737,7 @@ let epoch_signal_mem sim st e ch addr =
     if had_previous then begin
       match epoch_at st (e.ep_index + 1) with
       | Some succ
-        when (succ.status = Running || succ.status = Done)
+        when (status_live succ.status)
              && Hashtbl.mem succ.consumed ch ->
         violate sim st ~victim_idx:succ.ep_index
           ~load_iid:
@@ -780,8 +798,9 @@ let park sim e kind =
   end
 
 (* One instruction (or terminator) of epoch [e], with the reference
-   engine's hook semantics inlined. *)
-let epoch_step sim st e =
+   engine's hook semantics inlined.  This is the boxed-IR dispatcher
+   ([--icode off]); [epoch_step_ic] below is the flat-encoding mirror. *)
+let epoch_step_ir sim st e =
   let t = e.ep_thread in
   match t.Runtime.Thread.frames with
   | [] -> failwith "Thread: step on finished thread"
@@ -864,7 +883,6 @@ let epoch_step sim st e =
             e.blocked <- true;
             e.wake_at <- sim.rcv_avail;
             e.last_block <- ch;
-            post sim sim.rcv_avail e.ep_index;
             park sim e 2;
             1
           | _ ->
@@ -920,7 +938,6 @@ let epoch_step sim st e =
               e.wake_at <- sim.rcv_avail;
               e.last_block <- ch;
               note_blocked_wait sim e ch;
-              post sim e.wake_at e.ep_index;
               park sim e 1;
               1
             | _ ->
@@ -1074,6 +1091,386 @@ let epoch_step sim st e =
         | [] -> failwith "Thread: step on finished thread")
     end
 
+(* Pairwise argument binding over the inline (mode, value) slots of a
+   flat call site; same drop-extras / leave-unbound-zero semantics as
+   [bind_args]. *)
+let rec bind_args_ic code regs callee_regs params base n k =
+  if k < n then
+    match params with
+    | preg :: ps ->
+      let m = Array.unsafe_get code (base + (2 * k)) in
+      let v = Array.unsafe_get code (base + (2 * k) + 1) in
+      callee_regs.(preg) <- (if m <> 0 then v else Array.unsafe_get regs v);
+      bind_args_ic code regs callee_regs ps base n (k + 1)
+    | [] -> ()
+
+let[@inline] finish_ic (t : Runtime.Thread.t) (f : Runtime.Thread.frame) pc width
+    =
+  f.Runtime.Thread.pc <- pc + width;
+  t.Runtime.Thread.icount <- t.Runtime.Thread.icount + 1;
+  0
+
+(* [epoch_step_ir] over the flat icode encoding: under [use_icode] a
+   frame's [pc] is a flat offset into the function-wide [Icode.code]
+   array (blocks in label order, block 0 at offset 0, so the spawn-time
+   [pc = 0] convention is unchanged) and [block] is maintained but never
+   used for dispatch.  Every memory-system, scratch-table, and hashtable
+   operation happens in exactly the order of the boxed dispatcher — the
+   differential suite pins byte equality between the two.  The unchecked
+   array reads are licensed by {!Icode.verify}, which ran at
+   construction. *)
+let epoch_step_ic sim st e =
+  let t = e.ep_thread in
+  match t.Runtime.Thread.frames with
+  | [] -> failwith "Thread: step on finished thread"
+  | f :: frames_rest ->
+    let fn =
+      Array.unsafe_get sim.ic_funcs
+        f.Runtime.Thread.cfunc.Runtime.Code.cf_id
+    in
+    let code = fn.Icode.code in
+    let regs = f.Runtime.Thread.regs in
+    let pc = f.Runtime.Thread.pc in
+    let w = Array.unsafe_get code pc in
+    let op = w land 0xff in
+    if op < 16 then begin
+      (* Bin *)
+      let a = Array.unsafe_get code (pc + 3) in
+      let av = if w land 0x100 <> 0 then a else Array.unsafe_get regs a in
+      let b = Array.unsafe_get code (pc + 4) in
+      let bv = if w land 0x200 <> 0 then b else Array.unsafe_get regs b in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (pc + 2))
+        (Icode.eval_binop_i op av bv);
+      if op = 2 then sim.extra_latency <- sim.cfg.Config.lat_mul - 1
+      else if op = 3 || op = 4 then
+        sim.extra_latency <- sim.cfg.Config.lat_div - 1;
+      finish_ic t f pc 5
+    end
+    else
+      match op with
+      | 16 (* Mov *) ->
+        let a = Array.unsafe_get code (pc + 3) in
+        Array.unsafe_set regs
+          (Array.unsafe_get code (pc + 2))
+          (if w land 0x100 <> 0 then a else Array.unsafe_get regs a);
+        finish_ic t f pc 4
+      | 17 (* Load *) ->
+        let a = Array.unsafe_get code (pc + 3) in
+        let addr = if w land 0x100 <> 0 then a else Array.unsafe_get regs a in
+        Array.unsafe_set regs
+          (Array.unsafe_get code (pc + 2))
+          (epoch_load sim st e (Array.unsafe_get code (pc + 1)) addr);
+        finish_ic t f pc 4
+      | 18 (* Store *) ->
+        let a = Array.unsafe_get code (pc + 2) in
+        let addr = if w land 0x100 <> 0 then a else Array.unsafe_get regs a in
+        let v = Array.unsafe_get code (pc + 3) in
+        let value = if w land 0x200 <> 0 then v else Array.unsafe_get regs v in
+        epoch_store sim st e addr value;
+        finish_ic t f pc 4
+      | 19 (* Call *) ->
+        let fidx = Array.unsafe_get code (pc + 2) in
+        if fidx < 0 then
+          failwith
+            ("Thread: call to unknown function " ^ sim.ic_names.(-fidx - 1))
+        else begin
+          let callee = (Array.unsafe_get sim.ic_funcs fidx).Icode.fn_cfunc in
+          let callee_regs = Array.make callee.Runtime.Code.cf_nregs 0 in
+          let nargs = Array.unsafe_get code (pc + 4) in
+          bind_args_ic code regs callee_regs callee.Runtime.Code.cf_params
+            (pc + 5) nargs 0;
+          f.Runtime.Thread.pc <- pc + 5 + (2 * nargs);
+          t.Runtime.Thread.icount <- t.Runtime.Thread.icount + 1;
+          let callee_frame =
+            {
+              Runtime.Thread.cfunc = callee;
+              regs = callee_regs;
+              block = 0;
+              pc = 0;
+              ret_to = Array.unsafe_get sim.ic_ret_opts code.(pc + 3);
+              call_iid = Array.unsafe_get code (pc + 1);
+            }
+          in
+          t.Runtime.Thread.frames <- callee_frame :: t.Runtime.Thread.frames;
+          0
+        end
+      | 20 (* Print *) ->
+        let a = Array.unsafe_get code (pc + 2) in
+        t.Runtime.Thread.output <-
+          (if w land 0x100 <> 0 then a else Array.unsafe_get regs a)
+          :: t.Runtime.Thread.output;
+        finish_ic t f pc 3
+      | 21 (* Input *) ->
+        let a = Array.unsafe_get code (pc + 3) in
+        let idx = if w land 0x100 <> 0 then a else Array.unsafe_get regs a in
+        let input = t.Runtime.Thread.input in
+        Array.unsafe_set regs
+          (Array.unsafe_get code (pc + 2))
+          (if idx >= 0 && idx < Array.length input then input.(idx) else 0);
+        finish_ic t f pc 4
+      | 22 (* Input_len *) ->
+        Array.unsafe_set regs
+          (Array.unsafe_get code (pc + 2))
+          (Array.length t.Runtime.Thread.input);
+        finish_ic t f pc 3
+      | 23 (* Wait_scalar *) ->
+        let ch = Array.unsafe_get code (pc + 2) in
+        if not (Int_set.mem ch st.ts_channels) then
+          (* A nested region's synchronization, executed sequentially:
+             the "forwarded" value is the current one (identity). *)
+          finish_ic t f pc 4
+        else begin
+          match receive sim st e ch with
+          | 0 ->
+            Array.unsafe_set regs (Array.unsafe_get code (pc + 3)) sim.rcv_v;
+            finish_ic t f pc 4
+          | 1 ->
+            e.blocked <- true;
+            e.wake_at <- sim.rcv_avail;
+            e.last_block <- ch;
+            park sim e 2;
+            1
+          | _ ->
+            e.blocked <- true;
+            e.wake_at <- max_int;
+            e.last_block <- ch;
+            park sim e 2;
+            1
+        end
+      | 24 (* Signal_scalar *) ->
+        let ch = Array.unsafe_get code (pc + 2) in
+        if Int_set.mem ch st.ts_channels then begin
+          let a = Array.unsafe_get code (pc + 3) in
+          Hashtbl.replace e.sent ch
+            {
+              se_payload =
+                P_scalar
+                  (if w land 0x100 <> 0 then a else Array.unsafe_get regs a);
+              se_avail = sim.cycle + sim.cfg.Config.forward_latency;
+            };
+          dirty_succ st e;
+          note_fwd_peak sim st e
+        end;
+        finish_ic t f pc 4
+      | 25 (* Wait_mem *) ->
+        let ch = Array.unsafe_get code (pc + 2) in
+        if not (Int_set.mem ch st.ts_channels) then finish_ic t f pc 3
+        else if not sim.cfg.Config.stall_compiler_sync then finish_ic t f pc 3
+        else if
+          Hashtbl.length sim.dropped_wakeups > 0
+          && Hashtbl.mem sim.dropped_wakeups (e.ep_index, ch)
+        then begin
+          e.blocked <- true;
+          e.wake_at <- max_int;
+          e.last_block <- ch;
+          1
+        end
+        else if channel_filtered sim ch then finish_ic t f pc 3
+        else begin
+          match sim.cfg.Config.forward_timing with
+          | Config.Forward_perfect -> finish_ic t f pc 3
+          | Config.Forward_at_commit ->
+            if is_oldest st e then finish_ic t f pc 3
+            else begin
+              e.blocked <- true;
+              e.wake_at <- max_int;
+              e.last_block <- ch;
+              park sim e 3;
+              1
+            end
+          | Config.Forward_normal -> begin
+            match receive sim st e ch with
+            | 0 -> finish_ic t f pc 3
+            | 1 ->
+              e.blocked <- true;
+              e.wake_at <- sim.rcv_avail;
+              e.last_block <- ch;
+              note_blocked_wait sim e ch;
+              park sim e 1;
+              1
+            | _ ->
+              e.blocked <- true;
+              e.wake_at <- max_int;
+              e.last_block <- ch;
+              note_blocked_wait sim e ch;
+              park sim e 1;
+              1
+          end
+        end
+      | 26 (* Sync_load *) ->
+        let ch = Array.unsafe_get code (pc + 2) in
+        let iid = Array.unsafe_get code (pc + 1) in
+        let a = Array.unsafe_get code (pc + 4) in
+        let addr = if w land 0x100 <> 0 then a else Array.unsafe_get regs a in
+        let value =
+          if not (Int_set.mem ch st.ts_channels) then
+            speculative_load sim st e iid addr
+          else if not sim.cfg.Config.stall_compiler_sync then
+            speculative_load sim st e iid addr
+          else begin
+            match sim.cfg.Config.forward_timing with
+            | Config.Forward_perfect -> begin
+              match oracle_value sim st e iid with
+              | Some v ->
+                sim.extra_latency <- 0;
+                v
+              | None -> speculative_load sim st e iid addr
+            end
+            | Config.Forward_at_commit -> speculative_load sim st e iid addr
+            | Config.Forward_normal -> begin
+              if channel_filtered sim ch then speculative_load sim st e iid addr
+              else
+                match Hashtbl.find e.consumed ch with
+                | P_mem (fa, v) when fa <> 0 && fa = addr ->
+                  note_channel_outcome sim ch ~matched:true;
+                  let s = Scratch.probe e.spec_writes addr in
+                  if s >= 0 then begin
+                    sim.extra_latency <- 0;
+                    Scratch.value_at e.spec_writes s
+                  end
+                  else begin
+                    sim.extra_latency <- 0;
+                    v
+                  end
+                | _ ->
+                  note_channel_outcome sim ch ~matched:false;
+                  speculative_load sim st e iid addr
+                | exception Not_found ->
+                  if
+                    sim.cfg.Config.protocol_checks
+                    && not sim.cfg.Config.filter_useless_sync
+                  then
+                    raise
+                      (Stuck
+                         (stuck_diag_of sim st
+                            (Missing_wait { channel = ch; iid })))
+                  else begin
+                    note_channel_outcome sim ch ~matched:false;
+                    speculative_load sim st e iid addr
+                  end
+            end
+          end
+        in
+        Array.unsafe_set regs (Array.unsafe_get code (pc + 3)) value;
+        finish_ic t f pc 5
+      | 27 (* Signal_mem *) ->
+        let ch = Array.unsafe_get code (pc + 2) in
+        if Int_set.mem ch st.ts_channels then begin
+          let a = Array.unsafe_get code (pc + 3) in
+          epoch_signal_mem sim st e ch
+            (if w land 0x100 <> 0 then a else Array.unsafe_get regs a)
+        end;
+        finish_ic t f pc 4
+      | 28 (* Signal_mem_if_unsent *) ->
+        let ch = Array.unsafe_get code (pc + 2) in
+        if
+          Int_set.mem ch st.ts_channels
+          && sim.cfg.Config.stall_compiler_sync
+          && not (Hashtbl.mem e.sent ch)
+        then begin
+          let a = Array.unsafe_get code (pc + 3) in
+          epoch_signal_mem sim st e ch
+            (if w land 0x100 <> 0 then a else Array.unsafe_get regs a)
+        end;
+        finish_ic t f pc 4
+      | 29 (* Signal_null *) ->
+        let ch = Array.unsafe_get code (pc + 2) in
+        if Int_set.mem ch st.ts_channels && sim.cfg.Config.stall_compiler_sync
+        then begin
+          Hashtbl.replace e.sent ch
+            {
+              se_payload = P_mem (0, 0);
+              se_avail = sim.cycle + sim.cfg.Config.forward_latency;
+            };
+          dirty_succ st e;
+          note_fwd_peak sim st e
+        end;
+        finish_ic t f pc 3
+      | 30 (* Signal_null_if_unsent *) ->
+        let ch = Array.unsafe_get code (pc + 2) in
+        if
+          Int_set.mem ch st.ts_channels
+          && sim.cfg.Config.stall_compiler_sync
+          && not (Hashtbl.mem e.sent ch)
+        then begin
+          Hashtbl.replace e.sent ch
+            {
+              se_payload = P_mem (0, 0);
+              se_avail = sim.cycle + sim.cfg.Config.forward_latency;
+            };
+          dirty_succ st e;
+          note_fwd_peak sim st e
+        end;
+        finish_ic t f pc 3
+      | _ ->
+        (* Terminator. *)
+        let goto target off =
+          let proceed =
+            (match frames_rest with _ :: _ -> true | [] -> false)
+            ||
+            if target = st.ts_region.Ir.Region.header then begin
+              e.exitk <- Some Exit_back;
+              false
+            end
+            else if not (Int_set.mem target st.ts_blocks) then begin
+              e.exitk <- Some (Exit_out target);
+              false
+            end
+            else true
+          in
+          if proceed then begin
+            f.Runtime.Thread.block <- target;
+            f.Runtime.Thread.pc <- off;
+            t.Runtime.Thread.icount <- t.Runtime.Thread.icount + 1;
+            0
+          end
+          else 2
+        in
+        if op = 31 (* Jmp *) then
+          goto (Array.unsafe_get code (pc + 1)) (Array.unsafe_get code (pc + 2))
+        else if op = 32 (* Br *) then begin
+          let c = Array.unsafe_get code (pc + 1) in
+          let cv = if w land 0x100 <> 0 then c else Array.unsafe_get regs c in
+          if cv <> 0 then
+            goto
+              (Array.unsafe_get code (pc + 2))
+              (Array.unsafe_get code (pc + 4))
+          else
+            goto
+              (Array.unsafe_get code (pc + 3))
+              (Array.unsafe_get code (pc + 5))
+        end
+        else begin
+          (* Ret: bit 8 = has value, bit 9 = value is an immediate. *)
+          t.Runtime.Thread.icount <- t.Runtime.Thread.icount + 1;
+          match t.Runtime.Thread.frames with
+          | [ _ ] ->
+            t.Runtime.Thread.frames <- [];
+            sim.step_rv <-
+              (if w land 0x100 = 0 then None
+               else
+                 Some
+                   (let v = Array.unsafe_get code (pc + 1) in
+                    if w land 0x200 <> 0 then v else Array.unsafe_get regs v));
+            3
+          | _ :: (caller :: _ as rest) ->
+            (match f.Runtime.Thread.ret_to with
+            | Some dst ->
+              caller.Runtime.Thread.regs.(dst) <-
+                (if w land 0x100 = 0 then 0
+                 else
+                   let v = Array.unsafe_get code (pc + 1) in
+                   if w land 0x200 <> 0 then v else Array.unsafe_get regs v)
+            | None -> ());
+            t.Runtime.Thread.frames <- rest;
+            0
+          | [] -> failwith "Thread: step on finished thread"
+        end
+
+let epoch_step sim st e =
+  if sim.use_icode then epoch_step_ic sim st e else epoch_step_ir sim st e
+
 (* ------------------------------------------------------------------ *)
 (* Graduation                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -1088,7 +1485,7 @@ let epoch_step sim st e =
    neither.  The two cases are disjoint by instruction kind (loads
    vs. signals), so a single peek replaces the two separate decodes
    graduation used to run per issued instruction. *)
-let peek_next sim st e =
+let peek_next_ir sim st e =
   let hw =
     sim.cfg.Config.hw_sync_stall
     && (not (is_oldest st e))
@@ -1134,13 +1531,66 @@ let peek_next sim st e =
         else candidate
       end
 
+(* [peek_next_ir] over the flat encoding: one opcode fetch classifies
+   the upcoming instruction; terminators (op >= 31) never stall. *)
+let peek_next_ic sim st e =
+  let hw =
+    sim.cfg.Config.hw_sync_stall
+    && (not (is_oldest st e))
+    && not (Hwsync.is_empty sim.hwsync)
+  in
+  let fq = sim.cfg.Config.fwd_queue_depth <> max_int in
+  if (not hw) && not fq then -1
+  else
+    match e.ep_thread.Runtime.Thread.frames with
+    | [] -> -1
+    | f :: _ ->
+      let fn =
+        Array.unsafe_get sim.ic_funcs
+          f.Runtime.Thread.cfunc.Runtime.Code.cf_id
+      in
+      let code = fn.Icode.code in
+      let pc = f.Runtime.Thread.pc in
+      let op = Array.unsafe_get code pc land 0xff in
+      let mem_sync = sim.cfg.Config.stall_compiler_sync in
+      let candidate =
+        if op = 17 || op = 26 (* Load / Sync_load *) then
+          if
+            hw
+            && Hwsync.marked sim.hwsync (Array.unsafe_get code (pc + 1))
+            && not
+                 (sim.cfg.Config.hw_skip_compiler_synced
+                 && Int_set.mem
+                      (Array.unsafe_get code (pc + 1))
+                      st.ts_comp_loads)
+          then -2
+          else -1
+        else if op = 24 (* Signal_scalar *) then
+          if fq then Array.unsafe_get code (pc + 2) else -1
+        else if
+          (* Signal_mem / _if_unsent / Signal_null / _if_unsent *)
+          op >= 27 && op <= 30
+        then if fq && mem_sync then Array.unsafe_get code (pc + 2) else -1
+        else -1
+      in
+      if candidate >= 0 then
+        if
+          Int_set.mem candidate st.ts_channels
+          && not (Hashtbl.mem e.sent candidate)
+        then candidate
+        else -1
+      else candidate
+
+let peek_next sim st e =
+  if sim.use_icode then peek_next_ic sim st e else peek_next_ir sim st e
+
 (* Issue-slot loop as top-level recursion over the remaining slot
    count: this runs per epoch per cycle, so it must not allocate (a
    ref-cell loop or a local [let rec] closure would cost words per
    call). *)
 let rec graduate_slots sim st e slots =
   if slots > 0 then begin
-      if e.status <> Running then ()
+      if not (status_running e.status) then ()
       else if e.stall_until > sim.cycle then
         e.a_other <- e.a_other + slots
       else if e.hold_until_oldest && not (is_oldest st e) then begin
@@ -1188,16 +1638,13 @@ let rec graduate_slots sim st e slots =
             e.a_busy <- e.a_busy + 1;
             e.attempt_instrs <- e.attempt_instrs + 1;
             let extra = sim.extra_latency in
-            if extra > 0 then begin
-              e.stall_until <- sim.cycle + extra;
-              post sim e.stall_until e.ep_index
-            end;
-            if e.status = Running && e.overflow_squash_pending then begin
+            if extra > 0 then e.stall_until <- sim.cycle + extra;
+            if status_running e.status && e.overflow_squash_pending then begin
               cascade_squash sim st e.ep_index;
               e.hold_until_oldest <- true
             end
             else if
-              e.status = Running
+              status_running e.status
               && e.attempt_instrs > sim.cfg.Config.epoch_max_instrs
             then begin
               if is_oldest st e then
@@ -1209,7 +1656,6 @@ let rec graduate_slots sim st e slots =
                 else failwith "Sim: oldest epoch exceeded the instruction cap"
               else begin
                 squash sim st e;
-                post sim e.stall_until e.ep_index;
                 e.hold_until_oldest <- true
               end
             end
@@ -1252,7 +1698,7 @@ let accumulate_attempt sim e =
   sim.slots.Simstats.s_sync <- sim.slots.Simstats.s_sync + e.a_sync;
   sim.slots.Simstats.s_other_stall <-
     sim.slots.Simstats.s_other_stall + e.a_other;
-  Hashtbl.iter
+  Scratch.iter
     (fun ch n ->
       Hashtbl.replace sim.sync_by_channel ch
         (n + Option.value ~default:0 (Hashtbl.find_opt sim.sync_by_channel ch)))
@@ -1276,7 +1722,7 @@ let spurious_violation_fires sim =
 let try_commit sim st =
   if sim.cycle >= st.ts_commit_ready then begin
     match epoch_at st st.ts_oldest with
-    | Some e when e.status = Done ->
+    | Some e when status_done e.status ->
       if spurious_violation_fires sim then begin
         sim.violations <- sim.violations + 1;
         cascade_squash sim st e.ep_index
@@ -1327,7 +1773,7 @@ let rec spec_exit_pending st k =
   &&
   match epoch_at st k with
   | Some e when
-      e.status = Done
+      status_done e.status
       && (match e.exitk with Some Exit_back -> false | _ -> true) ->
     true
   | _ -> spec_exit_pending st (k + 1)
@@ -1355,7 +1801,7 @@ let procs_slots sim = sim.cfg.Config.num_procs * sim.cfg.Config.issue_width
 let rec step_epochs sim st width k =
   if k < st.ts_next_spawn && not st.ts_ended then begin
     (match epoch_at st k with
-    | Some e when e.status = Running ->
+    | Some e when status_running e.status ->
       (* Parked poller fast path: the wait would re-poll to the same
          blocked outcome (wake time not reached, producer state
          unchanged), so apply the charge the failed poll would. *)
@@ -1379,18 +1825,19 @@ let rec step_epochs sim st width k =
   end
 
 (* Wake cycle of an epoch as the reference fast-forward computes it. *)
-let wake_of sim e =
-  if e.status <> Running then max_int
+let[@inline] wake_of sim e =
+  if not (status_running e.status) then max_int
   else if e.stall_until > sim.cycle then e.stall_until
   else if e.blocked then e.wake_at
   else max_int
 
 (* Fast-forward when every epoch is stalled with a known wake time.  The
-   skip target comes from the event queue: every finite stall/wake
-   assignment posted an event, so the earliest valid event is exactly
-   the minimum the reference engine's scan would find.  Invalid events
-   (stale epoch, superseded wake) are discarded; a live epoch whose wake
-   moved is re-posted at its current wake so coverage is never lost. *)
+   skip target is the minimum of [wake_of] over the live window — every
+   stall or wake assignment is a field of some live epoch, and the
+   window is at most [num_procs + 1] slots, so the direct scan is
+   cheaper than maintaining a priority queue of wake events (which this
+   engine originally did: the queue paid heap traffic on every mul/div
+   stall only to be revalidated against these same fields on pop). *)
 (* An epoch that could issue this cycle (so no skip may happen).
    Top-level scans: these run every TLS cycle. *)
 let rec ff_runnable sim st k =
@@ -1398,50 +1845,37 @@ let rec ff_runnable sim st k =
   &&
   match epoch_at st k with
   | Some e when
-      e.status = Running && e.stall_until <= sim.cycle
+      status_running e.status && e.stall_until <= sim.cycle
       && not (e.blocked && e.wake_at > sim.cycle) ->
     true
   | _ -> ff_runnable sim st (k + 1)
 
-(* Earliest valid event cycle; discards stale entries and re-posts
-   moved wakes along the way. *)
-let rec ff_find_next sim st =
-  let q = sim.evq in
-  if Eventq.is_empty q then max_int
-  else begin
-    let c = Eventq.min_cycle q in
-    let k = Eventq.min_payload q in
-    match epoch_at st k with
-    | Some e when e.status = Running ->
-      let w = wake_of sim e in
-      if w = c then c
-      else begin
-        ignore (Eventq.pop q);
-        if w < max_int && w > sim.cycle then Eventq.push q ~cycle:w k;
-        ff_find_next sim st
-      end
-    | _ ->
-      ignore (Eventq.pop q);
-      ff_find_next sim st
-  end
+(* Earliest wake cycle over the live window. *)
+let rec ff_min_wake sim st k acc =
+  if k >= st.ts_next_spawn then acc
+  else
+    let acc =
+      match epoch_at st k with
+      | Some e ->
+        let w = wake_of sim e in
+        if w < acc then w else acc
+      | None -> acc
+    in
+    ff_min_wake sim st (k + 1) acc
 
 let fast_forward sim st =
-  let q = sim.evq in
-  while (not (Eventq.is_empty q)) && Eventq.min_cycle q <= sim.cycle do
-    ignore (Eventq.pop q)
-  done;
   let can_act_now =
     ff_runnable sim st st.ts_oldest
     || (match epoch_at st st.ts_oldest with
-       | Some e -> e.status = Done && sim.cycle >= st.ts_commit_ready
+       | Some e -> status_done e.status && sim.cycle >= st.ts_commit_ready
        | None -> false)
   in
   if can_act_now then ()
   else begin
-    let next = ff_find_next sim st in
+    let next = ff_min_wake sim st st.ts_oldest max_int in
     let next =
       match epoch_at st st.ts_oldest with
-      | Some e when e.status = Done -> min next st.ts_commit_ready
+      | Some e when status_done e.status -> min next st.ts_commit_ready
       | _ -> next
     in
     if next = max_int || next <= sim.cycle then ()
@@ -1450,7 +1884,7 @@ let fast_forward sim st =
       let w = sim.cfg.Config.issue_width in
       for k = st.ts_oldest to st.ts_next_spawn - 1 do
         match epoch_at st k with
-        | Some e when e.status = Running ->
+        | Some e when status_running e.status ->
           if e.blocked then begin
             e.a_sync <- e.a_sync + (skip * w);
             add_sync_chan e e.last_block (skip * w)
@@ -1531,7 +1965,8 @@ let finish_instance sim st =
     Array.blit ep_frame.Runtime.Thread.regs 0 seq_frame.Runtime.Thread.regs 0
       (Array.length seq_frame.Runtime.Thread.regs);
     seq_frame.Runtime.Thread.block <- target;
-    seq_frame.Runtime.Thread.pc <- 0
+    seq_frame.Runtime.Thread.pc <-
+      block_entry sim seq_frame.Runtime.Thread.cfunc target
   | Some (Exit_return rv) -> begin
     match sim.seq_thread.Runtime.Thread.frames with
     | f :: rest ->
@@ -1576,7 +2011,7 @@ let seq_regions_of sim (f : Runtime.Thread.frame) =
    loads/stores time through the memory system against committed state,
    sync instructions are transparent, and a goto onto a region header
    suspends into TLS mode. *)
-let seq_step sim =
+let seq_step_ir sim =
   let t = sim.seq_thread in
   match t.Runtime.Thread.frames with
   | [] -> failwith "Thread: step on finished thread"
@@ -1710,6 +2145,180 @@ let seq_step sim =
         | [] -> failwith "Thread: step on finished thread")
     end
 
+(* [seq_step_ir] over the flat encoding; same structure as
+   [epoch_step_ic] with the sequential memory/sync semantics. *)
+let seq_step_ic sim =
+  let t = sim.seq_thread in
+  match t.Runtime.Thread.frames with
+  | [] -> failwith "Thread: step on finished thread"
+  | f :: _ ->
+    let fn =
+      Array.unsafe_get sim.ic_funcs
+        f.Runtime.Thread.cfunc.Runtime.Code.cf_id
+    in
+    let code = fn.Icode.code in
+    let regs = f.Runtime.Thread.regs in
+    let pc = f.Runtime.Thread.pc in
+    let w = Array.unsafe_get code pc in
+    let op = w land 0xff in
+    if op < 16 then begin
+      let a = Array.unsafe_get code (pc + 3) in
+      let av = if w land 0x100 <> 0 then a else Array.unsafe_get regs a in
+      let b = Array.unsafe_get code (pc + 4) in
+      let bv = if w land 0x200 <> 0 then b else Array.unsafe_get regs b in
+      Array.unsafe_set regs
+        (Array.unsafe_get code (pc + 2))
+        (Icode.eval_binop_i op av bv);
+      if op = 2 then sim.extra_latency <- sim.cfg.Config.lat_mul - 1
+      else if op = 3 || op = 4 then
+        sim.extra_latency <- sim.cfg.Config.lat_div - 1;
+      finish_ic t f pc 5
+    end
+    else
+      match op with
+      | 16 (* Mov *) ->
+        let a = Array.unsafe_get code (pc + 3) in
+        Array.unsafe_set regs
+          (Array.unsafe_get code (pc + 2))
+          (if w land 0x100 <> 0 then a else Array.unsafe_get regs a);
+        finish_ic t f pc 4
+      | 17 (* Load *) ->
+        let a = Array.unsafe_get code (pc + 3) in
+        let addr = if w land 0x100 <> 0 then a else Array.unsafe_get regs a in
+        sim.extra_latency <- Memsys.access sim.memsys ~proc:0 ~addr - 1;
+        Array.unsafe_set regs
+          (Array.unsafe_get code (pc + 2))
+          (Runtime.Memory.get sim.committed addr);
+        finish_ic t f pc 4
+      | 18 (* Store *) ->
+        let a = Array.unsafe_get code (pc + 2) in
+        let addr = if w land 0x100 <> 0 then a else Array.unsafe_get regs a in
+        sim.extra_latency <- Memsys.access sim.memsys ~proc:0 ~addr - 1;
+        let v = Array.unsafe_get code (pc + 3) in
+        Runtime.Memory.store sim.committed addr
+          (if w land 0x200 <> 0 then v else Array.unsafe_get regs v);
+        finish_ic t f pc 4
+      | 19 (* Call *) ->
+        let fidx = Array.unsafe_get code (pc + 2) in
+        if fidx < 0 then
+          failwith
+            ("Thread: call to unknown function " ^ sim.ic_names.(-fidx - 1))
+        else begin
+          let callee = (Array.unsafe_get sim.ic_funcs fidx).Icode.fn_cfunc in
+          let callee_regs = Array.make callee.Runtime.Code.cf_nregs 0 in
+          let nargs = Array.unsafe_get code (pc + 4) in
+          bind_args_ic code regs callee_regs callee.Runtime.Code.cf_params
+            (pc + 5) nargs 0;
+          f.Runtime.Thread.pc <- pc + 5 + (2 * nargs);
+          t.Runtime.Thread.icount <- t.Runtime.Thread.icount + 1;
+          let callee_frame =
+            {
+              Runtime.Thread.cfunc = callee;
+              regs = callee_regs;
+              block = 0;
+              pc = 0;
+              ret_to = Array.unsafe_get sim.ic_ret_opts code.(pc + 3);
+              call_iid = Array.unsafe_get code (pc + 1);
+            }
+          in
+          t.Runtime.Thread.frames <- callee_frame :: t.Runtime.Thread.frames;
+          0
+        end
+      | 20 (* Print *) ->
+        let a = Array.unsafe_get code (pc + 2) in
+        t.Runtime.Thread.output <-
+          (if w land 0x100 <> 0 then a else Array.unsafe_get regs a)
+          :: t.Runtime.Thread.output;
+        finish_ic t f pc 3
+      | 21 (* Input *) ->
+        let a = Array.unsafe_get code (pc + 3) in
+        let idx = if w land 0x100 <> 0 then a else Array.unsafe_get regs a in
+        let input = t.Runtime.Thread.input in
+        Array.unsafe_set regs
+          (Array.unsafe_get code (pc + 2))
+          (if idx >= 0 && idx < Array.length input then input.(idx) else 0);
+        finish_ic t f pc 4
+      | 22 (* Input_len *) ->
+        Array.unsafe_set regs
+          (Array.unsafe_get code (pc + 2))
+          (Array.length t.Runtime.Thread.input);
+        finish_ic t f pc 3
+      | 23 (* Wait_scalar: sequentially the identity. *) -> finish_ic t f pc 4
+      | 24 (* Signal_scalar *) -> finish_ic t f pc 4
+      | 25 (* Wait_mem *) -> finish_ic t f pc 3
+      | 26 (* Sync_load *) ->
+        let a = Array.unsafe_get code (pc + 4) in
+        let addr = if w land 0x100 <> 0 then a else Array.unsafe_get regs a in
+        Array.unsafe_set regs
+          (Array.unsafe_get code (pc + 3))
+          (Runtime.Memory.get sim.committed addr);
+        finish_ic t f pc 5
+      | 27 | 28 (* Signal_mem / _if_unsent *) -> finish_ic t f pc 4
+      | 29 | 30 (* Signal_null / _if_unsent *) -> finish_ic t f pc 3
+      | _ ->
+        let goto target off =
+          let proceed =
+            let arr = seq_regions_of sim f in
+            if target < Array.length arr then begin
+              match arr.(target) with
+              | Some r ->
+                sim.pending_region <- Some r;
+                false
+              | None -> true
+            end
+            else true
+          in
+          if proceed then begin
+            f.Runtime.Thread.block <- target;
+            f.Runtime.Thread.pc <- off;
+            t.Runtime.Thread.icount <- t.Runtime.Thread.icount + 1;
+            0
+          end
+          else 2
+        in
+        if op = 31 (* Jmp *) then
+          goto (Array.unsafe_get code (pc + 1)) (Array.unsafe_get code (pc + 2))
+        else if op = 32 (* Br *) then begin
+          let c = Array.unsafe_get code (pc + 1) in
+          let cv = if w land 0x100 <> 0 then c else Array.unsafe_get regs c in
+          if cv <> 0 then
+            goto
+              (Array.unsafe_get code (pc + 2))
+              (Array.unsafe_get code (pc + 4))
+          else
+            goto
+              (Array.unsafe_get code (pc + 3))
+              (Array.unsafe_get code (pc + 5))
+        end
+        else begin
+          (* Ret *)
+          t.Runtime.Thread.icount <- t.Runtime.Thread.icount + 1;
+          match t.Runtime.Thread.frames with
+          | [ _ ] ->
+            t.Runtime.Thread.frames <- [];
+            sim.step_rv <-
+              (if w land 0x100 = 0 then None
+               else
+                 Some
+                   (let v = Array.unsafe_get code (pc + 1) in
+                    if w land 0x200 <> 0 then v else Array.unsafe_get regs v));
+            3
+          | _ :: (caller :: _ as rest) ->
+            (match f.Runtime.Thread.ret_to with
+            | Some dst ->
+              caller.Runtime.Thread.regs.(dst) <-
+                (if w land 0x100 = 0 then 0
+                 else
+                   let v = Array.unsafe_get code (pc + 1) in
+                   if w land 0x200 <> 0 then v else Array.unsafe_get regs v)
+            | None -> ());
+            t.Runtime.Thread.frames <- rest;
+            0
+          | [] -> failwith "Thread: step on finished thread"
+        end
+
+let seq_step sim = if sim.use_icode then seq_step_ic sim else seq_step_ir sim
+
 let enter_tls sim (r : Ir.Region.t) =
   let instance =
     match Hashtbl.find_opt sim.instance_counters r.Ir.Region.id with
@@ -1720,7 +2329,8 @@ let enter_tls sim (r : Ir.Region.t) =
   let seq_frame = Runtime.Thread.current_frame sim.seq_thread in
   let base = Runtime.Thread.copy_frame seq_frame in
   base.Runtime.Thread.block <- r.Ir.Region.header;
-  base.Runtime.Thread.pc <- 0;
+  base.Runtime.Thread.pc <-
+    block_entry sim base.Runtime.Thread.cfunc r.Ir.Region.header;
   let entry_sent = Hashtbl.create 8 in
   List.iter
     (fun (sc : Ir.Region.scalar_channel) ->
@@ -1758,7 +2368,6 @@ let enter_tls sim (r : Ir.Region.t) =
     let rec up c = if c > sim.cfg.Config.num_procs then c else up (c * 2) in
     up 1
   in
-  Eventq.clear sim.evq;
   let st =
     {
       ts_region = r;
@@ -1788,28 +2397,28 @@ let seq_cycle sim =
     sim.cycle <- sim.cycle + skip;
     sim.seq_cycles <- sim.seq_cycles + skip
   end;
-  let slots = ref sim.cfg.Config.issue_width in
-  let continue_ = ref true in
-  while !slots > 0 && !continue_ && not sim.finished do
-    sim.extra_latency <- 0;
-    match seq_step sim with
-    | 0 ->
-      decr slots;
-      if sim.extra_latency > 0 then begin
-        sim.seq_stall_until <- sim.cycle + sim.extra_latency;
-        continue_ := false
+  (* Slot loop as a counted recursion: a ref-cell [while] would
+     allocate two cells per sequential cycle. *)
+  let rec go slots =
+    if slots > 0 && not sim.finished then begin
+      sim.extra_latency <- 0;
+      match seq_step sim with
+      | 0 ->
+        if sim.extra_latency > 0 then
+          sim.seq_stall_until <- sim.cycle + sim.extra_latency
+        else go (slots - 1)
+      | 2 -> begin
+        match sim.pending_region with
+        | Some r ->
+          sim.pending_region <- None;
+          enter_tls sim r
+        | None -> failwith "Sim: sequential thread suspended without a region"
       end
-    | 2 -> begin
-      match sim.pending_region with
-      | Some r ->
-        sim.pending_region <- None;
-        enter_tls sim r;
-        continue_ := false
-      | None -> failwith "Sim: sequential thread suspended without a region"
+      | 1 -> failwith "Sim: sequential thread blocked"
+      | _ -> sim.finished <- true
     end
-    | 1 -> failwith "Sim: sequential thread blocked"
-    | _ -> sim.finished <- true
-  done;
+  in
+  go sim.cfg.Config.issue_width;
   sim.cycle <- sim.cycle + 1;
   sim.seq_cycles <- sim.seq_cycles + 1
 
@@ -1859,6 +2468,8 @@ let create_sim cfg code ~input ~oracle =
             (fun f -> match f with Config.Drop_wakeup _ -> true | _ -> false)
             cfg.Config.sim_faults)
   in
+  let use_icode = cfg.Config.icode in
+  let ic = if use_icode then Icode.of_code code else Icode.empty in
   {
     cfg;
     code;
@@ -1901,8 +2512,11 @@ let create_sim cfg code ~input ~oracle =
     fired = Hashtbl.create 4;
     dropped_wakeups = Hashtbl.create 4;
     resources = Simstats.fresh_resources ();
-    evq = Eventq.create ~capacity:256 ();
     parking_enabled;
+    use_icode;
+    ic_funcs = ic.Icode.funcs;
+    ic_names = ic.Icode.names;
+    ic_ret_opts = ic.Icode.ret_opts;
     rcv_v = 0;
     rcv_avail = 0;
     sig_a = 0;

@@ -16,11 +16,13 @@ let find_sub s sub =
 
 let contains s sub = find_sub s sub <> None
 
-let phase ?cycles ?ref_wall ?commits ?aborts name =
+let phase ?cycles ?ref_wall ?icode_off_wall ?commits ?aborts ?(wall = 1_000)
+    name =
   {
     Harness.Bench.ph_name = name;
-    ph_wall_ns = 1_000;
+    ph_wall_ns = wall;
     ph_ref_wall_ns = ref_wall;
+    ph_icode_off_wall_ns = icode_off_wall;
     ph_minor_words = 10.0;
     ph_major_words = 2.0;
     ph_cycles = cycles;
@@ -61,7 +63,7 @@ let doc ?matrix ?(serve = []) () =
             List.map
               (fun n ->
                 if List.mem n Harness.Bench.dual_engine_phase_names then
-                  phase ~cycles:42 ~ref_wall:5_000 n
+                  phase ~cycles:42 ~ref_wall:5_000 ~icode_off_wall:2_000 n
                 else if n = Harness.Bench.exec_phase_name then
                   phase ~commits:7 ~aborts:3 n
                 else if String.length n >= 4 && String.sub n 0 4 = "sim_" then
@@ -135,7 +137,7 @@ let replace ~from ~into s =
 
 let schema_violations_are_rejected () =
   rejects "wrong version"
-    (replace ~from:"\"schema_version\": 8" ~into:"\"schema_version\": 2")
+    (replace ~from:"\"schema_version\": 9" ~into:"\"schema_version\": 2")
     "schema_version";
   rejects "wrong wall unit"
     (replace ~from:"\"wall\": \"ns\"" ~into:"\"wall\": \"ms\"")
@@ -181,6 +183,20 @@ let schema_violations_are_rejected () =
        ~from:"\"phase\": \"sim_seq\", \"wall_ns\": 1000"
        ~into:"\"phase\": \"sim_seq\", \"wall_ns\": 1000, \"ref_wall_ns\": 900")
     "must not carry ref_wall_ns";
+  rejects "tls phase without icode_off_wall_ns"
+    (replace ~from:", \"icode_off_wall_ns\": 2000" ~into:"")
+    "icode_off_wall_ns";
+  rejects "negative icode_off_wall_ns"
+    (replace ~from:"\"icode_off_wall_ns\": 2000"
+       ~into:"\"icode_off_wall_ns\": -1")
+    "icode_off_wall_ns";
+  rejects "icode_off_wall_ns on a single-engine phase"
+    (replace
+       ~from:"\"phase\": \"sim_seq\", \"wall_ns\": 1000"
+       ~into:
+         "\"phase\": \"sim_seq\", \"wall_ns\": 1000, \"icode_off_wall_ns\": \
+          900")
+    "must not carry icode_off_wall_ns";
   rejects "negative wall time"
     (replace ~from:"\"wall_ns\": 1000" ~into:"\"wall_ns\": -5")
     "wall_ns";
@@ -270,6 +286,83 @@ let truncated_is_rejected () =
           (Printf.sprintf "truncation at %d%% (%d bytes) validated" frac cut)
       | Error _ -> ())
     [ 10; 50; 90; 99 ]
+
+(* ------------------------------------------------------------------ *)
+(* Perf-regression gate (mrvcc benchdiff / the CI perf gate)           *)
+(* ------------------------------------------------------------------ *)
+
+let gate ?(tolerance = 0.5) old_s new_s =
+  Harness.Bench.compare_strings ~tolerance old_s new_s
+
+let gate_passes_identical_baselines () =
+  let j = Harness.Bench.to_json (doc ~matrix ~serve:serve_phases ()) in
+  match gate j j with
+  | Ok report ->
+    check_bool "report shows per-phase table" true (contains report "sim_tls");
+    check_bool "no regressions flagged" false (contains report "REGRESSION")
+  | Error report -> Alcotest.fail ("identical baselines rejected: " ^ report)
+
+let gate_tolerates_noise () =
+  let old_j = Harness.Bench.to_json (doc ~matrix ()) in
+  (* +40% on one wall is inside the +50% tolerance. *)
+  let new_j =
+    replace
+      ~from:"\"phase\": \"sim_tls\", \"wall_ns\": 1000"
+      ~into:"\"phase\": \"sim_tls\", \"wall_ns\": 1400" old_j
+  in
+  match gate old_j new_j with
+  | Ok _ -> ()
+  | Error report -> Alcotest.fail ("noise within tolerance rejected: " ^ report)
+
+let gate_fails_on_injected_wall_regression () =
+  let old_j = Harness.Bench.to_json (doc ~matrix ()) in
+  let new_j =
+    replace
+      ~from:"\"phase\": \"sim_tls\", \"wall_ns\": 1000"
+      ~into:"\"phase\": \"sim_tls\", \"wall_ns\": 9000" old_j
+  in
+  (match gate old_j new_j with
+  | Ok report -> Alcotest.fail ("9x wall regression passed the gate: " ^ report)
+  | Error report ->
+    check_bool "regression named in report" true (contains report "REGRESSION");
+    check_bool "offending phase named" true (contains report "sim_tls"));
+  (* The ref-oracle and icode-off walls are gated too. *)
+  let new_j =
+    replace ~from:"\"icode_off_wall_ns\": 2000"
+      ~into:"\"icode_off_wall_ns\": 20000" old_j
+  in
+  match gate old_j new_j with
+  | Ok report ->
+    Alcotest.fail ("icode-off wall regression passed the gate: " ^ report)
+  | Error report ->
+    check_bool "icode_off regression flagged" true
+      (contains report "icode_off_wall")
+
+let gate_fails_on_counter_drift () =
+  let old_j = Harness.Bench.to_json (doc ~matrix ()) in
+  (* Simulated cycle counts are deterministic: ANY drift fails, no
+     tolerance applies. *)
+  let new_j = replace ~from:"\"cycles\": 42" ~into:"\"cycles\": 43" old_j in
+  (match gate new_j old_j with
+  | Ok _ -> Alcotest.fail "cycle drift passed the gate"
+  | Error report ->
+    check_bool "counter drift named" true
+      (contains report "deterministic counter changed"));
+  let new_j = replace ~from:"\"commits\": 7" ~into:"\"commits\": 8" old_j in
+  match gate old_j new_j with
+  | Ok _ -> Alcotest.fail "commit drift passed the gate"
+  | Error report ->
+    check_bool "commit drift named" true (contains report "commits")
+
+let gate_rejects_malformed_input () =
+  let ok = Harness.Bench.to_json (doc ~matrix ()) in
+  (match gate "{ nope" ok with
+  | Ok _ -> Alcotest.fail "malformed old baseline accepted"
+  | Error msg -> check_bool "parse error surfaced" true
+      (contains msg "parse error"));
+  match gate ok (String.sub ok 0 (String.length ok / 2)) with
+  | Ok _ -> Alcotest.fail "truncated new baseline accepted"
+  | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Atomic baseline writes                                              *)
@@ -363,6 +456,19 @@ let () =
             serve_violations_are_rejected;
           Alcotest.test_case "truncated document rejected" `Quick
             truncated_is_rejected;
+        ] );
+      ( "benchdiff",
+        [
+          Alcotest.test_case "identical baselines pass" `Quick
+            gate_passes_identical_baselines;
+          Alcotest.test_case "noise within tolerance passes" `Quick
+            gate_tolerates_noise;
+          Alcotest.test_case "injected wall regression fails" `Quick
+            gate_fails_on_injected_wall_regression;
+          Alcotest.test_case "deterministic counter drift fails" `Quick
+            gate_fails_on_counter_drift;
+          Alcotest.test_case "malformed input rejected" `Quick
+            gate_rejects_malformed_input;
         ] );
       ( "atomic-write",
         [

@@ -13,77 +13,15 @@
    The matrix crosses every workload with the three benchmarked
    simulator setups (unbounded C mode, finite-hardware bounds, sync
    scheduler), the PR2 fault catalog on the chain program, and a
-   200-program Proggen sweep.  The event queue itself gets direct unit
-   tests for ordering and same-cycle stability. *)
+   260-program Proggen sweep (200 unbounded + 60 under finite-hardware
+   bounds).  Every differential run is three-way
+   since PR10: the reference engine against the event engine with the
+   flat icode encoding on AND off, so an icode lowering bug cannot hide
+   behind a matching bug in the boxed dispatcher (or vice versa). *)
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
-
-(* ------------------------------------------------------------------ *)
-(* Event-queue unit tests                                              *)
-(* ------------------------------------------------------------------ *)
-
-let eventq_orders_by_cycle () =
-  let q = Tls.Eventq.create ~capacity:4 () in
-  List.iter
-    (fun (c, p) -> Tls.Eventq.push q ~cycle:c p)
-    [ (50, 1); (10, 2); (30, 3); (20, 4); (40, 5) ];
-  check_int "length" 5 (Tls.Eventq.length q);
-  let order = List.init 5 (fun _ -> Tls.Eventq.pop q) in
-  Alcotest.(check (list (pair int int)))
-    "pops in cycle order"
-    [ (10, 2); (20, 4); (30, 3); (40, 5); (50, 1) ]
-    order;
-  check_bool "drained" true (Tls.Eventq.is_empty q);
-  check_int "min_cycle of empty is max_int" max_int (Tls.Eventq.min_cycle q)
-
-let eventq_same_cycle_is_fifo () =
-  let q = Tls.Eventq.create () in
-  (* Interleave two cycles; within each cycle pops must follow push
-     order whatever the heap's internal shape. *)
-  List.iter
-    (fun (c, p) -> Tls.Eventq.push q ~cycle:c p)
-    [ (7, 0); (3, 10); (7, 1); (3, 11); (7, 2); (3, 12); (7, 3) ];
-  Alcotest.(check (list (pair int int)))
-    "ties pop FIFO"
-    [ (3, 10); (3, 11); (3, 12); (7, 0); (7, 1); (7, 2); (7, 3) ]
-    (List.init 7 (fun _ -> Tls.Eventq.pop q))
-
-let eventq_clear_restarts_stability () =
-  let q = Tls.Eventq.create ~capacity:1 () in
-  Tls.Eventq.push q ~cycle:5 99;
-  Tls.Eventq.clear q;
-  check_bool "cleared" true (Tls.Eventq.is_empty q);
-  (* After clear, FIFO among ties must hold again from scratch. *)
-  List.iter (fun p -> Tls.Eventq.push q ~cycle:1 p) [ 4; 5; 6 ];
-  Alcotest.(check (list (pair int int)))
-    "post-clear ties still FIFO"
-    [ (1, 4); (1, 5); (1, 6) ]
-    (List.init 3 (fun _ -> Tls.Eventq.pop q));
-  (* min_cycle/min_payload peek without removing. *)
-  Tls.Eventq.push q ~cycle:9 7;
-  Tls.Eventq.push q ~cycle:2 8;
-  check_int "min_cycle peeks" 2 (Tls.Eventq.min_cycle q);
-  check_int "min_payload peeks" 8 (Tls.Eventq.min_payload q);
-  check_int "peek does not pop" 2 (Tls.Eventq.length q)
-
-let eventq_random_heap_property =
-  QCheck.Test.make ~count:200 ~name:"eventq pops sorted (cycle, push-seq)"
-    QCheck.(list (pair (int_bound 1000) (int_bound 100)))
-    (fun events ->
-      let q = Tls.Eventq.create ~capacity:2 () in
-      List.iter (fun (c, p) -> Tls.Eventq.push q ~cycle:c p) events;
-      let popped =
-        List.init (List.length events) (fun _ -> Tls.Eventq.pop q)
-      in
-      (* Expected order: stable sort by cycle of the push sequence. *)
-      let expected =
-        List.stable_sort
-          (fun (c1, _) (c2, _) -> compare c1 c2)
-          events
-      in
-      Tls.Eventq.is_empty q && popped = expected)
 
 (* ------------------------------------------------------------------ *)
 (* Differential harness                                                *)
@@ -196,8 +134,18 @@ let check_outcomes label a b =
 
 let diff_run label cfg code input =
   let ra = run_engine Tls.Config.Engine_ref cfg code input in
-  let rb = run_engine Tls.Config.Engine_event cfg code input in
-  check_outcomes label ra rb
+  let rb =
+    run_engine Tls.Config.Engine_event
+      { cfg with Tls.Config.icode = true }
+      code input
+  in
+  check_outcomes (label ^ "/icode") ra rb;
+  let rc =
+    run_engine Tls.Config.Engine_event
+      { cfg with Tls.Config.icode = false }
+      code input
+  in
+  check_outcomes (label ^ "/no-icode") ra rc
 
 (* ------------------------------------------------------------------ *)
 (* Workload matrix: 15 workloads x {unbounded, bounded, sync-sched}    *)
@@ -346,6 +294,24 @@ let resource_deadlock_diff () =
 (* Generated-program sweep                                             *)
 (* ------------------------------------------------------------------ *)
 
+let outcomes_agree a b =
+  match (a, b) with
+  | Finished a, Finished b ->
+    String.equal (Tls.Simstats.fingerprint a) (Tls.Simstats.fingerprint b)
+    && a.Tls.Simstats.resources = b.Tls.Simstats.resources
+    && a.Tls.Simstats.sync_stall_by_channel
+       = b.Tls.Simstats.sync_stall_by_channel
+    && a.Tls.Simstats.violated_load_counts
+       = b.Tls.Simstats.violated_load_counts
+    && Runtime.Memory.equal a.Tls.Simstats.final_memory
+         b.Tls.Simstats.final_memory
+  | E_deadlock a, E_deadlock b -> String.equal a b
+  | E_stuck a, E_stuck b -> a = b
+  | E_resource a, E_resource b -> a = b
+  | E_cycle_limit a, E_cycle_limit b -> a = b
+  | E_failure a, E_failure b -> String.equal a b
+  | _ -> false
+
 let proggen_equivalence =
   QCheck.Test.make ~count:200
     ~name:"proggen: ref and event engines agree on every observable"
@@ -358,22 +324,12 @@ let proggen_equivalence =
       let rb =
         run_engine Tls.Config.Engine_event Tls.Config.c_mode code input
       in
-      match (ra, rb) with
-      | Finished a, Finished b ->
-        String.equal (Tls.Simstats.fingerprint a) (Tls.Simstats.fingerprint b)
-        && a.Tls.Simstats.resources = b.Tls.Simstats.resources
-        && a.Tls.Simstats.sync_stall_by_channel
-           = b.Tls.Simstats.sync_stall_by_channel
-        && a.Tls.Simstats.violated_load_counts
-           = b.Tls.Simstats.violated_load_counts
-        && Runtime.Memory.equal a.Tls.Simstats.final_memory
-             b.Tls.Simstats.final_memory
-      | E_deadlock a, E_deadlock b -> String.equal a b
-      | E_stuck a, E_stuck b -> a = b
-      | E_resource a, E_resource b -> a = b
-      | E_cycle_limit a, E_cycle_limit b -> a = b
-      | E_failure a, E_failure b -> String.equal a b
-      | _ -> false)
+      let rc =
+        run_engine Tls.Config.Engine_event
+          { Tls.Config.c_mode with Tls.Config.icode = false }
+          code input
+      in
+      outcomes_agree ra rb && outcomes_agree ra rc)
 
 (* And under the finite-hardware bounds, where overflow squashes,
    signal drops and backpressure all engage. *)
@@ -387,31 +343,18 @@ let proggen_equivalence_bounded =
       let code = compiled.Tlscore.Pipeline.code in
       let ra = run_engine Tls.Config.Engine_ref bounded_cfg code input in
       let rb = run_engine Tls.Config.Engine_event bounded_cfg code input in
-      match (ra, rb) with
-      | Finished a, Finished b ->
-        String.equal (Tls.Simstats.fingerprint a) (Tls.Simstats.fingerprint b)
-        && a.Tls.Simstats.resources = b.Tls.Simstats.resources
-      | E_deadlock a, E_deadlock b -> String.equal a b
-      | E_stuck a, E_stuck b -> a = b
-      | E_resource a, E_resource b -> a = b
-      | E_cycle_limit a, E_cycle_limit b -> a = b
-      | E_failure a, E_failure b -> String.equal a b
-      | _ -> false)
+      let rc =
+        run_engine Tls.Config.Engine_event
+          { bounded_cfg with Tls.Config.icode = false }
+          code input
+      in
+      outcomes_agree ra rb && outcomes_agree ra rc)
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "sim_diff"
     [
-      ( "eventq",
-        [
-          Alcotest.test_case "orders by cycle" `Quick eventq_orders_by_cycle;
-          Alcotest.test_case "same-cycle ties are FIFO" `Quick
-            eventq_same_cycle_is_fifo;
-          Alcotest.test_case "clear restarts stability" `Quick
-            eventq_clear_restarts_stability;
-          QCheck_alcotest.to_alcotest eventq_random_heap_property;
-        ] );
       ( "workloads",
         List.map
           (fun (w : Workloads.Workload.t) ->
